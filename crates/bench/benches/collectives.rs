@@ -1,0 +1,85 @@
+//! Benchmarks for the communication substrate: point-to-point exchange,
+//! collectives, and group spawn overhead — the simulator costs that sit
+//! under every compositing measurement.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vr_comm::{all_gather, broadcast, run_group, CostModel};
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/exchange");
+    group.sample_size(20);
+    for &bytes in &[1usize << 10, 1 << 16, 1 << 20] {
+        group.throughput(Throughput::Bytes(bytes as u64 * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &n| {
+            b.iter(|| {
+                run_group(2, CostModel::free(), |ep| {
+                    let peer = 1 - ep.rank();
+                    ep.exchange(peer, 0, Bytes::from(vec![0u8; n]))
+                        .unwrap()
+                        .len()
+                })
+                .results[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/broadcast");
+    group.sample_size(20);
+    for &p in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let payload = Bytes::from(vec![7u8; 64 * 1024]);
+            b.iter(|| {
+                let payload = payload.clone();
+                run_group(p, CostModel::free(), move |ep| {
+                    let data = (ep.rank() == 0).then(|| payload.clone());
+                    broadcast(ep, 0, 1, data).unwrap().len()
+                })
+                .results[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/all_gather");
+    group.sample_size(20);
+    group.bench_function("p8_4k_each", |b| {
+        b.iter(|| {
+            run_group(8, CostModel::free(), |ep| {
+                let own = Bytes::from(vec![ep.rank() as u8; 4096]);
+                all_gather(ep, 2, own).unwrap().len()
+            })
+            .results[0]
+        })
+    });
+    group.finish();
+}
+
+fn bench_group_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm/spawn");
+    group.sample_size(20);
+    for &p in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                run_group(p, CostModel::free(), |ep| ep.rank())
+                    .results
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exchange,
+    bench_broadcast,
+    bench_all_gather,
+    bench_group_spawn
+);
+criterion_main!(benches);

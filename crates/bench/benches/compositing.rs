@@ -1,0 +1,57 @@
+//! End-to-end compositing-phase bench: all seven methods on identical
+//! synthetic subimages (P = 8, 256×256), measuring the full distributed
+//! run (threads + channels) per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slsvr_core::Method;
+use vr_image::{Image, Pixel};
+use vr_system::{Experiment, ExperimentConfig};
+use vr_volume::{DatasetKind, DepthOrder};
+
+fn subimages(p: usize, size: u16) -> Vec<Image> {
+    (0..p)
+        .map(|r| {
+            Image::from_fn(size, size, |x, y| {
+                let idx = (x as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((y as u32).wrapping_mul(40503))
+                    .wrapping_add(r as u32 * 97);
+                // ~20% density clustered in a per-rank vertical stripe.
+                let cx = (r * 61) % size as usize;
+                let dx = (x as i32 - cx as i32).abs();
+                if dx < 60 && idx % 100 < 20 {
+                    Pixel::gray((idx % 200) as f32 / 255.0, 0.6)
+                } else {
+                    Pixel::BLANK
+                }
+            })
+        })
+        .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let p = 8;
+    let size = 256u16;
+    let config = ExperimentConfig {
+        dataset: DatasetKind::Cube,
+        image_size: size,
+        processors: p,
+        volume_dims: Some([16, 16, 16]),
+        ..Default::default()
+    };
+    let exp = Experiment::from_subimages(config, subimages(p, size), DepthOrder::identity(p));
+
+    let mut group = c.benchmark_group("compositing_p8_256");
+    group.sample_size(10);
+    for method in Method::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &m| b.iter(|| exp.run(m).aggregate.m_max),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Encoding ablation bench: mask RLE (the paper's choice) vs value RLE
+//! (Ahrens & Painter) vs the bounding-rectangle scan, across non-blank
+//! densities — the quantitative basis for Section 3.3's argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vr_image::rle::ValueRle;
+use vr_image::{Image, MaskRle, Pixel};
+
+fn synthetic(density_percent: u32) -> Image {
+    Image::from_fn(384, 384, |x, y| {
+        let idx = (x as u32)
+            .wrapping_mul(2654435761)
+            .wrapping_add((y as u32).wrapping_mul(40503));
+        if idx % 100 < density_percent {
+            // Distinct float values — the regime where value RLE
+            // degenerates.
+            Pixel::gray((idx % 255) as f32 / 255.0, 0.5 + (idx % 50) as f32 / 100.0)
+        } else {
+            Pixel::BLANK
+        }
+    })
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    for density in [5u32, 25, 75] {
+        let img = synthetic(density);
+        group.throughput(Throughput::Elements(img.area() as u64));
+        group.bench_with_input(BenchmarkId::new("mask_rle", density), &img, |b, img| {
+            b.iter(|| MaskRle::encode(img.pixels().iter()))
+        });
+        group.bench_with_input(BenchmarkId::new("value_rle", density), &img, |b, img| {
+            b.iter(|| ValueRle::encode(img.pixels().iter()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bounding_rect", density),
+            &img,
+            |b, img| b.iter(|| img.bounding_rect()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

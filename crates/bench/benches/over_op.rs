@@ -1,0 +1,40 @@
+//! Micro-benchmark for the `over` operator — the paper's per-pixel
+//! compositing cost `T_o`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vr_image::Pixel;
+
+fn bench_over(c: &mut Criterion) {
+    let mut group = c.benchmark_group("over_op");
+    let n = 1 << 16;
+    let front: Vec<Pixel> = (0..n)
+        .map(|i| Pixel::from_straight(0.3, 0.5, 0.7, (i % 100) as f32 / 100.0))
+        .collect();
+    let back: Vec<Pixel> = (0..n)
+        .map(|i| Pixel::from_straight(0.9, 0.1, 0.2, ((i * 7) % 100) as f32 / 100.0))
+        .collect();
+
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("pixel_over_64k", |b| {
+        b.iter(|| {
+            let mut acc = Pixel::BLANK;
+            for (f, bk) in front.iter().zip(&back) {
+                acc = f.over(black_box(*bk));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("composite_rect_over_64k", |b| {
+        let rect = vr_image::Rect::new(0, 0, 256, 256);
+        let front_buf = front.clone();
+        b.iter(|| {
+            let mut img = vr_image::Image::from_pixels(256, 256, back.clone());
+            img.composite_rect_over(&rect, &front_buf)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_over);
+criterion_main!(benches);

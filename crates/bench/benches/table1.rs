@@ -1,0 +1,28 @@
+//! Criterion form of the Table 1 cells: compositing time per method on
+//! each rendered test sample at P = 8. Uses the reduced (`Quick`) scale
+//! so `cargo bench` stays bounded; the paper-scale numbers come from the
+//! `table1` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slsvr_core::Method;
+use vr_bench::workloads::{prepare_cell, Scale};
+use vr_volume::DatasetKind;
+
+fn bench_table1_cells(c: &mut Criterion) {
+    for dataset in DatasetKind::all() {
+        let exp = prepare_cell(dataset, 384, 8, Scale::Quick);
+        let mut group = c.benchmark_group(format!("table1/{}", dataset.name()));
+        group.sample_size(10);
+        for method in Method::paper_methods() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(method.name()),
+                &method,
+                |b, &m| b.iter(|| exp.run(m).aggregate.m_max),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1_cells);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion form of the Table 2 cells: the three sparse methods on each
+//! test sample at the larger frame (scaled: 384² under `Quick`; the
+//! paper-scale 768² numbers come from the `table2` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slsvr_core::Method;
+use vr_bench::workloads::{prepare_cell, Scale};
+use vr_volume::DatasetKind;
+
+fn bench_table2_cells(c: &mut Criterion) {
+    for dataset in DatasetKind::all() {
+        let exp = prepare_cell(dataset, 768, 8, Scale::Quick);
+        let mut group = c.benchmark_group(format!("table2/{}", dataset.name()));
+        group.sample_size(10);
+        for method in [Method::Bsbr, Method::Bslc, Method::Bsbrc] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(method.name()),
+                &method,
+                |b, &m| b.iter(|| exp.run(m).aggregate.m_max),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table2_cells);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Validates **Equation (9)** on rendered workloads: the maximum
+//! received message size ordering
+//! `M_max(BS) ≥ M_max(BSBR) ≥ M_max(BSBRC) ≥ M_max(BSLC)`.
+//!
+//! ```text
+//! cargo run --release -p vr-bench --bin mmax [-- --quick]
+//! ```
+
+use slsvr_core::Method;
+use vr_bench::workloads::{paper_datasets, paper_processor_counts, sweep, Scale};
+use vr_system::report::format_mmax_table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let methods = [Method::Bs, Method::Bsbr, Method::Bsbrc, Method::Bslc];
+    println!("# Equation (9) — maximum received message size ordering\n");
+    for dataset in paper_datasets() {
+        let rows = sweep(
+            dataset,
+            384,
+            &methods,
+            &paper_processor_counts(),
+            scale,
+            false,
+        );
+        println!("{}", format_mmax_table(dataset.name(), &rows));
+    }
+}

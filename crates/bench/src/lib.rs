@@ -1,0 +1,8 @@
+//! Benchmark harness support: workload construction shared between the
+//! Criterion benches and the table/figure reproduction binaries.
+
+pub mod workloads;
+
+pub use workloads::{
+    cell_config, paper_datasets, paper_processor_counts, prepare_cell, sweep, PaperWorkload, Scale,
+};

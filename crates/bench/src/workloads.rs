@@ -1,0 +1,144 @@
+//! Workload construction shared by the table/figure reproduction
+//! binaries and the Criterion benches.
+
+use slsvr_core::Method;
+use vr_system::{Experiment, ExperimentConfig, TableRow};
+use vr_volume::DatasetKind;
+
+/// One paper workload: a dataset rendered at a given frame size.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperWorkload {
+    /// The test sample.
+    pub dataset: DatasetKind,
+    /// Square frame side (384 or 768 in the paper).
+    pub image_size: u16,
+}
+
+/// The four test samples in the paper's presentation order.
+pub fn paper_datasets() -> [DatasetKind; 4] {
+    DatasetKind::all()
+}
+
+/// The processor counts used throughout the evaluation (Section 4).
+pub fn paper_processor_counts() -> [usize; 6] {
+    [2, 4, 8, 16, 32, 64]
+}
+
+/// Run scale: full paper dimensions or a fast reduced configuration for
+/// smoke runs (`--quick`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-faithful volume dimensions and sampling.
+    Paper,
+    /// Reduced volume (96×96×48) and coarser sampling; same code paths.
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--quick` from command-line arguments.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+/// Builds the experiment configuration for one evaluation cell.
+pub fn cell_config(
+    dataset: DatasetKind,
+    image_size: u16,
+    processors: usize,
+    scale: Scale,
+) -> ExperimentConfig {
+    let (volume_dims, step, image_size) = match scale {
+        Scale::Paper => (None, 1.0, image_size),
+        Scale::Quick => (Some([96, 96, 48]), 2.0, image_size / 2),
+    };
+    ExperimentConfig {
+        dataset,
+        image_size,
+        processors,
+        method: Method::Bsbrc,
+        volume_dims,
+        step,
+        ..Default::default()
+    }
+}
+
+/// Prepares (builds + renders) one evaluation cell.
+pub fn prepare_cell(
+    dataset: DatasetKind,
+    image_size: u16,
+    processors: usize,
+    scale: Scale,
+) -> Experiment {
+    Experiment::prepare(&cell_config(dataset, image_size, processors, scale))
+}
+
+/// Runs `methods` over all processor counts for one workload, returning
+/// table rows. Rendering happens once per processor count and is shared
+/// across methods — the paper's methodology for isolating the
+/// compositing phase.
+pub fn sweep(
+    dataset: DatasetKind,
+    image_size: u16,
+    methods: &[Method],
+    counts: &[usize],
+    scale: Scale,
+    verify: bool,
+) -> Vec<TableRow> {
+    counts
+        .iter()
+        .map(|&p| {
+            let exp = prepare_cell(dataset, image_size, p, scale);
+            let reference = verify.then(|| exp.reference());
+            let cells = methods
+                .iter()
+                .map(|&m| {
+                    let out = exp.run(m);
+                    if let Some(expect) = &reference {
+                        let diff = out.image.max_abs_diff(expect);
+                        assert!(diff < 2e-4, "{m:?} P={p} differs from reference by {diff}");
+                    }
+                    (m, out.aggregate)
+                })
+                .collect();
+            TableRow {
+                processors: p,
+                cells,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_shrinks_workload() {
+        let paper = cell_config(DatasetKind::Cube, 384, 8, Scale::Paper);
+        let quick = cell_config(DatasetKind::Cube, 384, 8, Scale::Quick);
+        assert_eq!(paper.image_size, 384);
+        assert_eq!(quick.image_size, 192);
+        assert_eq!(quick.volume_dims, Some([96, 96, 48]));
+    }
+
+    #[test]
+    fn sweep_produces_row_per_count() {
+        let rows = sweep(
+            DatasetKind::Cube,
+            128,
+            &[Method::Bs, Method::Bsbrc],
+            &[2, 4],
+            Scale::Quick,
+            true,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].processors, 2);
+        assert_eq!(rows[0].cells.len(), 2);
+        assert!(rows[1].cells.iter().all(|(_, a)| a.t_total_ms() >= 0.0));
+    }
+}

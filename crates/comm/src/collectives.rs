@@ -1,0 +1,234 @@
+//! Collective operations built on point-to-point messages.
+//!
+//! The sort-last system needs a handful of collectives: the partitioning
+//! phase *scatters* subvolume blocks from the input rank, experiment
+//! setup *broadcasts* small configuration blobs, and diagnostics
+//! *reduce* per-rank scalars. All are implemented as binomial trees over
+//! the flat [`Endpoint`] send/recv primitives, so their traffic is
+//! accounted like any other message.
+
+use bytes::Bytes;
+
+use crate::endpoint::{Endpoint, RecvError, Tag};
+
+/// Scatters one payload per rank from `root`; returns this rank's
+/// payload. The root sends `P−1` messages directly (the natural pattern
+/// when only the root holds the data, as in volume distribution).
+pub fn scatter(
+    ep: &mut Endpoint,
+    root: usize,
+    tag: Tag,
+    payloads: Option<Vec<Bytes>>,
+) -> Result<Bytes, RecvError> {
+    if ep.rank() == root {
+        let payloads = payloads.expect("root must supply one payload per rank");
+        assert_eq!(
+            payloads.len(),
+            ep.size(),
+            "scatter needs exactly one payload per rank"
+        );
+        let mut own = None;
+        for (dst, payload) in payloads.into_iter().enumerate() {
+            if dst == ep.rank() {
+                own = Some(payload);
+            } else {
+                ep.send(dst, tag, payload);
+            }
+        }
+        Ok(own.expect("root keeps its own payload"))
+    } else {
+        ep.recv(root, tag)
+    }
+}
+
+/// Broadcasts `payload` from `root` to every rank along a binomial tree
+/// (`⌈log2 P⌉` rounds); returns the payload everywhere.
+pub fn broadcast(
+    ep: &mut Endpoint,
+    root: usize,
+    tag: Tag,
+    payload: Option<Bytes>,
+) -> Result<Bytes, RecvError> {
+    let p = ep.size();
+    // Work in a rotated space where the root is rank 0.
+    let me = (ep.rank() + p - root) % p;
+    let data = if me == 0 {
+        payload.expect("root must supply the broadcast payload")
+    } else {
+        // Receive from the parent: clear the lowest set bit.
+        let parent = me & (me - 1);
+        ep.recv((parent + root) % p, tag)?
+    };
+    // Forward to children: set each bit above our lowest set bit (or all
+    // bits for the root) while staying in range.
+    let lowest = if me == 0 {
+        usize::BITS as usize
+    } else {
+        me.trailing_zeros() as usize
+    };
+    for b in (0..lowest.min(usize::BITS as usize - 1)).rev() {
+        let child = me | (1 << b);
+        if child < p && child != me {
+            ep.send((child + root) % p, tag, data.clone());
+        }
+    }
+    Ok(data)
+}
+
+/// Reduces per-rank byte payloads to `root` along a binomial tree with a
+/// caller-supplied combining function; returns `Some(result)` at the
+/// root, `None` elsewhere.
+pub fn reduce(
+    ep: &mut Endpoint,
+    root: usize,
+    tag: Tag,
+    own: Bytes,
+    mut combine: impl FnMut(Bytes, Bytes) -> Bytes,
+) -> Result<Option<Bytes>, RecvError> {
+    let p = ep.size();
+    let me = (ep.rank() + p - root) % p;
+    let mut acc = own;
+    let mut bit = 1usize;
+    while bit < p {
+        if me & bit != 0 {
+            // Send to the partner below and retire.
+            let dst = me & !bit;
+            ep.send((dst + root) % p, tag, acc);
+            return Ok(None);
+        }
+        let src = me | bit;
+        if src < p {
+            let incoming = ep.recv((src + root) % p, tag)?;
+            acc = combine(acc, incoming);
+        }
+        bit <<= 1;
+    }
+    Ok(Some(acc))
+}
+
+/// All-gather: every rank contributes one payload and receives all of
+/// them (indexed by rank). Implemented as gather-to-0 + broadcast.
+pub fn all_gather(ep: &mut Endpoint, tag: Tag, own: Bytes) -> Result<Vec<Bytes>, RecvError> {
+    let gathered = ep.gather(0, tag, own)?;
+    // Flatten to one frame: u32 count, then (u32 len, bytes) per rank.
+    let frame = if let Some(parts) = gathered {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+        for part in &parts {
+            out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+            out.extend_from_slice(part);
+        }
+        Some(Bytes::from(out))
+    } else {
+        None
+    };
+    let frame = broadcast(ep, 0, tag.wrapping_add(1), frame)?;
+    // Decode.
+    let mut parts = Vec::new();
+    let mut pos = 0usize;
+    let read_u32 = |buf: &Bytes, pos: &mut usize| {
+        let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap()) as usize;
+        *pos += 4;
+        v
+    };
+    let count = read_u32(&frame, &mut pos);
+    for _ in 0..count {
+        let len = read_u32(&frame, &mut pos);
+        parts.push(frame.slice(pos..pos + len));
+        pos += len;
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::group::run_group;
+
+    #[test]
+    fn scatter_delivers_per_rank_payloads() {
+        for p in [1, 2, 5, 8] {
+            let out = run_group(p, CostModel::free(), |ep| {
+                let payloads = (ep.rank() == 2.min(p - 1)).then(|| {
+                    (0..p)
+                        .map(|r| Bytes::from(vec![r as u8; r + 1]))
+                        .collect::<Vec<_>>()
+                });
+                let got = scatter(ep, 2.min(p - 1), 10, payloads).unwrap();
+                (got.len(), got.first().copied())
+            });
+            for (rank, &(len, first)) in out.results.iter().enumerate() {
+                assert_eq!(len, rank + 1);
+                assert_eq!(first, Some(rank as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_rank() {
+        for p in [1, 2, 3, 4, 7, 8, 13] {
+            for root in [0, p - 1, p / 2] {
+                let out = run_group(p, CostModel::free(), |ep| {
+                    let payload = (ep.rank() == root).then(|| Bytes::from_static(b"hello fleet"));
+                    broadcast(ep, root, 11, payload).unwrap()
+                });
+                for got in &out.results {
+                    assert_eq!(&got[..], b"hello fleet");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_uses_log_rounds_per_rank() {
+        // No rank should send more than ⌈log2 P⌉ messages.
+        let p = 16;
+        let out = run_group(p, CostModel::free(), |ep| {
+            let payload = (ep.rank() == 0).then(|| Bytes::from_static(b"x"));
+            let _ = broadcast(ep, 0, 12, payload).unwrap();
+            ep.stats().sent_messages
+        });
+        for &sent in &out.results {
+            assert!(sent <= 4, "a rank sent {sent} messages");
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1, 2, 3, 6, 8] {
+            for root in [0, p - 1] {
+                let out = run_group(p, CostModel::free(), |ep| {
+                    let own = Bytes::from(vec![ep.rank() as u8]);
+                    reduce(ep, root, 13, own, |a, b| Bytes::from(vec![a[0] + b[0]]))
+                        .unwrap()
+                        .map(|b| b[0])
+                });
+                let expect: u8 = (0..p as u8).sum();
+                for (rank, res) in out.results.iter().enumerate() {
+                    if rank == root {
+                        assert_eq!(*res, Some(expect), "p={p} root={root}");
+                    } else {
+                        assert_eq!(*res, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_returns_everything_everywhere() {
+        let p = 6;
+        let out = run_group(p, CostModel::free(), |ep| {
+            let own = Bytes::from(vec![ep.rank() as u8; ep.rank() + 1]);
+            all_gather(ep, 20, own).unwrap()
+        });
+        for parts in &out.results {
+            assert_eq!(parts.len(), p);
+            for (rank, part) in parts.iter().enumerate() {
+                assert_eq!(part.len(), rank + 1);
+                assert!(part.iter().all(|&b| b == rank as u8));
+            }
+        }
+    }
+}

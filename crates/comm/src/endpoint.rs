@@ -1,0 +1,335 @@
+//! One rank's communication endpoint.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::cost::CostModel;
+use crate::stats::TrafficStats;
+use crate::trace::{EventKind, Tracer};
+
+/// Message tags, used to assert protocol agreement between matched
+/// send/receive pairs (like MPI tags, but mismatches are hard errors).
+pub type Tag = u32;
+
+/// A message in flight: payload plus its tag.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Protocol tag supplied by the sender.
+    pub tag: Tag,
+    /// Payload bytes (cheaply cloneable).
+    pub payload: Bytes,
+}
+
+/// Error from a receive operation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived before the deadline — almost always a protocol
+    /// deadlock in the compositing schedule.
+    Timeout { from: usize, waited: Duration },
+    /// A message arrived with an unexpected tag.
+    TagMismatch {
+        from: usize,
+        expected: Tag,
+        got: Tag,
+    },
+    /// The peer's endpoint was dropped (its rank function returned or
+    /// panicked before sending).
+    Disconnected { from: usize },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout { from, waited } => {
+                write!(
+                    f,
+                    "timed out after {waited:?} waiting for a message from rank {from}"
+                )
+            }
+            RecvError::TagMismatch {
+                from,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "tag mismatch from rank {from}: expected {expected}, got {got}"
+                )
+            }
+            RecvError::Disconnected { from } => {
+                write!(f, "rank {from} disconnected before sending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// How long a blocking receive waits before declaring a deadlock.
+const RECV_DEADLINE: Duration = Duration::from_secs(60);
+
+/// A rank's private endpoint into the group.
+///
+/// Sends are buffered (never block); receives are selective by source
+/// rank, which matches how every compositing schedule here names its
+/// communication partner explicitly.
+pub struct Endpoint {
+    rank: usize,
+    size: usize,
+    /// `to[dst]` delivers into dst's mailbox slot for this rank.
+    to: Vec<Sender<Message>>,
+    /// `from[src]` receives messages sent by `src` to this rank.
+    from: Vec<Receiver<Message>>,
+    barrier: Arc<std::sync::Barrier>,
+    cost: CostModel,
+    stats: TrafficStats,
+    tracer: Option<Tracer>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        to: Vec<Sender<Message>>,
+        from: Vec<Receiver<Message>>,
+        barrier: Arc<std::sync::Barrier>,
+        cost: CostModel,
+    ) -> Self {
+        Endpoint {
+            rank,
+            size,
+            to,
+            from,
+            barrier,
+            cost,
+            stats: TrafficStats::default(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a trace collector (see [`crate::trace::run_group_traced`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group (the paper's `P`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The group's communication cost model.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Traffic recorded so far by this rank.
+    #[inline]
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Consumes the endpoint, yielding its final traffic stats.
+    pub fn into_stats(self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Sends `payload` to `dst` with `tag`. Never blocks.
+    pub fn send(&mut self, dst: usize, tag: Tag, payload: Bytes) {
+        assert!(
+            dst < self.size,
+            "send to rank {dst} out of range (size {})",
+            self.size
+        );
+        if let Some(t) = &self.tracer {
+            t.record(self.rank, dst, EventKind::Send, payload.len(), tag);
+        }
+        self.stats.on_send(payload.len());
+        self.to[dst]
+            .send(Message { tag, payload })
+            .unwrap_or_else(|_| panic!("rank {dst} mailbox closed (peer exited early)"));
+    }
+
+    /// Receives the next message from `src`, requiring `tag`.
+    ///
+    /// Blocks up to an internal deadline, then returns
+    /// [`RecvError::Timeout`] so schedule deadlocks surface as test
+    /// failures instead of hangs.
+    pub fn recv(&mut self, src: usize, tag: Tag) -> Result<Bytes, RecvError> {
+        assert!(
+            src < self.size,
+            "recv from rank {src} out of range (size {})",
+            self.size
+        );
+        match self.from[src].recv_timeout(RECV_DEADLINE) {
+            Ok(msg) => {
+                if msg.tag != tag {
+                    return Err(RecvError::TagMismatch {
+                        from: src,
+                        expected: tag,
+                        got: msg.tag,
+                    });
+                }
+                if let Some(tr) = &self.tracer {
+                    tr.record(self.rank, src, EventKind::Recv, msg.payload.len(), tag);
+                }
+                let t = self.cost.message_seconds(msg.payload.len());
+                self.stats.on_recv(msg.payload.len(), t);
+                Ok(msg.payload)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout {
+                from: src,
+                waited: RECV_DEADLINE,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected { from: src }),
+        }
+    }
+
+    /// Full-duplex exchange with `peer`: buffered send, then blocking
+    /// receive. Deadlock-free for any pairing where both sides call it.
+    ///
+    /// This is the binary-swap primitive: "each PE sends the half subimage
+    /// it keeps to PE'; each PE receives the half subimage from PE'".
+    pub fn exchange(&mut self, peer: usize, tag: Tag, payload: Bytes) -> Result<Bytes, RecvError> {
+        self.send(peer, tag, payload);
+        self.recv(peer, tag)
+    }
+
+    /// Blocks until every rank in the group has reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Gathers every rank's payload at `root`; returns `Some(payloads)`
+    /// (indexed by rank) at the root, `None` elsewhere.
+    pub fn gather(
+        &mut self,
+        root: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<Option<Vec<Bytes>>, RecvError> {
+        if self.rank == root {
+            let mut all: Vec<Bytes> = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == self.rank {
+                    all.push(payload.clone());
+                } else {
+                    all.push(self.recv(src, tag)?);
+                }
+            }
+            Ok(Some(all))
+        } else {
+            self.send(root, tag, payload);
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::run_group;
+
+    #[test]
+    fn ring_pass() {
+        let out = run_group(4, CostModel::free(), |ep| {
+            let next = (ep.rank() + 1) % ep.size();
+            let prev = (ep.rank() + ep.size() - 1) % ep.size();
+            ep.send(next, 7, Bytes::from(vec![ep.rank() as u8]));
+            let got = ep.recv(prev, 7).unwrap();
+            got[0] as usize
+        });
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn exchange_swaps_payloads() {
+        let out = run_group(2, CostModel::free(), |ep| {
+            let peer = 1 - ep.rank();
+            let got = ep
+                .exchange(peer, 0, Bytes::from(vec![ep.rank() as u8; 3]))
+                .unwrap();
+            got[0]
+        });
+        assert_eq!(out.results, vec![1, 0]);
+    }
+
+    #[test]
+    fn tag_mismatch_detected() {
+        let out = run_group(2, CostModel::free(), |ep| {
+            let peer = 1 - ep.rank();
+            ep.send(peer, 1, Bytes::new());
+            matches!(ep.recv(peer, 2), Err(RecvError::TagMismatch { .. }))
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        let out = run_group(4, CostModel::free(), |ep| {
+            let payload = Bytes::from(vec![ep.rank() as u8 * 10]);
+            ep.gather(2, 5, payload).unwrap()
+        });
+        for (rank, res) in out.results.iter().enumerate() {
+            if rank == 2 {
+                let all = res.as_ref().unwrap();
+                let vals: Vec<u8> = all.iter().map(|b| b[0]).collect();
+                assert_eq!(vals, vec![0, 10, 20, 30]);
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes_and_model_time() {
+        let cost = CostModel {
+            t_s: 1e-3,
+            t_c: 1e-6,
+        };
+        let out = run_group(2, cost, |ep| {
+            let peer = 1 - ep.rank();
+            let _ = ep.exchange(peer, 0, Bytes::from(vec![0u8; 1000])).unwrap();
+        });
+        for s in &out.stats {
+            assert_eq!(s.sent_bytes, 1000);
+            assert_eq!(s.recv_bytes, 1000);
+            assert_eq!(s.sent_messages, 1);
+            assert_eq!(s.recv_messages, 1);
+            assert!((s.modeled_comm_seconds - (1e-3 + 1000.0 * 1e-6)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        COUNTER.store(0, Ordering::SeqCst);
+        let out = run_group(8, CostModel::free(), |ep| {
+            COUNTER.fetch_add(1, Ordering::SeqCst);
+            ep.barrier();
+            // After the barrier every rank must observe all 8 increments.
+            COUNTER.load(Ordering::SeqCst)
+        });
+        assert!(out.results.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn self_send_works() {
+        let out = run_group(1, CostModel::free(), |ep| {
+            ep.send(0, 9, Bytes::from_static(b"hi"));
+            ep.recv(0, 9).unwrap()
+        });
+        assert_eq!(&out.results[0][..], b"hi");
+    }
+}

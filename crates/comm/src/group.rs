@@ -1,0 +1,166 @@
+//! Spawning a group of rank threads.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::cost::CostModel;
+use crate::endpoint::{Endpoint, Message};
+use crate::stats::TrafficStats;
+
+/// The outcome of a group run: each rank's return value plus its traffic.
+#[derive(Debug)]
+pub struct GroupRun<R> {
+    /// Per-rank results, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank traffic stats, indexed by rank.
+    pub stats: Vec<TrafficStats>,
+}
+
+impl<R> GroupRun<R> {
+    /// The paper's `M_max`: maximum bytes received by any rank.
+    pub fn m_max(&self) -> u64 {
+        crate::stats::m_max(&self.stats)
+    }
+
+    /// Maximum modeled communication time over ranks, in seconds.
+    pub fn max_comm_seconds(&self) -> f64 {
+        crate::stats::max_comm_seconds(&self.stats)
+    }
+}
+
+/// Runs `f` on `size` simulated processors and collects results.
+///
+/// Every rank runs on its own OS thread with a private [`Endpoint`]; rank
+/// threads share nothing else. A panic on any rank propagates (the group
+/// run panics), so test assertions may live inside rank functions.
+///
+/// ```
+/// use bytes::Bytes;
+/// use vr_comm::{run_group, CostModel};
+///
+/// // Each rank sends its id to the next rank around a ring.
+/// let out = run_group(4, CostModel::sp2(), |ep| {
+///     let next = (ep.rank() + 1) % ep.size();
+///     let prev = (ep.rank() + ep.size() - 1) % ep.size();
+///     ep.send(next, 0, Bytes::from(vec![ep.rank() as u8]));
+///     ep.recv(prev, 0).unwrap()[0] as usize
+/// });
+/// assert_eq!(out.results, vec![3, 0, 1, 2]);
+/// assert!(out.m_max() > 0);
+/// ```
+pub fn run_group<R, F>(size: usize, cost: CostModel, f: F) -> GroupRun<R>
+where
+    R: Send,
+    F: Fn(&mut Endpoint) -> R + Sync,
+{
+    assert!(size >= 1, "group must have at least one rank");
+
+    // Wire one dedicated channel per ordered (src, dst) pair so selective
+    // receive-by-source never reorders unrelated messages.
+    let mut senders_by_dst: Vec<Vec<crossbeam::channel::Sender<Message>>> =
+        (0..size).map(|_| Vec::with_capacity(size)).collect();
+    let mut receivers_by_dst: Vec<Vec<crossbeam::channel::Receiver<Message>>> =
+        (0..size).map(|_| Vec::with_capacity(size)).collect();
+    for dst in 0..size {
+        for _src in 0..size {
+            let (tx, rx) = unbounded();
+            senders_by_dst[dst].push(tx);
+            receivers_by_dst[dst].push(rx);
+        }
+    }
+
+    let barrier = Arc::new(std::sync::Barrier::new(size));
+
+    // Build each rank's endpoint: `to[dst]` = sender into dst's slot for
+    // this rank; `from[src]` = this rank's receiver slot for src.
+    let mut endpoints: Vec<Endpoint> = Vec::with_capacity(size);
+    for rank in 0..size {
+        let from = std::mem::take(&mut receivers_by_dst[rank]);
+        let to = (0..size)
+            .map(|dst| senders_by_dst[dst][rank].clone())
+            .collect();
+        endpoints.push(Endpoint::new(
+            rank,
+            size,
+            to,
+            from,
+            Arc::clone(&barrier),
+            cost,
+        ));
+    }
+    drop(senders_by_dst);
+
+    let slots: Mutex<Vec<Option<(R, TrafficStats)>>> =
+        Mutex::new((0..size).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for mut ep in endpoints {
+            let rank = ep.rank();
+            let fr = &f;
+            let res = &slots;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn_scoped(scope, move || {
+                        let r = fr(&mut ep);
+                        res.lock()[rank] = Some((r, ep.into_stats()));
+                    })
+                    .expect("failed to spawn rank thread"),
+            );
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let mut results_out = Vec::with_capacity(size);
+    let mut stats_out = Vec::with_capacity(size);
+    for slot in slots.into_inner() {
+        let (r, s) = slot.expect("rank thread completed without storing a result");
+        results_out.push(r);
+        stats_out.push(s);
+    }
+    GroupRun {
+        results: results_out,
+        stats: stats_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_group_runs() {
+        let out = run_group(1, CostModel::free(), |ep| ep.rank() + ep.size());
+        assert_eq!(out.results, vec![1]);
+        assert_eq!(out.stats.len(), 1);
+    }
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let out = run_group(16, CostModel::free(), |ep| ep.rank() * 2);
+        assert_eq!(out.results, (0..16).map(|r| r * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_group_rejected() {
+        let _ = run_group(0, CostModel::free(), |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        let _ = run_group(4, CostModel::free(), |ep| {
+            if ep.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,33 @@
+//! A thread-based distributed-memory message-passing substrate.
+//!
+//! The paper evaluates on an IBM SP2 with MPI over the High Performance
+//! Switch. This crate substitutes that testbed with *simulated processors*:
+//! each rank is an OS thread with private state, and ranks communicate
+//! exclusively through byte messages over per-pair channels — the same
+//! matched send/receive semantics MPI point-to-point provides.
+//!
+//! Two quantities drive every comparison in the paper:
+//!
+//! * **exact message byte counts** — recorded per rank by
+//!   [`TrafficStats`], giving the maximum-received-message-size metric
+//!   `M_max` of Section 4;
+//! * **modeled communication time** — `T_s + bytes · T_c` per message via
+//!   a [`CostModel`], with an [SP2 preset](CostModel::sp2) calibrated to
+//!   the HPS (≈ 40 µs latency, ≈ 35 MB/s bandwidth).
+//!
+//! Computation time is handled separately (measured per-thread CPU time
+//! or modeled from operation counts); see `slsvr-core`.
+
+pub mod collectives;
+pub mod cost;
+pub mod endpoint;
+pub mod group;
+pub mod stats;
+pub mod trace;
+
+pub use collectives::{all_gather, broadcast, reduce, scatter};
+pub use cost::CostModel;
+pub use endpoint::{Endpoint, Message, RecvError, Tag};
+pub use group::{run_group, GroupRun};
+pub use stats::TrafficStats;
+pub use trace::{run_group_traced, Trace, TraceEvent, Tracer};

@@ -1,0 +1,183 @@
+//! Final gather: assembling owned pieces into the full image at a root
+//! rank (the sort-last system's display step).
+
+use vr_comm::Endpoint;
+use vr_image::{Image, StridedSeq};
+use vr_volume::DepthOrder;
+
+use crate::methods::OwnedPiece;
+use crate::schedule::tags;
+use crate::wire::{MsgReader, MsgWriter};
+
+const KIND_NOTHING: u32 = 0;
+const KIND_RECT: u32 = 1;
+const KIND_SEQ: u32 = 2;
+const KIND_WHOLE: u32 = 3;
+
+/// Sends this rank's owned piece to `root` and, at the root, assembles
+/// the final image from all pieces. Returns `Some(image)` at the root.
+pub fn gather_image(
+    ep: &mut Endpoint,
+    image: &Image,
+    piece: &OwnedPiece,
+    root: usize,
+) -> Option<Image> {
+    let payload = {
+        let mut w = MsgWriter::new();
+        match piece {
+            OwnedPiece::Nothing => w.put_u32(KIND_NOTHING),
+            OwnedPiece::Rect(r) => {
+                w.put_u32(KIND_RECT);
+                w.put_rect(*r);
+                w.put_pixels(&image.extract_rect(r));
+            }
+            OwnedPiece::Seq(seq) => {
+                w.put_u32(KIND_SEQ);
+                w.put_u32(seq.start as u32);
+                w.put_u32(seq.stride as u32);
+                w.put_u32(seq.count as u32);
+                for idx in seq.iter() {
+                    w.put_pixel(image.pixels()[idx]);
+                }
+            }
+            OwnedPiece::Whole => {
+                w.put_u32(KIND_WHOLE);
+                w.put_pixels(image.pixels());
+            }
+        }
+        w.freeze()
+    };
+
+    let all = ep
+        .gather(root, tags::GATHER, payload)
+        .unwrap_or_else(|e| panic!("gather failed: {e}"))?;
+
+    let mut out = Image::blank(image.width(), image.height());
+    let mut covered = 0usize;
+    for bytes in all {
+        let mut r = MsgReader::new(bytes);
+        match r.get_u32() {
+            KIND_NOTHING => {}
+            KIND_RECT => {
+                let rect = r.get_rect();
+                let pixels = r.get_pixels(rect.area());
+                out.write_rect(&rect, &pixels);
+                covered += rect.area();
+            }
+            KIND_SEQ => {
+                let seq = StridedSeq {
+                    start: r.get_u32() as usize,
+                    stride: r.get_u32() as usize,
+                    count: r.get_u32() as usize,
+                };
+                for (i, idx) in seq.iter().enumerate() {
+                    let _ = i;
+                    out.pixels_mut()[idx] = r.get_pixel();
+                }
+                covered += seq.count;
+            }
+            KIND_WHOLE => {
+                let pixels = r.get_pixels(out.area());
+                let full = out.full_rect();
+                out.write_rect(&full, &pixels);
+                covered += out.area();
+            }
+            other => panic!("unknown gather piece kind {other}"),
+        }
+    }
+    assert_eq!(
+        covered,
+        out.area(),
+        "gathered pieces must tile the image exactly"
+    );
+    Some(out)
+}
+
+/// Convenience used by tests and examples: composites with `method` and
+/// gathers at rank 0, returning the final image there.
+pub fn composite_and_gather(
+    method: crate::methods::Method,
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> (Option<Image>, crate::stats::MethodStats) {
+    let result = crate::methods::composite(method, ep, image, depth);
+    let gathered = gather_image(ep, image, &result.piece, 0);
+    (gathered, result.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_comm::{run_group, CostModel};
+    use vr_image::{Pixel, Rect};
+
+    #[test]
+    fn gather_rect_pieces() {
+        let out = run_group(4, CostModel::free(), |ep| {
+            let mut img = Image::blank(8, 8);
+            // Each rank owns two rows and paints them with its rank value.
+            let rect = Rect::new(0, ep.rank() as u16 * 2, 8, ep.rank() as u16 * 2 + 2);
+            for (x, y) in rect.iter() {
+                img.set(x, y, Pixel::gray(ep.rank() as f32 / 4.0, 1.0));
+            }
+            gather_image(ep, &img, &OwnedPiece::Rect(rect), 0)
+        });
+        let img = out.results[0].as_ref().unwrap();
+        assert_eq!(img.get(3, 0).r, 0.0);
+        assert_eq!(img.get(3, 2).r, 0.25);
+        assert_eq!(img.get(3, 7).r, 0.75);
+        assert!(out.results[1].is_none());
+    }
+
+    #[test]
+    fn gather_seq_pieces() {
+        let out = run_group(2, CostModel::free(), |ep| {
+            let mut img = Image::blank(4, 4);
+            let seq = StridedSeq {
+                start: ep.rank(),
+                stride: 2,
+                count: 8,
+            };
+            for idx in seq.iter() {
+                img.pixels_mut()[idx] = Pixel::gray(1.0, (ep.rank() + 1) as f32 / 2.0);
+            }
+            gather_image(ep, &img, &OwnedPiece::Seq(seq), 0)
+        });
+        let img = out.results[0].as_ref().unwrap();
+        for (i, p) in img.pixels().iter().enumerate() {
+            let expect = if i % 2 == 0 { 0.5 } else { 1.0 };
+            assert_eq!(p.a, expect, "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn gather_whole_plus_nothing() {
+        let out = run_group(3, CostModel::free(), |ep| {
+            let mut img = Image::blank(4, 4);
+            if ep.rank() == 1 {
+                img.set(2, 2, Pixel::gray(0.9, 0.9));
+            }
+            let piece = if ep.rank() == 1 {
+                OwnedPiece::Whole
+            } else {
+                OwnedPiece::Nothing
+            };
+            gather_image(ep, &img, &piece, 1)
+        });
+        let img = out.results[1].as_ref().unwrap();
+        assert_eq!(img.get(2, 2), Pixel::gray(0.9, 0.9));
+        assert!(out.results[0].is_none() && out.results[2].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the image exactly")]
+    fn gather_detects_coverage_gap() {
+        let _ = run_group(2, CostModel::free(), |ep| {
+            let img = Image::blank(4, 4);
+            // Both ranks claim only half of one row → under-coverage.
+            let piece = OwnedPiece::Rect(Rect::new(0, ep.rank() as u16, 2, ep.rank() as u16 + 1));
+            gather_image(ep, &img, &piece, 0)
+        });
+    }
+}

@@ -1,0 +1,238 @@
+//! Binary-swap with bounding rectangle and **bitmask** encoding (BSBM)
+//! — an implementation of the paper's closing future-work item, "study
+//! more efficient encoding schemes".
+//!
+//! Instead of run-length codes, the non-blank pattern inside the
+//! sending bounding rectangle is shipped as a dense bitmask: exactly
+//! `⌈A_send/8⌉` bytes regardless of fragmentation. Compared with
+//! BSBRC's `2·R_code` bytes, the bitmask wins whenever the content is
+//! fragmented (`R_code > A_send/16`) and loses on long coherent runs —
+//! a trade-off quantified by the `encoding` ablation bench.
+
+use vr_comm::Endpoint;
+use vr_image::{Image, Pixel, Rect};
+use vr_volume::DepthOrder;
+
+use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
+use crate::stats::StageStat;
+use crate::wire::{MsgReader, MsgWriter};
+
+use super::{CompositeResult, OwnedPiece, Run};
+
+/// Packs the blank/non-blank mask of `rect` into bytes (LSB-first
+/// within each byte, row-major scan order).
+pub fn pack_bitmask(image: &Image, rect: &Rect) -> (Vec<u8>, usize) {
+    let mut mask = vec![0u8; rect.area().div_ceil(8)];
+    let mut non_blank = 0usize;
+    for (i, (x, y)) in rect.iter().enumerate() {
+        if !image.get(x, y).is_blank() {
+            mask[i / 8] |= 1 << (i % 8);
+            non_blank += 1;
+        }
+    }
+    (mask, non_blank)
+}
+
+/// Iterates the rect-relative positions set in a bitmask.
+pub fn iter_bitmask(mask: &[u8], area: usize) -> impl Iterator<Item = usize> + '_ {
+    (0..area).filter(move |&i| mask[i / 8] & (1 << (i % 8)) != 0)
+}
+
+/// Runs BSBM. See the module docs.
+pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+    let mut run = Run::begin(ep);
+    let topo = VirtualTopology::from_depth(ep.rank(), depth);
+    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+        FoldOutcome::Active(t) => t,
+        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+    };
+
+    run.bound_pixels += image.area() as u64;
+    let mut local_bounds = run.bound.time(|| image.bounding_rect());
+
+    let mut splitter = RegionSplitter::new(image.full_rect());
+    for stage in 0..topo.stages() {
+        let vpartner = topo.partner(stage);
+        let partner = topo.real(vpartner);
+        let (keep, send) = splitter.split(stage, topo.keeps_low(stage));
+        let send_bounds = local_bounds.intersect(&send);
+        let keep_bounds = local_bounds.intersect(&keep);
+
+        let payload = run.encode.time(|| {
+            let mut w = MsgWriter::with_capacity(8 + send_bounds.area() / 8 + 64);
+            w.put_rect(send_bounds);
+            if !send_bounds.is_empty() {
+                let (mask, _) = pack_bitmask(image, &send_bounds);
+                w.put_bytes(&mask);
+                let row_w = send_bounds.width() as usize;
+                for pos in iter_bitmask(&mask, send_bounds.area()) {
+                    let x = send_bounds.x0 + (pos % row_w) as u16;
+                    let y = send_bounds.y0 + (pos / row_w) as u16;
+                    w.put_pixel(image.get(x, y));
+                }
+            }
+            w.freeze()
+        });
+        let mut stat = StageStat {
+            sent_bytes: payload.len() as u64,
+            encoded_pixels: send_bounds.area() as u64,
+            ..Default::default()
+        };
+
+        let received = ep
+            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
+            .unwrap_or_else(|e| panic!("BSBM stage {stage} exchange failed: {e}"));
+        stat.recv_bytes = received.len() as u64;
+        stat.peer = Some(partner as u16);
+
+        let recv_rect = run.comp.time(|| {
+            let mut r = MsgReader::new(received);
+            let rect = r.get_rect();
+            stat.recv_rect_empty = rect.is_empty();
+            if !rect.is_empty() {
+                debug_assert!(keep.contains_rect(&rect));
+                let mask = r.get_bytes(rect.area().div_ceil(8));
+                let front = topo.received_is_front(vpartner);
+                let row_w = rect.width() as usize;
+                let mut ops = 0u64;
+                for pos in iter_bitmask(&mask, rect.area()) {
+                    let x = rect.x0 + (pos % row_w) as u16;
+                    let y = rect.y0 + (pos / row_w) as u16;
+                    let incoming: Pixel = r.get_pixel();
+                    let local = image.get_mut(x, y);
+                    *local = if front {
+                        incoming.over(*local)
+                    } else {
+                        local.over(incoming)
+                    };
+                    ops += 1;
+                }
+                stat.composite_ops = ops;
+            }
+            rect
+        });
+        local_bounds = keep_bounds.union(&recv_rect);
+        run.stages.push(stat);
+    }
+
+    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_against_reference;
+    use super::*;
+    use crate::methods::Method;
+    use vr_comm::{run_group, CostModel};
+
+    #[test]
+    fn bsbm_matches_reference() {
+        for p in [2, 4, 8, 16] {
+            check_against_reference(Method::Bsbm, p, 32, 24, &DepthOrder::identity(p));
+        }
+    }
+
+    #[test]
+    fn bsbm_matches_reference_shuffled_and_non_pow2() {
+        let depth = DepthOrder::from_sequence(vec![4, 1, 5, 0, 2, 3]);
+        check_against_reference(Method::Bsbm, 6, 28, 20, &depth);
+    }
+
+    #[test]
+    fn bitmask_round_trips() {
+        let mut img = Image::blank(16, 8);
+        img.set(1, 0, Pixel::gray(0.5, 0.5));
+        img.set(7, 3, Pixel::gray(0.5, 0.5));
+        img.set(15, 7, Pixel::gray(0.5, 0.5));
+        let rect = img.full_rect();
+        let (mask, n) = pack_bitmask(&img, &rect);
+        assert_eq!(n, 3);
+        let positions: Vec<usize> = iter_bitmask(&mask, rect.area()).collect();
+        assert_eq!(positions, vec![1, 3 * 16 + 7, 7 * 16 + 15]);
+    }
+
+    #[test]
+    fn bitmask_beats_rle_on_fragmented_content() {
+        // Alternating pixels: RLE degenerates to ~2 codes/px (4 B per 2
+        // px), the bitmask stays at 1 bit/px.
+        let p = 2;
+        let (w, h) = (64u16, 64u16);
+        let depth = DepthOrder::identity(p);
+        let images: Vec<Image> = (0..p)
+            .map(|_| {
+                Image::from_fn(w, h, |x, y| {
+                    if (x + y) % 2 == 0 {
+                        Pixel::gray(0.5, 0.5)
+                    } else {
+                        Pixel::BLANK
+                    }
+                })
+            })
+            .collect();
+        let sent = |m: Method| {
+            run_group(p, CostModel::free(), |ep| {
+                let mut img = images[ep.rank()].clone();
+                crate::methods::composite(m, ep, &mut img, &depth)
+                    .stats
+                    .sent_bytes()
+            })
+            .results[0]
+        };
+        let bsbm = sent(Method::Bsbm);
+        let bsbrc = sent(Method::Bsbrc);
+        assert!(
+            bsbm < bsbrc,
+            "bitmask should beat RLE on checkerboard: {bsbm} vs {bsbrc}"
+        );
+    }
+
+    #[test]
+    fn rle_beats_bitmask_on_coherent_content() {
+        // One solid block: RLE needs a handful of codes, the bitmask
+        // still pays 1 bit for every rect pixel.
+        let p = 2;
+        let (w, h) = (64u16, 64u16);
+        let depth = DepthOrder::identity(p);
+        let images: Vec<Image> = (0..p)
+            .map(|_| {
+                Image::from_fn(w, h, |x, y| {
+                    if x < 8 && y < 60 {
+                        Pixel::gray(0.5, 0.5)
+                    } else if x > 55 && y > 60 {
+                        Pixel::gray(0.2, 0.2)
+                    } else {
+                        Pixel::BLANK
+                    }
+                })
+            })
+            .collect();
+        let sent = |m: Method| {
+            run_group(p, CostModel::free(), |ep| {
+                let mut img = images[ep.rank()].clone();
+                crate::methods::composite(m, ep, &mut img, &depth)
+                    .stats
+                    .sent_bytes()
+            })
+            .results[0]
+        };
+        let bsbm = sent(Method::Bsbm);
+        let bsbrc = sent(Method::Bsbrc);
+        assert!(
+            bsbrc < bsbm,
+            "RLE should beat bitmask on coherent blocks: {bsbrc} vs {bsbm}"
+        );
+    }
+
+    #[test]
+    fn bsbm_empty_rect_is_header_only() {
+        let p = 2;
+        let depth = DepthOrder::identity(p);
+        let out = run_group(p, CostModel::free(), |ep| {
+            let mut img = Image::blank(16, 16);
+            run(ep, &mut img, &depth).stats
+        });
+        for stats in &out.results {
+            assert_eq!(stats.stages[0].sent_bytes, 8);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Binary-swap with run-length encoding over **spatial** halves — an
+//! ablation variant, not one of the paper's methods.
+//!
+//! BSLC (Section 3.3) combines two ideas: mask-RLE compression and the
+//! interleaved (load-balanced) pixel distribution. BSRL keeps the RLE
+//! but exchanges contiguous spatial halves like BS/BSBR, so comparing
+//!
+//! * BSRL vs BSLC isolates what *interleaving* buys (`M_max` balance on
+//!   spatially concentrated content), and
+//! * BSRL vs BSBRC isolates what the *bounding rectangle* buys
+//!   (encoding `A_send` instead of the whole half).
+
+use vr_comm::Endpoint;
+use vr_image::{Image, MaskRle, Pixel};
+use vr_volume::DepthOrder;
+
+use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
+use crate::stats::StageStat;
+use crate::wire::{MsgReader, MsgWriter};
+
+use super::{CompositeResult, OwnedPiece, Run};
+
+/// Runs BSRL. See the module docs.
+pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+    let mut run = Run::begin(ep);
+    let topo = VirtualTopology::from_depth(ep.rank(), depth);
+    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+        FoldOutcome::Active(t) => t,
+        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+    };
+
+    let mut splitter = RegionSplitter::new(image.full_rect());
+    for stage in 0..topo.stages() {
+        let vpartner = topo.partner(stage);
+        let partner = topo.real(vpartner);
+        let (keep, send) = splitter.split(stage, topo.keeps_low(stage));
+
+        // RLE over the whole sent half in row-major order.
+        let (payload, ncodes) = run.encode.time(|| {
+            let rle = MaskRle::encode_mask(send.iter().map(|(x, y)| !image.get(x, y).is_blank()));
+            let mut w = MsgWriter::with_capacity(
+                4 + rle.wire_bytes() + rle.non_blank_total() * vr_image::BYTES_PER_PIXEL,
+            );
+            w.put_u32(rle.num_codes() as u32);
+            w.put_codes(rle.codes());
+            let row_w = send.width() as usize;
+            for (start, len) in rle.non_blank_runs() {
+                for i in 0..len {
+                    let pos = start + i;
+                    let x = send.x0 + (pos % row_w) as u16;
+                    let y = send.y0 + (pos / row_w) as u16;
+                    w.put_pixel(image.get(x, y));
+                }
+            }
+            (w.freeze(), rle.num_codes() as u64)
+        });
+        let mut stat = StageStat {
+            sent_bytes: payload.len() as u64,
+            encoded_pixels: send.area() as u64,
+            run_codes: ncodes,
+            ..Default::default()
+        };
+
+        let received = ep
+            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
+            .unwrap_or_else(|e| panic!("BSRL stage {stage} exchange failed: {e}"));
+        stat.recv_bytes = received.len() as u64;
+        stat.peer = Some(partner as u16);
+
+        run.comp.time(|| {
+            let mut r = MsgReader::new(received);
+            let ncodes = r.get_u32() as usize;
+            let rle = MaskRle::from_codes(r.get_codes(ncodes));
+            let front = topo.received_is_front(vpartner);
+            let row_w = keep.width() as usize;
+            let mut ops = 0u64;
+            for (start, len) in rle.non_blank_runs() {
+                for i in 0..len {
+                    let pos = start + i;
+                    let x = keep.x0 + (pos % row_w) as u16;
+                    let y = keep.y0 + (pos / row_w) as u16;
+                    let incoming: Pixel = r.get_pixel();
+                    let local = image.get_mut(x, y);
+                    *local = if front {
+                        incoming.over(*local)
+                    } else {
+                        local.over(incoming)
+                    };
+                    ops += 1;
+                }
+            }
+            stat.composite_ops = ops;
+        });
+        run.stages.push(stat);
+    }
+
+    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{check_against_reference, test_images};
+    use super::*;
+    use crate::methods::Method;
+    use vr_comm::{run_group, CostModel};
+
+    #[test]
+    fn bsrl_matches_reference() {
+        for p in [2, 4, 8, 16] {
+            check_against_reference(Method::Bsrl, p, 32, 24, &DepthOrder::identity(p));
+        }
+    }
+
+    #[test]
+    fn bsrl_matches_reference_shuffled_depth_and_non_pow2() {
+        let depth = DepthOrder::from_sequence(vec![4, 1, 3, 0, 2]);
+        check_against_reference(Method::Bsrl, 5, 24, 28, &depth);
+    }
+
+    #[test]
+    fn bsrl_encodes_full_halves_like_bslc() {
+        // Equation (5) shape: stage k encodes A/2^k pixels.
+        let p = 8;
+        let (w, h) = (32u16, 32u16);
+        let a = w as u64 * h as u64;
+        let images = test_images(p, w, h);
+        let depth = DepthOrder::identity(p);
+        let out = run_group(p, CostModel::free(), |ep| {
+            let mut img = images[ep.rank()].clone();
+            run(ep, &mut img, &depth).stats
+        });
+        for stats in &out.results {
+            for (k, stage) in stats.stages.iter().enumerate() {
+                assert_eq!(stage.encoded_pixels, a / 2u64.pow(k as u32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn bsrl_is_unbalanced_on_concentrated_content_unlike_bslc() {
+        // The ablation's point: with all content in the frame's left
+        // half, BSRL (spatial halves) concentrates traffic on half the
+        // ranks, while BSLC (interleaved) spreads it.
+        let p = 4;
+        let (w, h) = (32u16, 32u16);
+        let images: Vec<Image> = (0..p)
+            .map(|r| {
+                Image::from_fn(w, h, |x, y| {
+                    if x < w / 2 && (x + y + r as u16).is_multiple_of(2) {
+                        Pixel::gray(0.5, 0.7)
+                    } else {
+                        Pixel::BLANK
+                    }
+                })
+            })
+            .collect();
+        let depth = DepthOrder::identity(p);
+        let m_max = |method: Method| {
+            let out = run_group(p, CostModel::free(), |ep| {
+                let mut img = images[ep.rank()].clone();
+                crate::methods::composite(method, ep, &mut img, &depth)
+                    .stats
+                    .recv_bytes()
+            });
+            *out.results.iter().max().unwrap()
+        };
+        let bsrl = m_max(Method::Bsrl);
+        let bslc = m_max(Method::Bslc);
+        assert!(
+            (bslc as f64) < 0.75 * bsrl as f64,
+            "interleaving should balance: BSLC {bslc} vs BSRL {bsrl}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Buffered direct-send compositing — the Hsu / Neumann related-work
+//! baseline (the "buffered case" of Section 2).
+//!
+//! Every virtual rank statically owns one horizontal band of the final
+//! image. Each rank sends, to every other rank, the dense pixels of that
+//! rank's band — `P−1` sends and `P−1` receives per rank, all at once —
+//! then folds the `P` contributions for its own band front-to-back.
+
+use vr_comm::Endpoint;
+use vr_image::{Image, Pixel};
+use vr_volume::DepthOrder;
+
+use crate::schedule::{tags, VirtualTopology};
+use crate::stats::StageStat;
+use crate::wire::{MsgReader, MsgWriter};
+
+use super::{band_rect, CompositeResult, OwnedPiece, Run};
+
+/// Runs direct-send compositing (any `P ≥ 1`).
+pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+    let mut run = Run::begin(ep);
+    let topo = VirtualTopology::from_depth(ep.rank(), depth);
+    let v = topo.vrank();
+    let p = topo.vsize();
+    let my_band = band_rect(image.width(), image.height(), v, p);
+
+    if p == 1 {
+        return run.finish(ep, OwnedPiece::Rect(my_band));
+    }
+
+    // Send every other rank its band from our subimage.
+    let mut stat = StageStat::default();
+    for dst in 0..p {
+        if dst == v {
+            continue;
+        }
+        let band = band_rect(image.width(), image.height(), dst, p);
+        let payload = run.comp.time(|| {
+            let mut w = MsgWriter::with_capacity(band.area() * vr_image::BYTES_PER_PIXEL);
+            w.put_pixels(&image.extract_rect(&band));
+            w.freeze()
+        });
+        stat.sent_bytes += payload.len() as u64;
+        ep.send(topo.real(dst), tags::DIRECT, payload);
+    }
+
+    // Receive the P−1 contributions for our band and fold front-to-back.
+    // `contributions[u]` is virtual rank u's band image (ours included).
+    let mut contributions: Vec<Option<Vec<Pixel>>> = (0..p).map(|_| None).collect();
+    contributions[v] = Some(image.extract_rect(&my_band));
+    for (src, slot) in contributions.iter_mut().enumerate() {
+        if src == v {
+            continue;
+        }
+        let received = ep
+            .recv(topo.real(src), tags::DIRECT)
+            .unwrap_or_else(|e| panic!("direct-send recv failed: {e}"));
+        stat.recv_bytes += received.len() as u64;
+        let pixels = run
+            .comp
+            .time(|| MsgReader::new(received).get_pixels(my_band.area()));
+        *slot = Some(pixels);
+    }
+
+    run.comp.time(|| {
+        let mut acc = vec![Pixel::BLANK; my_band.area()];
+        let mut ops = 0u64;
+        for c in contributions.into_iter().flatten() {
+            // acc holds everything in front so far.
+            for (a, b) in acc.iter_mut().zip(&c) {
+                *a = a.over(*b);
+                ops += 1;
+            }
+        }
+        image.write_rect(&my_band, &acc);
+        stat.composite_ops = ops;
+    });
+
+    run.stages.push(stat);
+    run.finish(ep, OwnedPiece::Rect(my_band))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_against_reference;
+    use super::*;
+    use crate::methods::Method;
+    use vr_comm::{run_group, CostModel};
+
+    #[test]
+    fn direct_send_matches_reference() {
+        for p in [2, 3, 4, 7, 8] {
+            check_against_reference(Method::DirectSend, p, 24, 24, &DepthOrder::identity(p));
+        }
+    }
+
+    #[test]
+    fn direct_send_matches_reference_shuffled_depth() {
+        let depth = DepthOrder::from_sequence(vec![4, 2, 0, 3, 1]);
+        check_against_reference(Method::DirectSend, 5, 25, 30, &depth);
+    }
+
+    #[test]
+    fn each_rank_sends_p_minus_1_messages() {
+        let p = 6;
+        let depth = DepthOrder::identity(p);
+        let out = run_group(p, CostModel::free(), |ep| {
+            let mut img = Image::blank(12, 12);
+            let _ = run(ep, &mut img, &depth);
+            (ep.stats().sent_messages, ep.stats().recv_messages)
+        });
+        for &(sent, recvd) in &out.results {
+            // P−1 direct sends (+ gather happens outside this test).
+            assert_eq!(sent, (p - 1) as u64);
+            assert_eq!(recvd, (p - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn bands_are_owned_by_virtual_rank() {
+        let depth = DepthOrder::from_sequence(vec![1, 0]);
+        let out = run_group(2, CostModel::free(), |ep| {
+            let mut img = Image::blank(8, 8);
+            run(ep, &mut img, &depth).piece
+        });
+        // Real rank 1 is virtual 0 → top band; real rank 0 → bottom.
+        assert_eq!(
+            out.results[1],
+            OwnedPiece::Rect(vr_image::Rect::new(0, 0, 8, 4))
+        );
+        assert_eq!(
+            out.results[0],
+            OwnedPiece::Rect(vr_image::Rect::new(0, 4, 8, 8))
+        );
+    }
+}

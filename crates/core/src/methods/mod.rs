@@ -1,0 +1,258 @@
+//! The compositing methods and their common runtime plumbing.
+
+pub mod binary_tree;
+pub mod bs;
+pub mod bsbm;
+pub mod bsbr;
+pub mod bsbrc;
+pub mod bslc;
+pub mod bsmr;
+pub mod bsrl;
+pub mod direct_send;
+pub mod pipeline;
+pub mod radix;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+use serde::{Deserialize, Serialize};
+use vr_comm::Endpoint;
+use vr_image::{Image, Rect, StridedSeq};
+use vr_volume::DepthOrder;
+
+use crate::stats::{MethodStats, StageStat};
+use crate::timer::Stopwatch;
+
+/// Which compositing method to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Plain binary-swap (Ma et al. 1994) — the paper's baseline.
+    Bs,
+    /// Binary-swap with bounding rectangles (Section 3.2).
+    Bsbr,
+    /// Binary-swap with run-length encoding and static load balancing
+    /// (Section 3.3).
+    Bslc,
+    /// Binary-swap with bounding rectangle *and* run-length encoding
+    /// (Section 3.4) — the paper's best performer.
+    Bsbrc,
+    /// Ablation: binary-swap with run-length encoding over *spatial*
+    /// halves (BSLC without the interleaved load balancing; not a paper
+    /// method).
+    Bsrl,
+    /// Future-work extension: bounding rectangle + *bitmask* encoding
+    /// (the paper's "more efficient encoding schemes" item).
+    Bsbm,
+    /// Future-work extension: *multiple* bounding rectangles per stage
+    /// (up to 8 tight disjoint rects instead of one).
+    Bsmr,
+    /// Binary-tree compositing over value-RLE compressed images
+    /// (Ahrens & Painter, related work).
+    BinaryTree,
+    /// Buffered direct-send: every rank owns a static band and receives
+    /// `P−1` contributions (Hsu / Neumann, related work).
+    DirectSend,
+    /// Parallel-pipeline compositing over a depth-ordered ring (related
+    /// work, adapted from Lee et al.).
+    Pipeline,
+    /// Radix-k compositing with bounding-rectangle compression — the
+    /// modern generalization of binary swap (extension; rounds follow a
+    /// greedy factorization of `P`).
+    RadixK,
+}
+
+impl Method {
+    /// The four methods compared in the paper's tables, in table order.
+    pub fn paper_methods() -> [Method; 4] {
+        [Method::Bs, Method::Bsbr, Method::Bslc, Method::Bsbrc]
+    }
+
+    /// All implemented methods.
+    pub fn all() -> [Method; 11] {
+        [
+            Method::Bs,
+            Method::Bsbr,
+            Method::Bslc,
+            Method::Bsbrc,
+            Method::Bsrl,
+            Method::Bsbm,
+            Method::Bsmr,
+            Method::BinaryTree,
+            Method::DirectSend,
+            Method::Pipeline,
+            Method::RadixK,
+        ]
+    }
+
+    /// The paper's name for the method.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Bs => "BS",
+            Method::Bsbr => "BSBR",
+            Method::Bslc => "BSLC",
+            Method::Bsbrc => "BSBRC",
+            Method::Bsrl => "BSRL",
+            Method::Bsbm => "BSBM",
+            Method::Bsmr => "BSMR",
+            Method::BinaryTree => "BTREE",
+            Method::DirectSend => "DSEND",
+            Method::Pipeline => "PIPE",
+            Method::RadixK => "RADIXK",
+        }
+    }
+}
+
+/// The part of the final image a rank owns after compositing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnedPiece {
+    /// A rectangular region (spatial binary-swap methods, direct send,
+    /// pipeline).
+    Rect(Rect),
+    /// An interleaved pixel sequence (BSLC).
+    Seq(StridedSeq),
+    /// The whole image (binary-tree root).
+    Whole,
+    /// Nothing (folded-out ranks, non-root tree ranks).
+    Nothing,
+}
+
+/// A rank's compositing outcome: its owned piece (with the final pixels
+/// in the rank's image buffer) plus the measured/modeled statistics.
+#[derive(Clone, Debug)]
+pub struct CompositeResult {
+    /// The final-image region this rank's buffer now holds.
+    pub piece: OwnedPiece,
+    /// Cost breakdown for this rank.
+    pub stats: MethodStats,
+}
+
+/// Runs `method` over this rank's subimage. On return, the pixels of the
+/// returned piece inside `image` are final; use
+/// [`gather_image`](crate::gather::gather_image) to assemble them.
+///
+/// ```
+/// use slsvr_core::{composite, gather_image, Method};
+/// use vr_comm::{run_group, CostModel};
+/// use vr_image::{Image, Pixel};
+/// use vr_volume::DepthOrder;
+///
+/// // Rank 0's opaque pixel must win over rank 1's.
+/// let depth = DepthOrder::identity(2);
+/// let out = run_group(2, CostModel::sp2(), |ep| {
+///     let mut img = Image::blank(8, 8);
+///     img.set(3, 3, Pixel::gray(if ep.rank() == 0 { 1.0 } else { 0.2 }, 1.0));
+///     let result = composite(Method::Bsbrc, ep, &mut img, &depth);
+///     gather_image(ep, &img, &result.piece, 0)
+/// });
+/// let final_image = out.results[0].as_ref().unwrap();
+/// assert_eq!(final_image.get(3, 3).r, 1.0);
+/// ```
+pub fn composite(
+    method: Method,
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> CompositeResult {
+    assert_eq!(
+        depth.front_to_back().len(),
+        ep.size(),
+        "depth order must cover exactly the group"
+    );
+    match method {
+        Method::Bs => bs::run(ep, image, depth),
+        Method::Bsbr => bsbr::run(ep, image, depth),
+        Method::Bslc => bslc::run(ep, image, depth),
+        Method::Bsbrc => bsbrc::run(ep, image, depth),
+        Method::Bsrl => bsrl::run(ep, image, depth),
+        Method::Bsbm => bsbm::run(ep, image, depth),
+        Method::Bsmr => bsmr::run(ep, image, depth),
+        Method::BinaryTree => binary_tree::run(ep, image, depth),
+        Method::DirectSend => direct_send::run(ep, image, depth),
+        Method::Pipeline => pipeline::run(ep, image, depth),
+        Method::RadixK => radix::run(ep, image, depth),
+    }
+}
+
+/// Shared bookkeeping for a method run: section stopwatches, stage stats
+/// and the starting communication-time watermark.
+pub(crate) struct Run {
+    /// General compute sections (packing, unpacking, compositing).
+    pub comp: Stopwatch,
+    /// The initial bounding-rectangle scan (`T_bound`).
+    pub bound: Stopwatch,
+    /// Run-length encoding sections (`T_encode` terms).
+    pub encode: Stopwatch,
+    /// Per-stage counters.
+    pub stages: Vec<StageStat>,
+    /// Pixels scanned by bounding-rectangle searches.
+    pub bound_pixels: u64,
+    /// Pixels visited by one-time pre-stage encoding (binary tree).
+    pub pre_encoded_pixels: u64,
+    comm_start: f64,
+}
+
+impl Run {
+    pub fn begin(ep: &Endpoint) -> Self {
+        Run {
+            comp: Stopwatch::new(),
+            bound: Stopwatch::new(),
+            encode: Stopwatch::new(),
+            stages: Vec::new(),
+            bound_pixels: 0,
+            pre_encoded_pixels: 0,
+            comm_start: ep.stats().modeled_comm_seconds,
+        }
+    }
+
+    pub fn finish(self, ep: &Endpoint, piece: OwnedPiece) -> CompositeResult {
+        let stats = MethodStats {
+            comp_seconds: self.comp.seconds() + self.bound.seconds() + self.encode.seconds(),
+            bound_seconds: self.bound.seconds(),
+            encode_seconds: self.encode.seconds(),
+            comm_seconds: ep.stats().modeled_comm_seconds - self.comm_start,
+            bound_pixels: self.bound_pixels,
+            pre_encoded_pixels: self.pre_encoded_pixels,
+            stages: self.stages,
+        };
+        CompositeResult { piece, stats }
+    }
+}
+
+/// The band of image rows owned by virtual rank `v` among `p` (used by
+/// direct send and pipeline).
+pub(crate) fn band_rect(image_width: u16, image_height: u16, v: usize, p: usize) -> Rect {
+    let h = image_height as usize;
+    let y0 = (v * h / p) as u16;
+    let y1 = ((v + 1) * h / p) as u16;
+    Rect::new(0, y0, image_width, y1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_rects_partition_rows() {
+        for p in [1, 2, 3, 5, 8, 64] {
+            let mut covered = 0usize;
+            let mut prev_end = 0u16;
+            for v in 0..p {
+                let b = band_rect(100, 77, v, p);
+                assert_eq!(b.y0, prev_end, "bands must be contiguous");
+                prev_end = b.y1;
+                covered += b.area();
+            }
+            assert_eq!(prev_end, 77);
+            assert_eq!(covered, 7700);
+        }
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(Method::Bs.name(), "BS");
+        assert_eq!(Method::Bsbrc.name(), "BSBRC");
+        assert_eq!(
+            Method::paper_methods().map(|m| m.name()),
+            ["BS", "BSBR", "BSLC", "BSBRC"]
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Parallel-pipeline compositing over a depth-ordered ring — adapted
+//! from Lee et al.'s scheme (Section 2, the "sequenced case").
+//!
+//! The image is split into `P` bands. Band `b`'s partial starts at ring
+//! position `(b+1) mod P`, travels once around the depth-ordered ring
+//! and finishes — complete — at position `b`, each visitor compositing
+//! its own band contribution en route. Lee's original merges z-buffered
+//! polygon pixels (commutative), so ring direction is irrelevant there;
+//! `over` is order-sensitive, so each travelling partial carries **two**
+//! accumulation buffers: `a` for contributors behind the wrap point and
+//! `b` for contributors in front of it, merged (`b over a`) at the final
+//! stop. This keeps every accumulation depth-contiguous.
+
+use vr_comm::Endpoint;
+use vr_image::{Image, Pixel};
+use vr_volume::DepthOrder;
+
+use crate::schedule::{tags, VirtualTopology};
+use crate::stats::StageStat;
+use crate::wire::{MsgReader, MsgWriter};
+
+use super::{band_rect, CompositeResult, OwnedPiece, Run};
+
+/// Runs parallel-pipeline compositing (any `P ≥ 1`).
+pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+    let mut run = Run::begin(ep);
+    let topo = VirtualTopology::from_depth(ep.rank(), depth);
+    let j = topo.vrank();
+    let p = topo.vsize();
+    let my_band = band_rect(image.width(), image.height(), j, p);
+
+    if p == 1 {
+        return run.finish(ep, OwnedPiece::Rect(my_band));
+    }
+
+    let next = topo.real((j + 1) % p);
+    let prev = topo.real((j + p - 1) % p);
+
+    // We start band (j−1) mod P: our own contribution seeds the
+    // behind-segment accumulator `a`.
+    let mut band_id = (j + p - 1) % p;
+    let mut a_buf = {
+        let band = band_rect(image.width(), image.height(), band_id, p);
+        run.comp.time(|| image.extract_rect(&band))
+    };
+    let mut b_buf: Option<Vec<Pixel>> = None;
+
+    for t in 0..p - 1 {
+        let tag = tags::PIPE_BASE + t as u32;
+        let payload = run.comp.time(|| {
+            let band = band_rect(image.width(), image.height(), band_id, p);
+            let mut w = MsgWriter::with_capacity(
+                8 + (1 + b_buf.is_some() as usize) * band.area() * vr_image::BYTES_PER_PIXEL,
+            );
+            w.put_u32(band_id as u32);
+            w.put_u32(b_buf.is_some() as u32);
+            w.put_pixels(&a_buf);
+            if let Some(b) = &b_buf {
+                w.put_pixels(b);
+            }
+            w.freeze()
+        });
+        let mut stat = StageStat {
+            sent_bytes: payload.len() as u64,
+            ..Default::default()
+        };
+        ep.send(next, tag, payload);
+
+        let received = ep
+            .recv(prev, tag)
+            .unwrap_or_else(|e| panic!("pipeline hop {t} recv failed: {e}"));
+        stat.recv_bytes = received.len() as u64;
+
+        run.comp.time(|| {
+            let mut r = MsgReader::new(received);
+            band_id = r.get_u32() as usize;
+            let has_b = r.get_u32() == 1;
+            let band = band_rect(image.width(), image.height(), band_id, p);
+            a_buf = r.get_pixels(band.area());
+            b_buf = if has_b {
+                Some(r.get_pixels(band.area()))
+            } else {
+                None
+            };
+
+            // Composite our own contribution for this band. The band
+            // started at position s = (band_id+1) mod P; if our position
+            // has not wrapped past 0 relative to s we extend the behind
+            // segment `a`, otherwise the front segment `b`.
+            let s = (band_id + 1) % p;
+            let mine = image.extract_rect(&band);
+            let mut ops = 0u64;
+            if s <= j {
+                // Behind segment: `a` holds [s..j−1] front-to-back; we
+                // are behind them.
+                for (acc, m) in a_buf.iter_mut().zip(&mine) {
+                    *acc = acc.over(*m);
+                    ops += 1;
+                }
+            } else {
+                // Front segment (wrapped): `b` holds [0..j−1]; we are
+                // behind them but in front of everything in `a`.
+                match &mut b_buf {
+                    Some(b) => {
+                        for (acc, m) in b.iter_mut().zip(&mine) {
+                            *acc = acc.over(*m);
+                            ops += 1;
+                        }
+                    }
+                    None => {
+                        b_buf = Some(mine);
+                    }
+                }
+            }
+            stat.composite_ops = ops;
+        });
+        run.stages.push(stat);
+    }
+
+    // After P−1 hops we hold our own band; merge the two segments.
+    debug_assert_eq!(band_id, j, "pipeline must end with the rank's own band");
+    run.comp.time(|| {
+        if let Some(b) = b_buf.take() {
+            for (front, back) in b.iter().zip(a_buf.iter_mut()) {
+                *back = front.over(*back);
+            }
+        }
+        image.write_rect(&my_band, &a_buf);
+    });
+
+    run.finish(ep, OwnedPiece::Rect(my_band))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::check_against_reference;
+    use super::*;
+    use crate::methods::Method;
+    use vr_comm::{run_group, CostModel};
+
+    #[test]
+    fn pipeline_matches_reference() {
+        for p in [2, 3, 4, 5, 8] {
+            check_against_reference(Method::Pipeline, p, 24, 24, &DepthOrder::identity(p));
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_reference_shuffled_depth() {
+        let depth = DepthOrder::from_sequence(vec![3, 0, 4, 1, 5, 2]);
+        check_against_reference(Method::Pipeline, 6, 30, 24, &depth);
+    }
+
+    #[test]
+    fn pipeline_runs_p_minus_1_hops() {
+        let p = 5;
+        let depth = DepthOrder::identity(p);
+        let out = run_group(p, CostModel::free(), |ep| {
+            let mut img = Image::blank(10, 10);
+            run(ep, &mut img, &depth).stats.stages.len()
+        });
+        assert!(out.results.iter().all(|&hops| hops == p - 1));
+    }
+
+    #[test]
+    fn pipeline_single_rank_trivial() {
+        let out = run_group(1, CostModel::free(), |ep| {
+            let mut img = Image::blank(8, 8);
+            img.set(1, 1, Pixel::gray(0.5, 0.5));
+            let res = run(ep, &mut img, &DepthOrder::identity(1));
+            (res.piece, img.get(1, 1))
+        });
+        let (piece, px) = &out.results[0];
+        assert_eq!(*piece, OwnedPiece::Rect(vr_image::Rect::new(0, 0, 8, 8)));
+        assert_eq!(*px, Pixel::gray(0.5, 0.5));
+    }
+}

@@ -1,0 +1,78 @@
+//! Sequential reference compositor — the correctness oracle.
+
+use vr_image::Image;
+use vr_volume::DepthOrder;
+
+/// Composites all subimages front-to-back sequentially with `over`.
+///
+/// Every distributed method must agree with this within floating-point
+/// tolerance: `over` is associative, so any pairwise grouping that keeps
+/// each group depth-contiguous and orients every composite front-over-
+/// back computes the same expression in a different association order.
+pub fn reference_composite(subimages: &[Image], depth: &DepthOrder) -> Image {
+    assert!(!subimages.is_empty(), "need at least one subimage");
+    assert_eq!(depth.front_to_back().len(), subimages.len());
+    let w = subimages[0].width();
+    let h = subimages[0].height();
+    let mut acc = Image::blank(w, h);
+    for &rank in depth.front_to_back() {
+        let img = &subimages[rank];
+        assert_eq!(
+            (img.width(), img.height()),
+            (w, h),
+            "subimage sizes must match"
+        );
+        // acc currently holds everything in front of `img`; keep acc in
+        // front: acc = acc over img.
+        for (a, b) in acc.pixels_mut().iter_mut().zip(img.pixels()) {
+            *a = a.over(*b);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_image::Pixel;
+
+    #[test]
+    fn single_image_is_identity() {
+        let img = Image::from_fn(8, 8, |x, y| Pixel::gray((x + y) as f32 / 16.0, 0.5));
+        let out = reference_composite(std::slice::from_ref(&img), &DepthOrder::identity(1));
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn front_opaque_hides_back() {
+        let front = Image::from_fn(4, 4, |_, _| Pixel::gray(0.3, 1.0));
+        let back = Image::from_fn(4, 4, |_, _| Pixel::gray(0.9, 1.0));
+        let out = reference_composite(&[front.clone(), back], &DepthOrder::identity(2));
+        assert_eq!(out, front);
+    }
+
+    #[test]
+    fn depth_order_controls_result() {
+        let a = Image::from_fn(2, 2, |_, _| Pixel::gray(0.2, 1.0));
+        let b = Image::from_fn(2, 2, |_, _| Pixel::gray(0.8, 1.0));
+        let ab = reference_composite(&[a.clone(), b.clone()], &DepthOrder::identity(2));
+        let ba = reference_composite(&[a, b], &DepthOrder::from_sequence(vec![1, 0]));
+        assert_eq!(ab.get(0, 0).r, 0.2);
+        assert_eq!(ba.get(0, 0).r, 0.8);
+    }
+
+    #[test]
+    fn semi_transparent_layers_blend() {
+        let a = Image::from_fn(1, 1, |_, _| Pixel::gray(0.5, 0.5));
+        let out = reference_composite(&[a.clone(), a], &DepthOrder::identity(2));
+        let p = out.get(0, 0);
+        assert!((p.a - 0.75).abs() < 1e-6);
+        assert!((p.r - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_rejected() {
+        let _ = reference_composite(&[], &DepthOrder::identity(0));
+    }
+}

@@ -1,0 +1,356 @@
+//! Binary-swap scheduling: virtual (depth-ordered) ranks, pairing,
+//! region splitting, and the non-power-of-two fold extension.
+
+use vr_comm::Endpoint;
+use vr_image::{Image, Rect};
+use vr_volume::DepthOrder;
+
+use crate::stats::StageStat;
+use crate::timer::Stopwatch;
+use crate::wire::{MsgReader, MsgWriter};
+
+/// Message tags used by the compositing protocols.
+pub mod tags {
+    /// Fold step (non-power-of-two extension).
+    pub const FOLD: u32 = 0xF01D;
+    /// Binary-swap stage `k` uses `STAGE_BASE + k`.
+    pub const STAGE_BASE: u32 = 0x1000;
+    /// Final gather of owned pieces.
+    pub const GATHER: u32 = 0x6A77;
+    /// Binary-tree sends.
+    pub const TREE_BASE: u32 = 0x2000;
+    /// Direct-send contributions.
+    pub const DIRECT: u32 = 0x3000;
+    /// Parallel-pipeline hop `t` uses `PIPE_BASE + t`.
+    pub const PIPE_BASE: u32 = 0x4000;
+}
+
+/// A rank's view of the depth-ordered virtual topology.
+///
+/// Virtual rank `v` = position in the front-to-back visibility order, so
+/// **smaller virtual rank ⇒ in front**, and any schedule that merges
+/// partials covering contiguous virtual intervals composes `over`
+/// correctly by comparing integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtualTopology {
+    vrank: usize,
+    v_to_rank: Vec<usize>,
+}
+
+impl VirtualTopology {
+    /// Builds the full-group topology for this rank from a depth order.
+    pub fn from_depth(rank: usize, depth: &DepthOrder) -> Self {
+        let v_to_rank = depth.front_to_back().to_vec();
+        let vrank = v_to_rank
+            .iter()
+            .position(|&r| r == rank)
+            .expect("rank missing from depth order");
+        VirtualTopology { vrank, v_to_rank }
+    }
+
+    /// This rank's virtual rank.
+    #[inline]
+    pub fn vrank(&self) -> usize {
+        self.vrank
+    }
+
+    /// Number of participating virtual ranks.
+    #[inline]
+    pub fn vsize(&self) -> usize {
+        self.v_to_rank.len()
+    }
+
+    /// Real rank of virtual rank `v`.
+    #[inline]
+    pub fn real(&self, v: usize) -> usize {
+        self.v_to_rank[v]
+    }
+
+    /// Binary-swap partner at `stage` (0-based): flip bit `stage`.
+    #[inline]
+    pub fn partner(&self, stage: usize) -> usize {
+        self.vrank ^ (1 << stage)
+    }
+
+    /// Whether data received from `vpartner` lies in front of this rank's
+    /// own partial image.
+    #[inline]
+    pub fn received_is_front(&self, vpartner: usize) -> bool {
+        vpartner < self.vrank
+    }
+
+    /// Whether this rank keeps the *low* half at `stage` (its bit is 0).
+    #[inline]
+    pub fn keeps_low(&self, stage: usize) -> bool {
+        (self.vrank >> stage) & 1 == 0
+    }
+
+    /// Number of binary-swap stages (`log2 vsize`); panics unless the
+    /// virtual size is a power of two (use [`fold_into_pow2`] first).
+    pub fn stages(&self) -> usize {
+        assert!(
+            self.vsize().is_power_of_two(),
+            "binary swap requires a power-of-two group"
+        );
+        self.vsize().trailing_zeros() as usize
+    }
+}
+
+/// Splits the current image region in half each stage, alternating axes
+/// (x first), exactly mirroring "use the centerline of the subimage".
+#[derive(Clone, Copy, Debug)]
+pub struct RegionSplitter {
+    region: Rect,
+}
+
+impl RegionSplitter {
+    /// Starts from the full image region.
+    pub fn new(full: Rect) -> Self {
+        RegionSplitter { region: full }
+    }
+
+    /// The region this rank currently owns.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Splits for `stage`, keeping the low or high half; returns
+    /// `(keep, send)` and advances the internal region to `keep`.
+    ///
+    /// Both members of a stage's pair hold identical regions (their
+    /// virtual ranks agree on all lower bits), so they compute the same
+    /// centerline and exchange complementary halves.
+    pub fn split(&mut self, stage: usize, keep_low: bool) -> (Rect, Rect) {
+        let r = self.region;
+        let (lo, hi) = if stage.is_multiple_of(2) {
+            r.split_at_x(r.x0 + r.width() / 2)
+        } else {
+            r.split_at_y(r.y0 + r.height() / 2)
+        };
+        let (keep, send) = if keep_low { (lo, hi) } else { (hi, lo) };
+        self.region = keep;
+        (keep, send)
+    }
+}
+
+/// Result of the pre-swap fold for non-power-of-two groups.
+#[derive(Debug)]
+pub enum FoldOutcome {
+    /// This rank participates in the power-of-two binary swap with the
+    /// given reduced topology.
+    Active(VirtualTopology),
+    /// This rank folded its image into a neighbour and is done until the
+    /// gather.
+    Folded,
+}
+
+/// Folds a `P`-rank group onto the largest power of two `Q ≤ P`
+/// (the paper's future-work extension to arbitrary processor counts).
+///
+/// The first `2(P−Q)` *virtual* positions pair up `(2i, 2i+1)`; each odd
+/// position compresses its subimage (bounding rectangle + dense pixels)
+/// and sends it to the even position in front of it. Pairs are adjacent
+/// in depth order, so merged partials stay depth-contiguous and the
+/// remaining `Q` participants renumber without breaking front-to-back
+/// monotonicity.
+pub fn fold_into_pow2(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    topo: &VirtualTopology,
+    comp: &mut Stopwatch,
+    stages: &mut Vec<StageStat>,
+) -> FoldOutcome {
+    let p = topo.vsize();
+    let q = if p.is_power_of_two() {
+        p
+    } else {
+        p.next_power_of_two() / 2
+    };
+    let extra = p - q;
+    if extra == 0 {
+        return FoldOutcome::Active(topo.clone());
+    }
+    let v = topo.vrank();
+    let mut stat = StageStat::default();
+
+    if v < 2 * extra {
+        if v % 2 == 1 {
+            // Fold out: ship bounding rectangle + pixels to the partner
+            // in front (virtual v−1), then retire.
+            let (bounds, payload) = comp.time(|| {
+                let bounds = image.bounding_rect();
+                let mut w = MsgWriter::with_capacity(8 + bounds.area() * 16);
+                w.put_rect(bounds);
+                if !bounds.is_empty() {
+                    w.put_pixels(&image.extract_rect(&bounds));
+                }
+                (bounds, w.freeze())
+            });
+            let _ = bounds;
+            stat.sent_bytes = payload.len() as u64;
+            ep.send(topo.real(v - 1), tags::FOLD, payload);
+            stages.push(stat);
+            return FoldOutcome::Folded;
+        }
+        // Receive the behind-neighbour's image and composite it under
+        // our own (we are in front).
+        let payload = ep
+            .recv(topo.real(v + 1), tags::FOLD)
+            .unwrap_or_else(|e| panic!("fold receive failed: {e}"));
+        stat.recv_bytes = payload.len() as u64;
+        comp.time(|| {
+            let mut r = MsgReader::new(payload);
+            let rect = r.get_rect();
+            stat.recv_rect_empty = rect.is_empty();
+            if !rect.is_empty() {
+                let pixels = r.get_pixels(rect.area());
+                stat.composite_ops = image.composite_rect_under(&rect, &pixels) as u64;
+            }
+        });
+        stages.push(stat);
+    }
+
+    // Renumber the survivors: old even positions < 2·extra halve; old
+    // positions ≥ 2·extra shift down by `extra`.
+    let mut v_to_rank = Vec::with_capacity(q);
+    for old in (0..2 * extra).step_by(2) {
+        v_to_rank.push(topo.real(old));
+    }
+    for old in 2 * extra..p {
+        v_to_rank.push(topo.real(old));
+    }
+    let new_v = if v < 2 * extra { v / 2 } else { v - extra };
+    FoldOutcome::Active(VirtualTopology {
+        vrank: new_v,
+        v_to_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(vrank: usize, p: usize) -> VirtualTopology {
+        VirtualTopology {
+            vrank,
+            v_to_rank: (0..p).collect(),
+        }
+    }
+
+    #[test]
+    fn from_depth_positions() {
+        let depth = DepthOrder::from_sequence(vec![2, 0, 1]);
+        let t = VirtualTopology::from_depth(0, &depth);
+        assert_eq!(t.vrank(), 1); // rank 0 is second front-to-back
+        assert_eq!(t.real(0), 2);
+        assert_eq!(t.real(1), 0);
+        assert_eq!(t.real(2), 1);
+    }
+
+    #[test]
+    fn partner_flips_stage_bit() {
+        let t = topo(5, 8); // 0b101
+        assert_eq!(t.partner(0), 4);
+        assert_eq!(t.partner(1), 7);
+        assert_eq!(t.partner(2), 1);
+    }
+
+    #[test]
+    fn front_is_smaller_vrank() {
+        let t = topo(3, 8);
+        assert!(t.received_is_front(1));
+        assert!(!t.received_is_front(6));
+    }
+
+    #[test]
+    fn keeps_low_follows_bits() {
+        let t = topo(0b0110, 16);
+        assert!(t.keeps_low(0));
+        assert!(!t.keeps_low(1));
+        assert!(!t.keeps_low(2));
+        assert!(t.keeps_low(3));
+    }
+
+    #[test]
+    fn stages_for_pow2() {
+        assert_eq!(topo(0, 1).stages(), 0);
+        assert_eq!(topo(0, 8).stages(), 3);
+        assert_eq!(topo(0, 64).stages(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn stages_rejects_non_pow2() {
+        let _ = topo(0, 6).stages();
+    }
+
+    #[test]
+    fn region_splitter_alternates_axes() {
+        let mut s = RegionSplitter::new(Rect::new(0, 0, 8, 8));
+        let (keep, send) = s.split(0, true); // x split
+        assert_eq!(keep, Rect::new(0, 0, 4, 8));
+        assert_eq!(send, Rect::new(4, 0, 8, 8));
+        let (keep, send) = s.split(1, false); // y split of the kept half
+        assert_eq!(keep, Rect::new(0, 4, 4, 8));
+        assert_eq!(send, Rect::new(0, 0, 4, 4));
+        assert_eq!(s.region(), Rect::new(0, 4, 4, 8));
+    }
+
+    #[test]
+    fn region_splitter_handles_odd_extents() {
+        let mut s = RegionSplitter::new(Rect::new(0, 0, 7, 3));
+        let (keep, send) = s.split(0, true);
+        assert_eq!(keep.area() + send.area(), 21);
+        assert!(!keep.is_empty() && !send.is_empty());
+    }
+
+    #[test]
+    fn pair_members_compute_complementary_halves() {
+        // Virtual ranks 2 (0b10) and 3 (0b11) pair at stage 0 and must
+        // produce swapped keep/send rects from the same region.
+        let full = Rect::new(0, 0, 16, 16);
+        let mut a = RegionSplitter::new(full);
+        let mut b = RegionSplitter::new(full);
+        let ta = topo(2, 4);
+        let tb = topo(3, 4);
+        let (keep_a, send_a) = a.split(0, ta.keeps_low(0));
+        let (keep_b, send_b) = b.split(0, tb.keeps_low(0));
+        assert_eq!(keep_a, send_b);
+        assert_eq!(send_a, keep_b);
+    }
+
+    #[test]
+    fn fold_renumbering_preserves_order() {
+        // p = 6 → q = 4, extra = 2: old positions 0,2,4,5 survive as
+        // 0,1,2,3 — still ascending in depth.
+        use vr_comm::CostModel;
+        let depth = DepthOrder::identity(6);
+        let out = vr_comm::run_group(6, CostModel::free(), |ep| {
+            let topo = VirtualTopology::from_depth(ep.rank(), &depth);
+            let mut img = Image::blank(4, 4);
+            if ep.rank() % 2 == 1 && ep.rank() < 4 {
+                img.set(ep.rank() as u16, 0, vr_image::Pixel::gray(1.0, 1.0));
+            }
+            let mut sw = Stopwatch::new();
+            let mut stages = Vec::new();
+            match fold_into_pow2(ep, &mut img, &topo, &mut sw, &mut stages) {
+                FoldOutcome::Active(t) => Some((t.vrank(), t.vsize(), img.non_blank_count())),
+                FoldOutcome::Folded => None,
+            }
+        });
+        // Ranks 1 and 3 folded out (odd positions < 4).
+        assert!(out.results[1].is_none());
+        assert!(out.results[3].is_none());
+        let (v0, q0, n0) = out.results[0].unwrap();
+        let (v2, q2, n2) = out.results[2].unwrap();
+        let (v4, _, _) = out.results[4].unwrap();
+        let (v5, _, _) = out.results[5].unwrap();
+        assert_eq!((v0, q0), (0, 4));
+        assert_eq!((v2, q2), (1, 4));
+        assert_eq!(v4, 2);
+        assert_eq!(v5, 3);
+        // Folded images arrived: rank 0 got rank 1's pixel, rank 2 got 3's.
+        assert_eq!(n0, 1);
+        assert_eq!(n2, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-thread CPU-time accumulation for the measured `T_comp` sections.
+
+use std::time::Duration;
+
+/// Accumulates per-thread CPU time over many short compute sections.
+///
+/// The paper reports `T_comp` (local computation: bounding-rectangle
+/// scans, run-length encoding, packing and `over` compositing) separately
+/// from `T_comm`. We *measure* the former with this stopwatch and *model*
+/// the latter from byte counts, so only compute work may run inside
+/// [`Stopwatch::time`] closures — never channel operations.
+///
+/// The clock is `CLOCK_THREAD_CPUTIME_ID`, not wall time: the simulator
+/// oversubscribes cores (P rank threads share the host), and wall time
+/// would charge a rank for intervals in which the scheduler ran *other*
+/// ranks. Thread CPU time measures exactly the work the real processor
+/// would have done.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stopwatch {
+    total: Duration,
+}
+
+/// Reads the calling thread's CPU time.
+#[cfg(unix)]
+fn thread_cpu_now() -> Duration {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: ts is a valid, writable timespec; the clock id is a
+    // constant supported on all modern Unixes.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+#[cfg(not(unix))]
+fn thread_cpu_now() -> Duration {
+    // Fallback: wall clock (monotonic since an arbitrary epoch).
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+impl Stopwatch {
+    /// A zeroed stopwatch.
+    pub fn new() -> Self {
+        Stopwatch::default()
+    }
+
+    /// Runs `f`, adding its thread-CPU duration to the total.
+    #[inline]
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = thread_cpu_now();
+        let r = f();
+        self.total += thread_cpu_now().saturating_sub(start);
+        r
+    }
+
+    /// Accumulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+
+    /// Adds an externally measured duration.
+    pub fn add(&mut self, d: Duration) {
+        self.total += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_cpu_work() {
+        let mut sw = Stopwatch::new();
+        let v = sw.time(|| {
+            // Busy work, not sleep: thread CPU time ignores sleeping.
+            let mut acc = 0u64;
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(sw.seconds() > 0.0, "busy loop must consume CPU time");
+    }
+
+    #[test]
+    fn sleeping_costs_no_cpu_time() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| std::thread::sleep(Duration::from_millis(30)));
+        assert!(
+            sw.seconds() < 0.02,
+            "sleep charged {}s of CPU",
+            sw.seconds()
+        );
+    }
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Stopwatch::new().seconds(), 0.0);
+    }
+
+    #[test]
+    fn add_merges_durations() {
+        let mut sw = Stopwatch::new();
+        sw.add(Duration::from_millis(250));
+        assert!((sw.seconds() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_clock_is_monotone_per_thread() {
+        let a = thread_cpu_now();
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_now();
+        assert!(b >= a);
+    }
+}

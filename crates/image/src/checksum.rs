@@ -1,0 +1,56 @@
+//! Order-independent and order-dependent image digests for tests.
+
+use crate::image::Image;
+
+/// FNV-1a over the image's pixel bit patterns, row-major.
+///
+/// Bit-exact digest: two images compare equal iff every `f32` component has
+/// an identical bit pattern. Used by tests that require the distributed
+/// result to match the reference exactly (plain BS does, since it performs
+/// the same float operations in the same order).
+pub fn fnv1a(img: &Image) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bits: u32| {
+        for byte in bits.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for p in img.pixels() {
+        eat(p.r.to_bits());
+        eat(p.g.to_bits());
+        eat(p.b.to_bits());
+        eat(p.a.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Pixel;
+
+    #[test]
+    fn identical_images_same_digest() {
+        let a = Image::from_fn(8, 8, |x, y| Pixel::gray(x as f32 * 0.1 + y as f32, 0.5));
+        let b = a.clone();
+        assert_eq!(fnv1a(&a), fnv1a(&b));
+    }
+
+    #[test]
+    fn single_pixel_change_changes_digest() {
+        let a = Image::blank(8, 8);
+        let mut b = a.clone();
+        b.set(3, 3, Pixel::gray(0.001, 0.001));
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+    }
+
+    #[test]
+    fn negative_zero_differs_from_zero() {
+        // Bit-exactness is intentional: -0.0 != +0.0 at the bit level.
+        let a = Image::blank(1, 1);
+        let mut b = a.clone();
+        b.set(0, 0, Pixel::new(-0.0, 0.0, 0.0, 0.0));
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+    }
+}

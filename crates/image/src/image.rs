@@ -1,0 +1,339 @@
+//! Row-major pixel image buffers.
+
+use crate::pixel::Pixel;
+use crate::rect::Rect;
+
+/// A row-major image of [`Pixel`]s.
+///
+/// Subimages in the sort-last system are full-size images whose pixels are
+/// mostly blank; the compositing methods never copy more than the active
+/// region thanks to bounding rectangles and run-length encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Image {
+    width: u16,
+    height: u16,
+    pixels: Vec<Pixel>,
+}
+
+impl Image {
+    /// Creates a blank image.
+    pub fn blank(width: u16, height: u16) -> Self {
+        Image {
+            width,
+            height,
+            pixels: vec![Pixel::BLANK; width as usize * height as usize],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: u16, height: u16, mut f: impl FnMut(u16, u16) -> Pixel) -> Self {
+        let mut pixels = Vec::with_capacity(width as usize * height as usize);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Wraps an existing pixel vector; panics if the length is wrong.
+    pub fn from_pixels(width: u16, height: u16, pixels: Vec<Pixel>) -> Self {
+        assert_eq!(pixels.len(), width as usize * height as usize);
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total pixel count (the paper's `A`).
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// The rectangle covering the whole image.
+    #[inline]
+    pub fn full_rect(&self) -> Rect {
+        Rect::of_size(self.width, self.height)
+    }
+
+    /// Linear index of `(x, y)`.
+    #[inline]
+    pub fn index(&self, x: u16, y: u16) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Immutable pixel access.
+    #[inline]
+    pub fn get(&self, x: u16, y: u16) -> Pixel {
+        self.pixels[self.index(x, y)]
+    }
+
+    /// Mutable pixel access.
+    #[inline]
+    pub fn get_mut(&mut self, x: u16, y: u16) -> &mut Pixel {
+        let i = self.index(x, y);
+        &mut self.pixels[i]
+    }
+
+    /// Sets a pixel.
+    #[inline]
+    pub fn set(&mut self, x: u16, y: u16, p: Pixel) {
+        let i = self.index(x, y);
+        self.pixels[i] = p;
+    }
+
+    /// Flat pixel slice (row-major).
+    #[inline]
+    pub fn pixels(&self) -> &[Pixel] {
+        &self.pixels
+    }
+
+    /// Flat mutable pixel slice (row-major).
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [Pixel] {
+        &mut self.pixels
+    }
+
+    /// Number of non-blank pixels (the paper's `A_opaque` for a region
+    /// equal to the whole image).
+    pub fn non_blank_count(&self) -> usize {
+        self.pixels.iter().filter(|p| !p.is_blank()).count()
+    }
+
+    /// Number of non-blank pixels inside `rect`.
+    pub fn non_blank_count_in(&self, rect: &Rect) -> usize {
+        rect.iter()
+            .filter(|&(x, y)| !self.get(x, y).is_blank())
+            .count()
+    }
+
+    /// Bounding rectangle of all non-blank pixels — the `O(A)` scan that
+    /// the paper charges as `T_bound` in the first BSBR/BSBRC stage.
+    pub fn bounding_rect(&self) -> Rect {
+        self.bounding_rect_in(&self.full_rect())
+    }
+
+    /// Bounding rectangle of the non-blank pixels inside `within`.
+    pub fn bounding_rect_in(&self, within: &Rect) -> Rect {
+        if within.is_empty() {
+            return Rect::EMPTY;
+        }
+        let mut bounds = Rect::EMPTY;
+        for y in within.y0..within.y1 {
+            let row = &self.pixels
+                [self.index(within.x0, y)..self.index(within.x0, y) + within.width() as usize];
+            // Scan from both ends of the row to touch as few pixels as
+            // possible once some bounds are known.
+            if let Some(first) = row.iter().position(|p| !p.is_blank()) {
+                let last = row.iter().rposition(|p| !p.is_blank()).unwrap();
+                bounds.include(within.x0 + first as u16, y);
+                bounds.include(within.x0 + last as u16, y);
+            }
+        }
+        bounds
+    }
+
+    /// Copies the pixels of `rect` into a dense row-major buffer (BSBR's
+    /// "pack pixels in the rectangle into a sending buffer").
+    pub fn extract_rect(&self, rect: &Rect) -> Vec<Pixel> {
+        let mut out = Vec::with_capacity(rect.area());
+        for y in rect.y0..rect.y1 {
+            let start = self.index(rect.x0, y);
+            out.extend_from_slice(&self.pixels[start..start + rect.width() as usize]);
+        }
+        out
+    }
+
+    /// Overwrites the pixels of `rect` from a dense row-major buffer.
+    pub fn write_rect(&mut self, rect: &Rect, data: &[Pixel]) {
+        assert_eq!(data.len(), rect.area());
+        for (row_idx, y) in (rect.y0..rect.y1).enumerate() {
+            let dst = self.index(rect.x0, y);
+            let src = row_idx * rect.width() as usize;
+            self.pixels[dst..dst + rect.width() as usize]
+                .copy_from_slice(&data[src..src + rect.width() as usize]);
+        }
+    }
+
+    /// Composites `front` (a dense buffer for `rect`) **over** the
+    /// corresponding pixels of `self`, returning the number of `over`
+    /// operations applied (the paper's computation count `T_o × A_rec`).
+    pub fn composite_rect_over(&mut self, rect: &Rect, front: &[Pixel]) -> usize {
+        assert_eq!(front.len(), rect.area());
+        let mut ops = 0;
+        for (row_idx, y) in (rect.y0..rect.y1).enumerate() {
+            let dst = self.index(rect.x0, y);
+            let src = row_idx * rect.width() as usize;
+            for i in 0..rect.width() as usize {
+                self.pixels[dst + i] = front[src + i].over(self.pixels[dst + i]);
+                ops += 1;
+            }
+        }
+        ops
+    }
+
+    /// Composites `front` (a dense buffer for `rect`) **under** `self`,
+    /// i.e. the local image stays in front.
+    pub fn composite_rect_under(&mut self, rect: &Rect, back: &[Pixel]) -> usize {
+        assert_eq!(back.len(), rect.area());
+        let mut ops = 0;
+        for (row_idx, y) in (rect.y0..rect.y1).enumerate() {
+            let dst = self.index(rect.x0, y);
+            let src = row_idx * rect.width() as usize;
+            for i in 0..rect.width() as usize {
+                self.pixels[dst + i] = self.pixels[dst + i].over(back[src + i]);
+                ops += 1;
+            }
+        }
+        ops
+    }
+
+    /// Composites a whole `front` image over `self` (both full size) —
+    /// the sequential reference path and the plain BS exchange step.
+    pub fn composite_image_over(&mut self, front: &Image, region: &Rect) -> usize {
+        assert_eq!((self.width, self.height), (front.width, front.height));
+        let mut ops = 0;
+        for y in region.y0..region.y1 {
+            let start = self.index(region.x0, y);
+            let end = start + region.width() as usize;
+            for i in start..end {
+                self.pixels[i] = front.pixels[i].over(self.pixels[i]);
+                ops += 1;
+            }
+        }
+        ops
+    }
+
+    /// Maximum per-channel absolute difference over all pixels.
+    pub fn max_abs_diff(&self, other: &Image) -> f32 {
+        assert_eq!((self.width, self.height), (other.width, other.height));
+        self.pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| a.max_abs_diff(b))
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: u16, h: u16) -> Image {
+        Image::from_fn(w, h, |x, y| {
+            if (x + y) % 2 == 0 {
+                Pixel::gray(0.5, 0.5)
+            } else {
+                Pixel::BLANK
+            }
+        })
+    }
+
+    #[test]
+    fn blank_image_has_empty_bounds() {
+        let img = Image::blank(16, 16);
+        assert_eq!(img.bounding_rect(), Rect::EMPTY);
+        assert_eq!(img.non_blank_count(), 0);
+    }
+
+    #[test]
+    fn bounding_rect_tight() {
+        let mut img = Image::blank(20, 10);
+        img.set(3, 2, Pixel::gray(1.0, 1.0));
+        img.set(15, 7, Pixel::gray(1.0, 1.0));
+        assert_eq!(img.bounding_rect(), Rect::new(3, 2, 16, 8));
+    }
+
+    #[test]
+    fn bounding_rect_within_subregion() {
+        let mut img = Image::blank(20, 10);
+        img.set(3, 2, Pixel::gray(1.0, 1.0));
+        img.set(15, 7, Pixel::gray(1.0, 1.0));
+        let left = Rect::new(0, 0, 10, 10);
+        assert_eq!(img.bounding_rect_in(&left), Rect::new(3, 2, 4, 3));
+        let right = Rect::new(10, 0, 20, 10);
+        assert_eq!(img.bounding_rect_in(&right), Rect::new(15, 7, 16, 8));
+    }
+
+    #[test]
+    fn extract_write_round_trip() {
+        let img = checker(12, 9);
+        let r = Rect::new(2, 1, 9, 6);
+        let buf = img.extract_rect(&r);
+        let mut dst = Image::blank(12, 9);
+        dst.write_rect(&r, &buf);
+        for (x, y) in r.iter() {
+            assert_eq!(dst.get(x, y), img.get(x, y));
+        }
+        // Outside the rect stays blank.
+        assert_eq!(dst.get(0, 0), Pixel::BLANK);
+    }
+
+    #[test]
+    fn composite_rect_over_counts_ops() {
+        let mut back = checker(8, 8);
+        let r = Rect::new(0, 0, 4, 4);
+        let front = vec![Pixel::gray(1.0, 1.0); r.area()];
+        let ops = back.composite_rect_over(&r, &front);
+        assert_eq!(ops, 16);
+        assert_eq!(back.get(0, 0), Pixel::gray(1.0, 1.0));
+        assert_eq!(back.get(3, 3), Pixel::gray(1.0, 1.0));
+    }
+
+    #[test]
+    fn composite_under_keeps_local_front() {
+        let mut local = Image::blank(4, 4);
+        local.set(1, 1, Pixel::gray(0.5, 1.0)); // opaque local pixel
+        let r = Rect::new(0, 0, 4, 4);
+        let back = vec![Pixel::gray(1.0, 1.0); 16];
+        local.composite_rect_under(&r, &back);
+        // Local opaque pixel hides incoming back pixel.
+        assert_eq!(local.get(1, 1), Pixel::gray(0.5, 1.0));
+        // Blank local pixels show the back.
+        assert_eq!(local.get(0, 0), Pixel::gray(1.0, 1.0));
+    }
+
+    #[test]
+    fn composite_whole_images_matches_rect_path() {
+        let front = checker(10, 10);
+        let back = Image::from_fn(10, 10, |x, _| Pixel::gray(x as f32 / 10.0, 0.8));
+        let mut a = back.clone();
+        a.composite_image_over(&front, &back.full_rect());
+        let mut b = back.clone();
+        let buf = front.extract_rect(&front.full_rect());
+        b.composite_rect_over(&front.full_rect(), &buf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_blank_counts() {
+        let img = checker(4, 4);
+        assert_eq!(img.non_blank_count(), 8);
+        assert_eq!(img.non_blank_count_in(&Rect::new(0, 0, 2, 2)), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_pixels_length_checked() {
+        let _ = Image::from_pixels(4, 4, vec![Pixel::BLANK; 3]);
+    }
+}

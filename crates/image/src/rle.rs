@@ -1,0 +1,419 @@
+//! Run-length encodings for sparse subimages.
+//!
+//! Two encodings are provided:
+//!
+//! * [`MaskRle`] — the paper's scheme (Section 3.3, Figure 5): runs are
+//!   taken over the *background/foreground* classification of pixels, not
+//!   their values, so only the non-blank pixel payload plus 2-byte run
+//!   codes travel. Used by BSLC and BSBRC.
+//! * [`ValueRle`] — the Ahrens & Painter compression-based scheme used in
+//!   the related-work baseline (binary-tree compositing): runs are maximal
+//!   sequences of *equal-valued* pixels, each encoded as pixel + count.
+//!   The paper argues this works for surface rendering but degenerates for
+//!   volume rendering where float values rarely repeat; the `encoding`
+//!   ablation bench quantifies that claim.
+
+use crate::pixel::Pixel;
+
+/// Size of one run code on the wire (a `u16` — the `2 · R_code` term in
+/// Equations (6) and (8)).
+pub const BYTES_PER_RUN_CODE: usize = 2;
+
+/// Blank/non-blank run-length codes over a pixel sequence.
+///
+/// The code vector alternates run lengths starting with a *blank* run
+/// (possibly of length zero, when the sequence starts with a non-blank
+/// pixel). Runs longer than `u16::MAX` are split by inserting zero-length
+/// runs of the opposite class, so arbitrary sequence lengths round-trip.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaskRle {
+    codes: Vec<u16>,
+}
+
+impl MaskRle {
+    /// Encodes the blank/non-blank mask of a pixel sequence.
+    ///
+    /// `O(n)` in the sequence length — the `T_encode × A_send` term of
+    /// Equations (5) and (7).
+    pub fn encode<'a>(pixels: impl IntoIterator<Item = &'a Pixel>) -> Self {
+        Self::encode_mask(pixels.into_iter().map(|p| !p.is_blank()))
+    }
+
+    /// Encodes directly from a boolean mask (`true` = non-blank).
+    pub fn encode_mask(mask: impl IntoIterator<Item = bool>) -> Self {
+        let mut codes: Vec<u16> = Vec::new();
+        // Invariant: codes.len() even <=> next run to emit is blank.
+        let mut current_is_non_blank = false; // first run is blank
+        let mut run: u32 = 0;
+        let flush = |codes: &mut Vec<u16>, run: &mut u32| {
+            let mut r = *run;
+            // Emit r as one or more u16 runs separated by zero-length
+            // opposite runs.
+            loop {
+                let chunk = r.min(u16::MAX as u32);
+                codes.push(chunk as u16);
+                r -= chunk;
+                if r == 0 {
+                    break;
+                }
+                codes.push(0); // zero-length run of the opposite class
+            }
+            *run = 0;
+        };
+        for non_blank in mask {
+            if non_blank == current_is_non_blank {
+                run += 1;
+            } else {
+                flush(&mut codes, &mut run);
+                current_is_non_blank = non_blank;
+                run = 1;
+            }
+        }
+        if run > 0 {
+            flush(&mut codes, &mut run);
+        }
+        // Trim a trailing blank run: it carries no pixels and the decoder
+        // pads with blanks anyway. (Only when it is the *first* run too,
+        // i.e. an all-blank sequence, we keep nothing.)
+        if codes.len() % 2 == 1 && !current_is_non_blank && !codes.is_empty() {
+            codes.pop();
+        }
+        MaskRle { codes }
+    }
+
+    /// Creates from raw codes (e.g. after unpacking a received message).
+    pub fn from_codes(codes: Vec<u16>) -> Self {
+        MaskRle { codes }
+    }
+
+    /// The raw alternating run lengths (blank first).
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Number of run codes (`R_code` in the cost equations).
+    pub fn num_codes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Encoded size of the codes on the wire, in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        self.codes.len() * BYTES_PER_RUN_CODE
+    }
+
+    /// Total number of non-blank pixels described.
+    pub fn non_blank_total(&self) -> usize {
+        self.codes
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|&c| c as usize)
+            .sum()
+    }
+
+    /// Iterates `(sequence_position, run_length)` for every non-blank run.
+    ///
+    /// `sequence_position` is the index of the run's first pixel in the
+    /// original sequence. This is the exact access pattern the compositing
+    /// loop uses: composite `run_length` payload pixels starting at that
+    /// position.
+    pub fn non_blank_runs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        NonBlankRuns {
+            codes: &self.codes,
+            idx: 0,
+            pos: 0,
+        }
+    }
+
+    /// Expands back into a boolean mask of length `len` (`true` =
+    /// non-blank); positions beyond the encoded runs are blank.
+    pub fn decode_mask(&self, len: usize) -> Vec<bool> {
+        let mut mask = vec![false; len];
+        for (start, run) in self.non_blank_runs() {
+            for m in &mut mask[start..start + run] {
+                *m = true;
+            }
+        }
+        mask
+    }
+}
+
+struct NonBlankRuns<'a> {
+    codes: &'a [u16],
+    idx: usize,
+    pos: usize,
+}
+
+impl Iterator for NonBlankRuns<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.idx < self.codes.len() {
+            if self.idx.is_multiple_of(2) {
+                // blank run
+                self.pos += self.codes[self.idx] as usize;
+                self.idx += 1;
+            } else {
+                let run = self.codes[self.idx] as usize;
+                let start = self.pos;
+                self.pos += run;
+                self.idx += 1;
+                if run > 0 {
+                    return Some((start, run));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One run of the Ahrens & Painter value encoding: `count` copies of
+/// `pixel`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueRun {
+    /// The repeated pixel value.
+    pub pixel: Pixel,
+    /// How many consecutive pixels share it (≥ 1).
+    pub count: u16,
+}
+
+/// Value run-length encoding (equal consecutive pixel values collapse).
+///
+/// Wire size per run: 16-byte pixel + 2-byte count. For float volume
+/// images where neighbouring non-blank values differ, this degenerates to
+/// one run per pixel — 18 bytes/pixel versus mask-RLE's ~16 — which is the
+/// paper's argument for mask-based encoding.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ValueRle {
+    runs: Vec<ValueRun>,
+}
+
+impl ValueRle {
+    /// Encodes a pixel sequence by collapsing equal consecutive values
+    /// (bit-pattern equality).
+    pub fn encode<'a>(pixels: impl IntoIterator<Item = &'a Pixel>) -> Self {
+        let mut runs: Vec<ValueRun> = Vec::new();
+        for &p in pixels {
+            match runs.last_mut() {
+                Some(last) if bits_eq(last.pixel, p) && last.count < u16::MAX => last.count += 1,
+                _ => runs.push(ValueRun { pixel: p, count: 1 }),
+            }
+        }
+        ValueRle { runs }
+    }
+
+    /// Creates from explicit runs (e.g. after unpacking a message).
+    pub fn from_runs(runs: Vec<ValueRun>) -> Self {
+        ValueRle { runs }
+    }
+
+    /// The runs in order.
+    pub fn runs(&self) -> &[ValueRun] {
+        &self.runs
+    }
+
+    /// Total pixels described.
+    pub fn total_len(&self) -> usize {
+        self.runs.iter().map(|r| r.count as usize).sum()
+    }
+
+    /// Encoded size on the wire: each run is a pixel (16 B) + count (2 B).
+    pub fn wire_bytes(&self) -> usize {
+        self.runs.len() * (crate::pixel::BYTES_PER_PIXEL + BYTES_PER_RUN_CODE)
+    }
+
+    /// Expands back into a pixel vector.
+    pub fn decode(&self) -> Vec<Pixel> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for run in &self.runs {
+            out.extend(std::iter::repeat_n(run.pixel, run.count as usize));
+        }
+        out
+    }
+
+    /// Composites two value-RLE streams of equal total length, `front`
+    /// over `back`, run-aligned as in Ahrens & Painter: the output run
+    /// length is the minimum of the two heads' remaining counts.
+    pub fn composite_over(front: &ValueRle, back: &ValueRle) -> ValueRle {
+        assert_eq!(front.total_len(), back.total_len());
+        let mut out: Vec<ValueRun> = Vec::new();
+        let (mut fi, mut bi) = (0usize, 0usize);
+        let (mut frem, mut brem) = (
+            front.runs.first().map_or(0, |r| r.count as usize),
+            back.runs.first().map_or(0, |r| r.count as usize),
+        );
+        while fi < front.runs.len() && bi < back.runs.len() {
+            let take = frem.min(brem);
+            if take > 0 {
+                let p = front.runs[fi].pixel.over(back.runs[bi].pixel);
+                push_run(&mut out, p, take);
+            }
+            frem -= take;
+            brem -= take;
+            if frem == 0 {
+                fi += 1;
+                frem = front.runs.get(fi).map_or(0, |r| r.count as usize);
+            }
+            if brem == 0 {
+                bi += 1;
+                brem = back.runs.get(bi).map_or(0, |r| r.count as usize);
+            }
+        }
+        ValueRle { runs: out }
+    }
+}
+
+fn push_run(runs: &mut Vec<ValueRun>, pixel: Pixel, mut count: usize) {
+    if let Some(last) = runs.last_mut() {
+        if bits_eq(last.pixel, pixel) {
+            let room = (u16::MAX - last.count) as usize;
+            let take = room.min(count);
+            last.count += take as u16;
+            count -= take;
+        }
+    }
+    while count > 0 {
+        let take = count.min(u16::MAX as usize);
+        runs.push(ValueRun {
+            pixel,
+            count: take as u16,
+        });
+        count -= take;
+    }
+}
+
+#[inline]
+fn bits_eq(a: Pixel, b: Pixel) -> bool {
+    a.r.to_bits() == b.r.to_bits()
+        && a.g.to_bits() == b.g.to_bits()
+        && a.b.to_bits() == b.b.to_bits()
+        && a.a.to_bits() == b.a.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn px(v: f32) -> Pixel {
+        Pixel::gray(v, if v == 0.0 { 0.0 } else { 1.0 })
+    }
+
+    #[test]
+    fn mask_encode_simple() {
+        // blank blank nb nb nb blank nb
+        let seq = [
+            px(0.0),
+            px(0.0),
+            px(0.5),
+            px(0.6),
+            px(0.7),
+            px(0.0),
+            px(0.9),
+        ];
+        let rle = MaskRle::encode(seq.iter());
+        assert_eq!(rle.codes(), &[2, 3, 1, 1]);
+        assert_eq!(rle.non_blank_total(), 4);
+    }
+
+    #[test]
+    fn mask_encode_leading_non_blank() {
+        let seq = [px(0.5), px(0.0)];
+        let rle = MaskRle::encode(seq.iter());
+        assert_eq!(rle.codes(), &[0, 1]); // zero-length blank run first
+    }
+
+    #[test]
+    fn mask_encode_all_blank_is_empty() {
+        let seq = [px(0.0); 10];
+        let rle = MaskRle::encode(seq.iter());
+        assert_eq!(rle.num_codes(), 0);
+        assert_eq!(rle.non_blank_total(), 0);
+    }
+
+    #[test]
+    fn mask_trailing_blank_trimmed() {
+        let seq = [px(0.1), px(0.2), px(0.0), px(0.0)];
+        let rle = MaskRle::encode(seq.iter());
+        assert_eq!(rle.codes(), &[0, 2]);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let mask = vec![
+            false, true, true, false, false, false, true, false, true, true,
+        ];
+        let rle = MaskRle::encode_mask(mask.iter().copied());
+        assert_eq!(rle.decode_mask(mask.len()), mask);
+    }
+
+    #[test]
+    fn mask_long_run_split() {
+        let n = u16::MAX as usize * 2 + 5;
+        let rle = MaskRle::encode_mask(std::iter::repeat_n(true, n));
+        assert_eq!(rle.non_blank_total(), n);
+        let mask = rle.decode_mask(n);
+        assert!(mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn mask_long_blank_run_split() {
+        let n = u16::MAX as usize + 10;
+        let mut mask = vec![false; n];
+        mask[n - 1] = true;
+        let rle = MaskRle::encode_mask(mask.iter().copied());
+        assert_eq!(rle.decode_mask(n), mask);
+    }
+
+    #[test]
+    fn non_blank_runs_positions() {
+        let mask = [false, true, true, false, true];
+        let rle = MaskRle::encode_mask(mask.iter().copied());
+        let runs: Vec<_> = rle.non_blank_runs().collect();
+        assert_eq!(runs, vec![(1, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn value_rle_collapses_equal() {
+        let seq = [px(0.0), px(0.0), px(0.5), px(0.5), px(0.5), px(0.2)];
+        let rle = ValueRle::encode(seq.iter());
+        assert_eq!(rle.runs().len(), 3);
+        assert_eq!(rle.decode(), seq);
+    }
+
+    #[test]
+    fn value_rle_degenerates_on_distinct_floats() {
+        // The paper's argument: volume-rendered float pixels rarely repeat.
+        let seq: Vec<Pixel> = (0..100).map(|i| px(0.001 * (i + 1) as f32)).collect();
+        let rle = ValueRle::encode(seq.iter());
+        assert_eq!(rle.runs().len(), 100);
+        assert!(rle.wire_bytes() > seq.len() * crate::pixel::BYTES_PER_PIXEL);
+    }
+
+    #[test]
+    fn value_rle_composite_matches_pixelwise() {
+        let front: Vec<Pixel> = [0.0, 0.0, 0.5, 0.5, 0.3, 0.0, 0.9]
+            .iter()
+            .map(|&v| px(v))
+            .collect();
+        let back: Vec<Pixel> = [0.2, 0.2, 0.2, 0.0, 0.0, 0.4, 0.4]
+            .iter()
+            .map(|&v| px(v))
+            .collect();
+        let composed = ValueRle::composite_over(
+            &ValueRle::encode(front.iter()),
+            &ValueRle::encode(back.iter()),
+        );
+        let expect: Vec<Pixel> = front.iter().zip(&back).map(|(f, b)| f.over(*b)).collect();
+        assert_eq!(composed.decode(), expect);
+    }
+
+    #[test]
+    fn value_rle_count_saturation() {
+        let n = u16::MAX as usize + 3;
+        let seq = vec![px(0.5); n];
+        let rle = ValueRle::encode(seq.iter());
+        assert_eq!(rle.total_len(), n);
+        assert_eq!(rle.runs().len(), 2);
+        assert_eq!(rle.decode().len(), n);
+    }
+}

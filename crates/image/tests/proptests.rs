@@ -1,0 +1,164 @@
+//! Property-based tests for the image-space primitives.
+
+use proptest::prelude::*;
+use vr_image::rle::ValueRle;
+use vr_image::{Image, MaskRle, Pixel, Rect, StridedSeq};
+
+fn arb_pixel() -> impl Strategy<Value = Pixel> {
+    (0.0f32..=1.0, 0.0f32..=1.0).prop_map(|(v, a)| Pixel::gray(v * a, a))
+}
+
+fn arb_sparse_pixel() -> impl Strategy<Value = Pixel> {
+    prop_oneof![
+        3 => Just(Pixel::BLANK),
+        1 => arb_pixel(),
+    ]
+}
+
+fn arb_rect(max: u16) -> impl Strategy<Value = Rect> {
+    (0..max, 0..max, 0..max, 0..max)
+        .prop_map(|(a, b, c, d)| Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)))
+}
+
+proptest! {
+    #[test]
+    fn mask_rle_round_trips(mask in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let rle = MaskRle::encode_mask(mask.iter().copied());
+        prop_assert_eq!(rle.decode_mask(mask.len()), mask);
+    }
+
+    #[test]
+    fn mask_rle_counts_non_blank(mask in proptest::collection::vec(any::<bool>(), 0..2000)) {
+        let rle = MaskRle::encode_mask(mask.iter().copied());
+        prop_assert_eq!(rle.non_blank_total(), mask.iter().filter(|&&m| m).count());
+    }
+
+    #[test]
+    fn mask_rle_runs_are_disjoint_and_sorted(mask in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let rle = MaskRle::encode_mask(mask.iter().copied());
+        let mut last_end = 0usize;
+        for (start, run) in rle.non_blank_runs() {
+            prop_assert!(start >= last_end);
+            prop_assert!(run > 0);
+            last_end = start + run;
+        }
+        prop_assert!(last_end <= mask.len());
+    }
+
+    #[test]
+    fn value_rle_round_trips(pixels in proptest::collection::vec(arb_sparse_pixel(), 0..500)) {
+        let rle = ValueRle::encode(pixels.iter());
+        prop_assert_eq!(rle.decode(), pixels);
+    }
+
+    #[test]
+    fn value_rle_composite_matches_pixelwise(
+        pair in proptest::collection::vec((arb_sparse_pixel(), arb_sparse_pixel()), 1..300)
+    ) {
+        let front: Vec<Pixel> = pair.iter().map(|(f, _)| *f).collect();
+        let back: Vec<Pixel> = pair.iter().map(|(_, b)| *b).collect();
+        let out = ValueRle::composite_over(
+            &ValueRle::encode(front.iter()),
+            &ValueRle::encode(back.iter()),
+        ).decode();
+        let expect: Vec<Pixel> = front.iter().zip(&back).map(|(f, b)| f.over(*b)).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn rect_intersection_commutes(a in arb_rect(100), b in arb_rect(100)) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn rect_intersection_contained_in_both(a in arb_rect(100), b in arb_rect(100)) {
+        let i = a.intersect(&b);
+        prop_assert!(a.contains_rect(&i));
+        prop_assert!(b.contains_rect(&i));
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(100), b in arb_rect(100)) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn rect_split_partitions_area(r in arb_rect(200), at in 0u16..200) {
+        let (l, rt) = r.split_at_x(at);
+        prop_assert_eq!(l.area() + rt.area(), r.area());
+        let (t, b) = r.split_at_y(at);
+        prop_assert_eq!(t.area() + b.area(), r.area());
+    }
+
+    #[test]
+    fn rect_wire_round_trips(r in arb_rect(u16::MAX)) {
+        prop_assert_eq!(Rect::from_le_bytes(r.to_le_bytes()), r);
+    }
+
+    #[test]
+    fn over_is_associative_within_eps(a in arb_pixel(), b in arb_pixel(), c in arb_pixel()) {
+        let left = a.over(b).over(c);
+        let right = a.over(b.over(c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-5);
+    }
+
+    #[test]
+    fn blank_is_identity_for_over(p in arb_pixel()) {
+        prop_assert_eq!(p.over(Pixel::BLANK), p);
+        prop_assert_eq!(Pixel::BLANK.over(p), p);
+    }
+
+    #[test]
+    fn strided_split_partitions(len in 0usize..5000, depth in 0usize..6) {
+        let mut pieces = vec![StridedSeq::dense(len)];
+        for _ in 0..depth {
+            pieces = pieces.into_iter().flat_map(|p| { let (a, b) = p.split(); [a, b] }).collect();
+        }
+        let mut all: Vec<usize> = pieces.iter().flat_map(|p| p.iter().collect::<Vec<_>>()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..len).collect::<Vec<_>>());
+        // Balance: counts differ by at most 1.
+        let counts: Vec<usize> = pieces.iter().map(|p| p.count).collect();
+        let min = counts.iter().min().copied().unwrap_or(0);
+        let max = counts.iter().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn bounding_rect_covers_all_non_blank(
+        pixels in proptest::collection::vec(arb_sparse_pixel(), 64),
+    ) {
+        let img = Image::from_pixels(8, 8, pixels);
+        let b = img.bounding_rect();
+        for y in 0..8u16 {
+            for x in 0..8u16 {
+                if !img.get(x, y).is_blank() {
+                    prop_assert!(b.contains(x, y), "({x},{y}) outside {b:?}");
+                }
+            }
+        }
+        // Tightness: every edge of a non-empty bounds touches a non-blank pixel.
+        if !b.is_empty() {
+            prop_assert!((b.x0..b.x1).any(|x| !img.get(x, b.y0).is_blank()));
+            prop_assert!((b.x0..b.x1).any(|x| !img.get(x, b.y1 - 1).is_blank()));
+            prop_assert!((b.y0..b.y1).any(|y| !img.get(b.x0, y).is_blank()));
+            prop_assert!((b.y0..b.y1).any(|y| !img.get(b.x1 - 1, y).is_blank()));
+        }
+    }
+
+    #[test]
+    fn extract_write_round_trips(
+        pixels in proptest::collection::vec(arb_sparse_pixel(), 15 * 11),
+        rect in arb_rect(10),
+    ) {
+        let img = Image::from_pixels(15, 11, pixels);
+        let buf = img.extract_rect(&rect);
+        let mut out = Image::blank(15, 11);
+        out.write_rect(&rect, &buf);
+        for (x, y) in rect.iter() {
+            prop_assert_eq!(out.get(x, y), img.get(x, y));
+        }
+    }
+}

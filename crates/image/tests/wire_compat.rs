@@ -1,0 +1,68 @@
+//! Wire-format stability tests: the byte layouts the cost equations
+//! depend on must never drift (a change here silently invalidates every
+//! byte-count comparison against the paper).
+
+use vr_image::{Pixel, Rect, BYTES_PER_PIXEL, BYTES_PER_RUN_CODE};
+
+#[test]
+fn pixel_wire_layout_is_fixed() {
+    assert_eq!(BYTES_PER_PIXEL, 16);
+    let p = Pixel::new(1.0, 2.0, 3.0, 4.0);
+    let bytes = p.to_le_bytes();
+    assert_eq!(&bytes[0..4], &1.0f32.to_le_bytes());
+    assert_eq!(&bytes[4..8], &2.0f32.to_le_bytes());
+    assert_eq!(&bytes[8..12], &3.0f32.to_le_bytes());
+    assert_eq!(&bytes[12..16], &4.0f32.to_le_bytes());
+}
+
+#[test]
+fn rect_wire_layout_is_fixed() {
+    let r = Rect::new(0x0102, 0x0304, 0x0506, 0x0708);
+    // Four little-endian u16: x0, y0, x1, y1.
+    assert_eq!(
+        r.to_le_bytes(),
+        [0x02, 0x01, 0x04, 0x03, 0x06, 0x05, 0x08, 0x07]
+    );
+    assert_eq!(vr_image::rect::BYTES_PER_RECT, 8);
+}
+
+#[test]
+fn run_code_width_is_two_bytes() {
+    assert_eq!(BYTES_PER_RUN_CODE, 2);
+}
+
+#[test]
+fn equation_coefficients_are_consistent() {
+    // Equation (2): 16·A/2^k  → pixel = 16 bytes.
+    // Equation (4): 8 + 16·A  → rect header = 8 bytes.
+    // Equation (6): 2·R_code  → run code = 2 bytes.
+    assert_eq!(BYTES_PER_PIXEL, 16);
+    assert_eq!(vr_image::rect::BYTES_PER_RECT, 8);
+    assert_eq!(BYTES_PER_RUN_CODE, 2);
+}
+
+#[test]
+fn blank_pixel_encodes_to_zeroes() {
+    assert_eq!(Pixel::BLANK.to_le_bytes(), [0u8; 16]);
+    assert!(Pixel::from_le_bytes([0u8; 16]).is_blank());
+}
+
+#[test]
+fn special_float_values_round_trip() {
+    for v in [
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::MIN_POSITIVE,
+        -0.0,
+        f32::MAX,
+    ] {
+        let p = Pixel::new(v, 0.0, v, 1.0);
+        let back = Pixel::from_le_bytes(p.to_le_bytes());
+        assert_eq!(back.r.to_bits(), v.to_bits());
+        assert_eq!(back.b.to_bits(), v.to_bits());
+    }
+    // NaN survives bit-exactly too.
+    let p = Pixel::new(f32::NAN, 0.0, 0.0, 0.0);
+    let back = Pixel::from_le_bytes(p.to_le_bytes());
+    assert!(back.r.is_nan());
+}

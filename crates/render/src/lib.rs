@@ -1,0 +1,26 @@
+//! The rendering phase: each processor turns its subvolume block into a
+//! sparse full-size subimage.
+//!
+//! Two renderers are provided:
+//!
+//! * [`raycast`] — the primary path, matching the paper: an orthographic
+//!   front-to-back ray caster with transfer-function classification,
+//!   central-difference gradient shading and early ray termination
+//!   (Levoy-style). Rays are only cast inside the screen-space footprint
+//!   of the processor's block, so subimage cost scales with the block,
+//!   not the frame.
+//! * [`splat`] — a feed-forward splatting renderer (Westover), the
+//!   paper's future-work item, useful for cross-checking image coverage
+//!   and for workloads with very sparse volumes.
+
+pub mod camera;
+pub mod local;
+pub mod params;
+pub mod raycast;
+pub mod splat;
+
+pub use camera::{Camera, Projection};
+pub use local::{render_local_block, render_local_block_clipped};
+pub use params::RenderParams;
+pub use raycast::render_block;
+pub use splat::splat_block;

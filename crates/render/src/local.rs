@@ -1,0 +1,276 @@
+//! Rendering from a *locally owned* block — the distributed-memory mode
+//! where each rank holds only its scattered subvolume, not the whole
+//! dataset.
+//!
+//! Compared to [`render_block`](crate::raycast::render_block) (which
+//! samples a shared full volume and clips to the block), sampling here
+//! clamps at the block faces, so gradients and interpolation at block
+//! boundaries use one-sided data — precisely what a real distributed
+//! implementation without ghost layers produces. The compositing
+//! correctness tests are unaffected (the reference composites the same
+//! subimages); the image differs from a monolithic render only in a
+//! thin film at block seams, which shrinks if the partitioner adds
+//! ghost voxels.
+
+use vr_image::{Image, Pixel};
+use vr_volume::{Subvolume, TransferFunction, Vec3, Volume};
+
+use crate::camera::Camera;
+use crate::params::RenderParams;
+use crate::raycast;
+
+/// Renders a locally held block into a full-size sparse subimage.
+///
+/// `local` contains only the block's voxels; `placement` records where
+/// the block sits in the global grid (its `rank` field is ignored).
+pub fn render_local_block(
+    local: &Volume,
+    placement: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+) -> Image {
+    render_local_block_clipped(local, placement, placement, transfer, camera, params)
+}
+
+/// Like [`render_local_block`], but integrates rays only inside `clip`
+/// (voxel coordinates, must lie within `placement`'s box) while sampling
+/// from the full local data.
+///
+/// This is the **ghost layer** mode: `placement` is the block expanded
+/// by [`Subvolume::expanded`], `clip` is the unexpanded interior each
+/// rank exclusively owns. Samples near the clip faces then interpolate
+/// into the ghost shell instead of clamping, which removes compositing
+/// seams.
+pub fn render_local_block_clipped(
+    local: &Volume,
+    placement: &Subvolume,
+    clip: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+) -> Image {
+    assert_eq!(
+        local.dims(),
+        placement.dims,
+        "local volume must match the placement dims"
+    );
+    for axis in 0..3 {
+        assert!(
+            clip.origin[axis] >= placement.origin[axis]
+                && clip.origin[axis] + clip.dims[axis]
+                    <= placement.origin[axis] + placement.dims[axis],
+            "clip box must lie inside the placement box"
+        );
+    }
+    let origin = Vec3::new(
+        placement.origin[0] as f32,
+        placement.origin[1] as f32,
+        placement.origin[2] as f32,
+    );
+    let lo = Vec3::new(
+        clip.origin[0] as f32,
+        clip.origin[1] as f32,
+        clip.origin[2] as f32,
+    );
+    let hi = lo
+        + Vec3::new(
+            clip.dims[0] as f32,
+            clip.dims[1] as f32,
+            clip.dims[2] as f32,
+        );
+
+    let mut image = Image::blank(camera.width, camera.height);
+    let footprint = camera.footprint(clip.origin, clip.dims);
+    for y in footprint.y0..footprint.y1 {
+        for x in footprint.x0..footprint.x1 {
+            if let Some((t0, t1)) = camera.ray_box(x, y, lo, hi) {
+                let p = integrate_local(local, origin, transfer, camera, params, x, y, t0, t1);
+                if p.a > 0.0 || p.r > 0.0 {
+                    image.set(x, y, p);
+                }
+            }
+        }
+    }
+    image
+}
+
+#[allow(clippy::too_many_arguments)]
+fn integrate_local(
+    local: &Volume,
+    origin: Vec3,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    x: u16,
+    y: u16,
+    t0: f32,
+    t1: f32,
+) -> Pixel {
+    let (ray_origin, dir) = camera.ray(x, y);
+    let mut color = 0.0f32;
+    let mut alpha = 0.0f32;
+    let mut t = t0 + params.step * 0.5;
+    while t < t1 {
+        let global = ray_origin + dir * t;
+        let pos = global - origin; // block-local coordinates
+        let density = local.sample(pos);
+        let (intensity, alpha_unit) = transfer.classify(density);
+        let a = params.step_opacity(alpha_unit);
+        if a > params.opacity_cutoff {
+            let g = local.gradient(pos);
+            let len = g.length();
+            let lambert = if len > 1e-6 {
+                (g.dot(params.light_dir) / len).abs()
+            } else {
+                0.0
+            };
+            let shaded = (intensity * (params.ambient + params.diffuse * lambert)).clamp(0.0, 1.0);
+            let w = (1.0 - alpha) * a;
+            color += w * shaded;
+            alpha += w;
+            if alpha >= params.early_termination_alpha {
+                break;
+            }
+        }
+        t += params.step;
+    }
+    Pixel::gray(color.clamp(0.0, 1.0), alpha.clamp(0.0, 1.0))
+}
+
+/// Compares shared-volume and local-block rendering (exposed for tests
+/// and diagnostics): returns the fraction of pixels whose channels
+/// differ by more than `tol`.
+pub fn seam_disagreement(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    tol: f32,
+) -> f64 {
+    let shared = raycast::render_block(volume, block, transfer, camera, params);
+    let local_vol = volume.extract_block(block.origin, block.dims);
+    let local = render_local_block(&local_vol, block, transfer, camera, params);
+    let differing = shared
+        .pixels()
+        .iter()
+        .zip(local.pixels())
+        .filter(|(a, b)| a.max_abs_diff(b) > tol)
+        .count();
+    differing as f64 / shared.area() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_volume::{kd_partition, TransferFunction};
+
+    fn ball(dims: [usize; 3]) -> Volume {
+        Volume::from_fn(dims, |x, y, z| {
+            let dx = x as f32 - dims[0] as f32 / 2.0;
+            let dy = y as f32 - dims[1] as f32 / 2.0;
+            let dz = z as f32 - dims[2] as f32 / 2.0;
+            if (dx * dx + dy * dy + dz * dz).sqrt() < dims[0] as f32 * 0.33 {
+                180
+            } else {
+                0
+            }
+        })
+    }
+
+    #[test]
+    fn interior_block_matches_shared_volume_mostly() {
+        let dims = [32, 32, 32];
+        let v = ball(dims);
+        let cam = Camera::orbit(dims, 64, 64, 18.0, 27.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.7);
+        let params = RenderParams::fast();
+        let part = kd_partition(dims, 4);
+        for block in part.subvolumes() {
+            let frac = seam_disagreement(&v, block, &tf, &cam, &params, 0.05);
+            assert!(frac < 0.05, "block {block:?}: {frac:.3} of pixels disagree");
+        }
+    }
+
+    #[test]
+    fn local_render_of_whole_volume_is_exact() {
+        // With a single block covering everything, local == shared.
+        let dims = [24, 24, 24];
+        let v = ball(dims);
+        let cam = Camera::orbit(dims, 48, 48, 10.0, 20.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.7);
+        let params = RenderParams::fast();
+        let block = Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims,
+        };
+        let shared = raycast::render_block(&v, &block, &tf, &cam, &params);
+        let local = render_local_block(&v, &block, &tf, &cam, &params);
+        assert_eq!(shared, local);
+    }
+
+    #[test]
+    fn ghost_layers_remove_seams() {
+        let dims = [32, 32, 32];
+        let v = ball(dims);
+        let cam = Camera::orbit(dims, 64, 64, 18.0, 27.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.7);
+        let params = RenderParams::fast();
+        let part = kd_partition(dims, 8);
+        for block in part.subvolumes() {
+            let shared = raycast::render_block(&v, block, &tf, &cam, &params);
+            // Ghost = 2 covers trilinear (1) + gradient stencil (1).
+            let padded = block.expanded(2, dims);
+            let local = v.extract_block(padded.origin, padded.dims);
+            let ghosted = render_local_block_clipped(&local, &padded, block, &tf, &cam, &params);
+            let diff = shared.max_abs_diff(&ghosted);
+            assert!(diff < 1e-6, "block {block:?} still has seams: {diff}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clip box")]
+    fn clip_outside_placement_rejected() {
+        let v = ball([8, 8, 8]);
+        let cam = Camera::orbit([8, 8, 8], 16, 16, 0.0, 0.0);
+        let placement = Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims: [8, 8, 8],
+        };
+        let clip = Subvolume {
+            rank: 0,
+            origin: [4, 0, 0],
+            dims: [8, 8, 8],
+        };
+        let _ = render_local_block_clipped(
+            &v,
+            &placement,
+            &clip,
+            &TransferFunction::cube(),
+            &cam,
+            &RenderParams::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "placement dims")]
+    fn dims_mismatch_rejected() {
+        let v = ball([8, 8, 8]);
+        let cam = Camera::orbit([8, 8, 8], 16, 16, 0.0, 0.0);
+        let block = Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims: [4, 8, 8],
+        };
+        let _ = render_local_block(
+            &v,
+            &block,
+            &TransferFunction::cube(),
+            &cam,
+            &RenderParams::default(),
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Rendering parameters shared by the ray caster and the splatter.
+
+use serde::{Deserialize, Serialize};
+use vr_volume::Vec3;
+
+/// Sampling and shading knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RenderParams {
+    /// Distance between ray samples, in voxels.
+    pub step: f32,
+    /// Front-to-back accumulation stops once opacity exceeds this
+    /// (Levoy's early ray termination).
+    pub early_termination_alpha: f32,
+    /// Ambient shading term.
+    pub ambient: f32,
+    /// Diffuse (Lambertian) shading weight.
+    pub diffuse: f32,
+    /// Unit light direction (towards the scene).
+    pub light_dir: Vec3,
+    /// Minimum per-sample opacity for a sample to contribute — skips
+    /// fully transparent space cheaply.
+    pub opacity_cutoff: f32,
+}
+
+impl Default for RenderParams {
+    fn default() -> Self {
+        RenderParams {
+            step: 1.0,
+            early_termination_alpha: 0.98,
+            ambient: 0.35,
+            diffuse: 0.65,
+            light_dir: Vec3::new(-0.4, -0.6, 0.7).normalized(),
+            opacity_cutoff: 1e-4,
+        }
+    }
+}
+
+impl RenderParams {
+    /// A faster, coarser preset for tests.
+    pub fn fast() -> Self {
+        RenderParams {
+            step: 2.0,
+            ..Default::default()
+        }
+    }
+
+    /// Converts a per-unit-length opacity to a per-sample opacity for the
+    /// configured step size: `1 − (1 − α)^step`.
+    #[inline]
+    pub fn step_opacity(&self, alpha_unit: f32) -> f32 {
+        if alpha_unit >= 1.0 {
+            return 1.0;
+        }
+        1.0 - (1.0 - alpha_unit).powf(self.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_opacity_identity_at_unit_step() {
+        let p = RenderParams {
+            step: 1.0,
+            ..Default::default()
+        };
+        assert!((p.step_opacity(0.3) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_opacity_composes() {
+        // Two half-steps must equal one full step: (1-a)^0.5 twice.
+        let half = RenderParams {
+            step: 0.5,
+            ..Default::default()
+        };
+        let a = 0.4f32;
+        let h = half.step_opacity(a);
+        let two = h + (1.0 - h) * h;
+        assert!((two - a).abs() < 1e-5);
+    }
+
+    #[test]
+    fn opaque_stays_opaque() {
+        let p = RenderParams {
+            step: 0.25,
+            ..Default::default()
+        };
+        assert_eq!(p.step_opacity(1.0), 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Front-to-back ray casting of one subvolume block.
+
+use vr_image::{Image, Pixel};
+use vr_volume::{Subvolume, TransferFunction, Vec3, Volume};
+
+use crate::camera::Camera;
+use crate::params::RenderParams;
+
+/// Renders `block` of `volume` into a full-size sparse subimage.
+///
+/// `volume` is the *whole* dataset; only samples inside the block's
+/// half-open voxel box contribute, so rendering all blocks and
+/// compositing them front-to-back reproduces a monolithic render (up to
+/// block-boundary resampling). Rays are cast only inside the block's
+/// screen footprint; everything else stays exactly blank — that sparsity
+/// is what the compositing methods exploit.
+pub fn render_block(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+) -> Image {
+    let mut image = Image::blank(camera.width, camera.height);
+    render_block_into(volume, block, transfer, camera, params, &mut image);
+    image
+}
+
+/// Like [`render_block`] but accumulates into an existing blank image.
+pub fn render_block_into(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    image: &mut Image,
+) {
+    let lo = Vec3::new(
+        block.origin[0] as f32,
+        block.origin[1] as f32,
+        block.origin[2] as f32,
+    );
+    let hi = Vec3::new(
+        (block.origin[0] + block.dims[0]) as f32,
+        (block.origin[1] + block.dims[1]) as f32,
+        (block.origin[2] + block.dims[2]) as f32,
+    );
+    let footprint = camera.footprint(block.origin, block.dims);
+
+    for y in footprint.y0..footprint.y1 {
+        for x in footprint.x0..footprint.x1 {
+            if let Some((t0, t1)) = camera.ray_box(x, y, lo, hi) {
+                let p = integrate_ray(volume, transfer, camera, params, x, y, t0, t1);
+                if p.a > 0.0 || p.r > 0.0 {
+                    image.set(x, y, p);
+                }
+            }
+        }
+    }
+}
+
+/// Integrates one ray over `[t0, t1]` front-to-back.
+#[allow(clippy::too_many_arguments)]
+fn integrate_ray(
+    volume: &Volume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    x: u16,
+    y: u16,
+    t0: f32,
+    t1: f32,
+) -> Pixel {
+    let (origin, dir) = camera.ray(x, y);
+    let mut color = 0.0f32;
+    let mut alpha = 0.0f32;
+    // Start half a step in so samples sit inside the slab.
+    let mut t = t0 + params.step * 0.5;
+    while t < t1 {
+        let pos = origin + dir * t;
+        let density = volume.sample(pos);
+        let (intensity, alpha_unit) = transfer.classify(density);
+        let a = params.step_opacity(alpha_unit);
+        if a > params.opacity_cutoff {
+            let shaded = shade(volume, pos, intensity, params);
+            let w = (1.0 - alpha) * a;
+            color += w * shaded;
+            alpha += w;
+            if alpha >= params.early_termination_alpha {
+                break;
+            }
+        }
+        t += params.step;
+    }
+    Pixel::gray(color.clamp(0.0, 1.0), alpha.clamp(0.0, 1.0))
+}
+
+/// Gray-level gradient shading: ambient + Lambertian diffuse.
+#[inline]
+fn shade(volume: &Volume, pos: Vec3, intensity: f32, params: &RenderParams) -> f32 {
+    let g = volume.gradient(pos);
+    let len = g.length();
+    let lambert = if len > 1e-6 {
+        // Surfaces face opposite the density gradient; take the absolute
+        // cosine so both orientations light up (common for CT data).
+        (g.dot(params.light_dir) / len).abs()
+    } else {
+        0.0
+    };
+    (intensity * (params.ambient + params.diffuse * lambert)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_volume::{kd_partition, Dataset, DatasetKind, TransferFunction};
+
+    fn solid_ball(dims: [usize; 3]) -> Volume {
+        Volume::from_fn(dims, |x, y, z| {
+            let dx = x as f32 - dims[0] as f32 / 2.0;
+            let dy = y as f32 - dims[1] as f32 / 2.0;
+            let dz = z as f32 - dims[2] as f32 / 2.0;
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            if r < dims[0] as f32 * 0.35 {
+                200
+            } else {
+                0
+            }
+        })
+    }
+
+    fn whole(dims: [usize; 3]) -> Subvolume {
+        Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims,
+        }
+    }
+
+    #[test]
+    fn empty_volume_renders_blank() {
+        let dims = [16, 16, 16];
+        let v = Volume::zeros(dims);
+        let cam = Camera::orbit(dims, 32, 32, 0.0, 0.0);
+        let img = render_block(
+            &v,
+            &whole(dims),
+            &TransferFunction::window(50.0, 100.0, 0.9),
+            &cam,
+            &RenderParams::fast(),
+        );
+        assert_eq!(img.non_blank_count(), 0);
+    }
+
+    #[test]
+    fn ball_renders_roughly_circular_coverage() {
+        let dims = [32, 32, 32];
+        let v = solid_ball(dims);
+        let cam = Camera::orbit(dims, 64, 64, 0.0, 0.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        let img = render_block(&v, &whole(dims), &tf, &cam, &RenderParams::default());
+        let n = img.non_blank_count();
+        assert!(n > 0, "ball must be visible");
+        // Coverage should be around π r² in image space; sanity band.
+        let bounds = img.bounding_rect();
+        let density = n as f64 / bounds.area() as f64;
+        assert!(
+            density > 0.5,
+            "ball interior should be mostly covered: {density}"
+        );
+        // Center pixel must be strongly opaque (long chord + early term).
+        assert!(img.get(32, 32).a > 0.9);
+    }
+
+    #[test]
+    fn block_render_stays_inside_footprint() {
+        let dims = [32, 32, 32];
+        let v = solid_ball(dims);
+        let cam = Camera::orbit(dims, 64, 64, 20.0, 35.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        let part = kd_partition(dims, 4);
+        for block in part.subvolumes() {
+            let img = render_block(&v, block, &tf, &cam, &RenderParams::fast());
+            let fp = cam.footprint(block.origin, block.dims);
+            let bounds = img.bounding_rect();
+            assert!(
+                fp.contains_rect(&bounds),
+                "bounds {bounds:?} escaped footprint {fp:?} for block {block:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_cover_less_than_whole() {
+        let dims = [32, 32, 32];
+        let v = solid_ball(dims);
+        let cam = Camera::orbit(dims, 64, 64, 15.0, 25.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        let whole_img = render_block(&v, &whole(dims), &tf, &cam, &RenderParams::fast());
+        let part = kd_partition(dims, 8);
+        for block in part.subvolumes() {
+            let img = render_block(&v, block, &tf, &cam, &RenderParams::fast());
+            assert!(img.non_blank_count() <= whole_img.non_blank_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let ds = Dataset::with_dims(DatasetKind::Cube, [24, 24, 12]);
+        let cam = Camera::orbit([24, 24, 12], 48, 48, 10.0, 20.0);
+        let a = render_block(
+            &ds.volume,
+            &whole([24, 24, 12]),
+            &ds.transfer,
+            &cam,
+            &RenderParams::fast(),
+        );
+        let b = render_block(
+            &ds.volume,
+            &whole([24, 24, 12]),
+            &ds.transfer,
+            &cam,
+            &RenderParams::fast(),
+        );
+        assert_eq!(vr_image::checksum::fnv1a(&a), vr_image::checksum::fnv1a(&b));
+    }
+
+    #[test]
+    fn cube_dataset_is_sparse_in_bounds() {
+        // The Cube sample's signature: large bounding rectangle, low
+        // non-blank density inside it.
+        let dims = [48, 48, 24];
+        let ds = Dataset::with_dims(DatasetKind::Cube, dims);
+        let cam = Camera::orbit(dims, 96, 96, 25.0, 40.0);
+        let img = render_block(
+            &ds.volume,
+            &whole(dims),
+            &ds.transfer,
+            &cam,
+            &RenderParams::default(),
+        );
+        let bounds = img.bounding_rect();
+        assert!(bounds.area() > 0);
+        let density = img.non_blank_count() as f64 / bounds.area() as f64;
+        assert!(
+            density < 0.75,
+            "cube should be sparse in its bounds, got {density}"
+        );
+    }
+
+    #[test]
+    fn opacities_clamped_to_unit() {
+        let dims = [16, 16, 16];
+        let v = solid_ball(dims);
+        let cam = Camera::orbit(dims, 32, 32, 0.0, 0.0);
+        let tf = TransferFunction::window(50.0, 150.0, 1.0);
+        let img = render_block(&v, &whole(dims), &tf, &cam, &RenderParams::default());
+        for p in img.pixels() {
+            assert!(p.a >= 0.0 && p.a <= 1.0);
+            assert!(p.r >= 0.0 && p.r <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Feed-forward splatting renderer (Westover) — the paper's future-work
+//! rendering path.
+//!
+//! Voxels are classified, projected and accumulated front-to-back one
+//! axis-aligned slice at a time, each contributing a small Gaussian
+//! footprint. Compared to the ray caster it trades accuracy for a cost
+//! proportional to *occupied voxels*, which is attractive for the very
+//! sparse samples (`Cube`, `Engine_high`).
+
+use vr_image::{Image, Pixel};
+use vr_volume::{Subvolume, TransferFunction, Volume};
+
+use crate::camera::Camera;
+use crate::params::RenderParams;
+
+/// Renders `block` of `volume` by splatting into a full-size subimage.
+pub fn splat_block(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+) -> Image {
+    let mut image = Image::blank(camera.width, camera.height);
+
+    // Dominant view axis decides the slice order.
+    let axis = (0..3)
+        .max_by(|&a, &b| {
+            camera
+                .view_dir
+                .get(a)
+                .abs()
+                .partial_cmp(&camera.view_dir.get(b).abs())
+                .unwrap()
+        })
+        .unwrap();
+    let forward = camera.view_dir.get(axis) >= 0.0;
+
+    // Footprint kernel size: one voxel in pixels.
+    let voxel_px = 1.0 / camera.scale;
+    let radius = (1.5 * voxel_px).ceil().clamp(1.0, 4.0) as i32;
+    let sigma = (0.6 * voxel_px).max(0.5);
+    let inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+
+    let n_slices = block.dims[axis];
+    for s in 0..n_slices {
+        let slice = if forward { s } else { n_slices - 1 - s };
+        for_each_voxel_in_slice(block, axis, slice, |x, y, z| {
+            let density = volume.get(x, y, z) as f32;
+            let (intensity, alpha_unit) = transfer.classify(density);
+            if alpha_unit <= params.opacity_cutoff {
+                return;
+            }
+            let center = vr_volume::Vec3::new(x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5);
+            let shaded = {
+                let g = volume.gradient(center);
+                let len = g.length();
+                let lambert = if len > 1e-6 {
+                    (g.dot(params.light_dir) / len).abs()
+                } else {
+                    0.0
+                };
+                (intensity * (params.ambient + params.diffuse * lambert)).clamp(0.0, 1.0)
+            };
+            let (px, py) = camera.project(center);
+            let cx = px.round() as i32;
+            let cy = py.round() as i32;
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    let ix = cx + dx;
+                    let iy = cy + dy;
+                    if ix < 0 || iy < 0 || ix >= camera.width as i32 || iy >= camera.height as i32 {
+                        continue;
+                    }
+                    let fx = ix as f32 + 0.5 - px;
+                    let fy = iy as f32 + 0.5 - py;
+                    let w = (-(fx * fx + fy * fy) * inv_two_sigma2).exp();
+                    if w < 0.05 {
+                        continue;
+                    }
+                    let a = (alpha_unit * w).clamp(0.0, 1.0);
+                    let contrib = Pixel::gray(shaded * a, a);
+                    let dst = image.get_mut(ix as u16, iy as u16);
+                    // Front-to-back: what is already accumulated lies in
+                    // front of this (deeper) slice's contribution.
+                    *dst = dst.over(contrib);
+                }
+            }
+        });
+    }
+    image
+}
+
+/// Visits every voxel of `block` whose coordinate along `axis` equals
+/// `slice` (slice index relative to the block).
+fn for_each_voxel_in_slice(
+    block: &Subvolume,
+    axis: usize,
+    slice: usize,
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    let mut coord = [0usize; 3];
+    coord[axis] = block.origin[axis] + slice;
+    for i in 0..block.dims[a1] {
+        for j in 0..block.dims[a2] {
+            coord[a1] = block.origin[a1] + i;
+            coord[a2] = block.origin[a2] + j;
+            f(coord[0], coord[1], coord[2]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raycast::render_block;
+    use vr_volume::TransferFunction;
+
+    fn ball(dims: [usize; 3]) -> Volume {
+        Volume::from_fn(dims, |x, y, z| {
+            let dx = x as f32 - dims[0] as f32 / 2.0;
+            let dy = y as f32 - dims[1] as f32 / 2.0;
+            let dz = z as f32 - dims[2] as f32 / 2.0;
+            if (dx * dx + dy * dy + dz * dz).sqrt() < dims[0] as f32 * 0.3 {
+                200
+            } else {
+                0
+            }
+        })
+    }
+
+    fn whole(dims: [usize; 3]) -> Subvolume {
+        Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims,
+        }
+    }
+
+    #[test]
+    fn splat_empty_is_blank() {
+        let dims = [16, 16, 16];
+        let v = Volume::zeros(dims);
+        let cam = Camera::orbit(dims, 32, 32, 0.0, 0.0);
+        let img = splat_block(
+            &v,
+            &whole(dims),
+            &TransferFunction::window(50.0, 100.0, 0.8),
+            &cam,
+            &RenderParams::default(),
+        );
+        assert_eq!(img.non_blank_count(), 0);
+    }
+
+    #[test]
+    fn splat_coverage_overlaps_raycast() {
+        let dims = [24, 24, 24];
+        let v = ball(dims);
+        let cam = Camera::orbit(dims, 48, 48, 15.0, 25.0);
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        let ray = render_block(&v, &whole(dims), &tf, &cam, &RenderParams::default());
+        let spl = splat_block(&v, &whole(dims), &tf, &cam, &RenderParams::default());
+        assert!(spl.non_blank_count() > 0);
+        // Most ray-cast pixels should also receive splat contributions.
+        let mut both = 0usize;
+        let mut ray_only = 0usize;
+        for (a, b) in ray.pixels().iter().zip(spl.pixels()) {
+            if !a.is_blank() {
+                if !b.is_blank() {
+                    both += 1;
+                } else {
+                    ray_only += 1;
+                }
+            }
+        }
+        assert!(
+            both > ray_only * 3,
+            "coverage mismatch: both={both}, ray_only={ray_only}"
+        );
+    }
+
+    #[test]
+    fn splat_slice_order_front_to_back() {
+        // Two opaque slabs: the front one (towards the camera) must win.
+        let dims = [8, 8, 8];
+        let v = Volume::from_fn(dims, |_, _, z| match z {
+            1 => 100, // closer to a +z-looking camera's entry side
+            6 => 200,
+            _ => 0,
+        });
+        let cam = Camera::orbit(dims, 16, 16, 0.0, 0.0);
+        // Fully opaque at both densities, distinct intensities.
+        let tf = TransferFunction::new(vec![(99.0, 0.0), (100.0, 1.0)], 1.0, 1.0);
+        let params = RenderParams {
+            ambient: 1.0,
+            diffuse: 0.0,
+            ..Default::default()
+        };
+        let img = splat_block(&v, &whole(dims), &tf, &cam, &params);
+        let c = img.get(8, 8);
+        // Front slab density 100 → intensity ≈ 100/255 ≈ 0.39, not 0.78.
+        assert!(c.a > 0.9);
+        assert!(
+            (c.r - 100.0 / 255.0).abs() < 0.08,
+            "front slab should dominate, got {}",
+            c.r
+        );
+    }
+}

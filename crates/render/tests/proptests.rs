@@ -1,0 +1,105 @@
+//! Property-based tests for camera geometry and renderer invariants.
+
+use proptest::prelude::*;
+use vr_render::{render_block, Camera, Projection, RenderParams};
+use vr_volume::{kd_partition, Subvolume, TransferFunction, Volume};
+
+const DIMS: [usize; 3] = [24, 24, 16];
+
+fn ball() -> Volume {
+    Volume::from_fn(DIMS, |x, y, z| {
+        let dx = x as f32 - 12.0;
+        let dy = y as f32 - 12.0;
+        let dz = z as f32 - 8.0;
+        if (dx * dx + dy * dy + dz * dz).sqrt() < 7.0 {
+            190
+        } else {
+            0
+        }
+    })
+}
+
+fn arb_rot() -> impl Strategy<Value = (f32, f32)> {
+    (-180.0f32..180.0, -180.0f32..180.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn camera_basis_is_orthonormal_for_any_rotation((rx, ry) in arb_rot()) {
+        let c = Camera::orbit(DIMS, 64, 64, rx, ry);
+        prop_assert!((c.view_dir.length() - 1.0).abs() < 1e-4);
+        prop_assert!((c.up.length() - 1.0).abs() < 1e-4);
+        prop_assert!((c.right.length() - 1.0).abs() < 1e-4);
+        prop_assert!(c.view_dir.dot(c.up).abs() < 1e-4);
+        prop_assert!(c.view_dir.dot(c.right).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rendered_pixels_stay_inside_footprints((rx, ry) in arb_rot(), p in 1usize..6) {
+        let v = ball();
+        let cam = Camera::orbit(DIMS, 48, 48, rx, ry);
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        let part = kd_partition(DIMS, p);
+        for block in part.subvolumes() {
+            let img = render_block(&v, block, &tf, &cam, &RenderParams::fast());
+            let fp = cam.footprint(block.origin, block.dims);
+            let bounds = img.bounding_rect();
+            prop_assert!(
+                fp.contains_rect(&bounds),
+                "rot ({rx},{ry}) block {block:?}: bounds {bounds:?} outside {fp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_volume_is_always_visible((rx, ry) in arb_rot()) {
+        let v = ball();
+        let cam = Camera::orbit(DIMS, 48, 48, rx, ry);
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        let block = Subvolume { rank: 0, origin: [0, 0, 0], dims: DIMS };
+        let img = render_block(&v, &block, &tf, &cam, &RenderParams::fast());
+        prop_assert!(img.non_blank_count() > 0, "ball vanished at rot ({rx},{ry})");
+        // All channels in range.
+        for px in img.pixels() {
+            prop_assert!((0.0..=1.0).contains(&px.a));
+            prop_assert!((0.0..=1.0).contains(&px.r));
+        }
+    }
+
+    #[test]
+    fn perspective_projection_agrees_with_ray(
+        (rx, ry) in arb_rot(),
+        px in 2u16..46,
+        py in 2u16..46,
+        t in 5.0f32..60.0,
+    ) {
+        // A point generated along pixel (px,py)'s ray must project back
+        // to (approximately) that pixel.
+        let cam = Camera::orbit_perspective(DIMS, 48, 48, rx, ry, 1.2);
+        let (o, d) = cam.ray(px, py);
+        let point = o + d * t;
+        // Only test points in front of the eye plane.
+        if let Projection::Perspective { eye } = cam.projection {
+            prop_assume!((point - eye).dot(cam.view_dir) > 1.0);
+        }
+        let (qx, qy) = cam.project(point);
+        prop_assert!((qx - (px as f32 + 0.5)).abs() < 0.25, "x: {qx} vs {px}");
+        prop_assert!((qy - (py as f32 + 0.5)).abs() < 0.25, "y: {qy} vs {py}");
+    }
+
+    #[test]
+    fn orthographic_projection_inverts_ray_origin(
+        (rx, ry) in arb_rot(),
+        px in 0u16..48,
+        py in 0u16..48,
+        t in -30.0f32..30.0,
+    ) {
+        let cam = Camera::orbit(DIMS, 48, 48, rx, ry);
+        let (o, d) = cam.ray(px, py);
+        let (qx, qy) = cam.project(o + d * t);
+        prop_assert!((qx - (px as f32 + 0.5)).abs() < 1e-2);
+        prop_assert!((qy - (py as f32 + 0.5)).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Frame-sequence (animation) runs — the paper's motivating scenario:
+//! "it is important for users to interactively explore the volume data
+//! in real time".
+//!
+//! An [`Animation`] renders a camera orbit frame by frame through the
+//! full pipeline and reports per-frame and aggregate statistics,
+//! including the effective frame rate on the modeled machine (render
+//! max + compositing total per frame).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use slsvr_core::Method;
+use vr_volume::Dataset;
+
+use crate::config::ExperimentConfig;
+use crate::experiment::Experiment;
+
+/// One frame's cost summary.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Rotation angles for this frame, degrees.
+    pub rot_x_deg: f32,
+    /// Rotation around y, degrees.
+    pub rot_y_deg: f32,
+    /// Compositing `T_total` (max comp + max comm), seconds.
+    pub composite_seconds: f64,
+    /// Maximum received bytes over ranks (`M_max`).
+    pub m_max: u64,
+    /// Non-blank pixels in the final frame.
+    pub non_blank: usize,
+}
+
+/// An orbiting-camera animation over one dataset.
+#[derive(Clone, Debug)]
+pub struct Animation {
+    /// Base configuration (rotation fields are overridden per frame).
+    pub base: ExperimentConfig,
+    /// Number of frames.
+    pub frames: usize,
+    /// Total rotation swept around the y axis, degrees.
+    pub sweep_y_deg: f32,
+    /// Total rotation swept around the x axis, degrees.
+    pub sweep_x_deg: f32,
+}
+
+impl Animation {
+    /// Runs all frames with `method`, returning per-frame statistics.
+    ///
+    /// The dataset is built once; rendering is re-done per frame because
+    /// the view changes — exactly the interactive-exploration workload
+    /// the paper targets.
+    pub fn run(&self, method: Method) -> Vec<FrameStats> {
+        // Build the dataset once; each frame re-renders it from a new
+        // view (the actual interactive workload).
+        let dataset = Arc::new(Dataset::with_dims(
+            self.base.dataset,
+            self.base.resolved_dims(),
+        ));
+        (0..self.frames)
+            .map(|f| {
+                let t = if self.frames > 1 {
+                    f as f32 / (self.frames - 1) as f32
+                } else {
+                    0.0
+                };
+                let config = ExperimentConfig {
+                    rot_x_deg: self.base.rot_x_deg + t * self.sweep_x_deg,
+                    rot_y_deg: self.base.rot_y_deg + t * self.sweep_y_deg,
+                    method,
+                    ..self.base
+                };
+                let exp = Experiment::prepare_with_dataset(&config, Arc::clone(&dataset));
+                let out = exp.run(method);
+                FrameStats {
+                    rot_x_deg: config.rot_x_deg,
+                    rot_y_deg: config.rot_y_deg,
+                    composite_seconds: out.aggregate.t_comp + out.aggregate.t_comm,
+                    m_max: out.aggregate.m_max,
+                    non_blank: out.image.non_blank_count(),
+                }
+            })
+            .collect()
+    }
+
+    /// Effective compositing-bound frame rate on the modeled machine:
+    /// `frames / Σ composite_seconds`.
+    pub fn compositing_fps(frames: &[FrameStats]) -> f64 {
+        let total: f64 = frames.iter().map(|f| f.composite_seconds).sum();
+        if total > 0.0 {
+            frames.len() as f64 / total
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_volume::DatasetKind;
+
+    fn anim(frames: usize) -> Animation {
+        Animation {
+            base: ExperimentConfig::small_test(DatasetKind::EngineHigh, 4, Method::Bsbrc),
+            frames,
+            sweep_y_deg: 90.0,
+            sweep_x_deg: 15.0,
+        }
+    }
+
+    #[test]
+    fn animation_produces_one_stat_per_frame() {
+        let frames = anim(4).run(Method::Bsbrc);
+        assert_eq!(frames.len(), 4);
+        for f in &frames {
+            assert!(f.composite_seconds > 0.0);
+            assert!(
+                f.non_blank > 0,
+                "object must stay visible through the sweep"
+            );
+        }
+        // Rotation actually sweeps.
+        assert!(frames[3].rot_y_deg - frames[0].rot_y_deg > 80.0);
+    }
+
+    #[test]
+    fn fps_is_positive_and_finite() {
+        let frames = anim(3).run(Method::Bsbrc);
+        let fps = Animation::compositing_fps(&frames);
+        assert!(fps.is_finite() && fps > 0.0);
+    }
+
+    #[test]
+    fn sparse_methods_sustain_higher_fps_than_bs() {
+        let a = anim(2);
+        let bs = Animation::compositing_fps(&a.run(Method::Bs));
+        let bsbrc = Animation::compositing_fps(&a.run(Method::Bsbrc));
+        assert!(
+            bsbrc > bs,
+            "BSBRC fps {bsbrc:.2} should beat BS fps {bs:.2}"
+        );
+    }
+
+    #[test]
+    fn single_frame_animation_is_valid() {
+        let frames = anim(1).run(Method::Bsbrc);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].rot_y_deg, anim(1).base.rot_y_deg);
+    }
+}

@@ -1,0 +1,147 @@
+//! Experiment configuration.
+
+use serde::{Deserialize, Serialize};
+use slsvr_core::stats::CompCost;
+use slsvr_core::Method;
+use vr_comm::CostModel;
+use vr_volume::DatasetKind;
+
+/// Everything needed to run one paper experiment cell.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Which test sample to render.
+    pub dataset: DatasetKind,
+    /// Square image side in pixels (the paper uses 384 and 768).
+    pub image_size: u16,
+    /// Number of simulated processors (the paper uses 2…64).
+    pub processors: usize,
+    /// Compositing method under test.
+    pub method: Method,
+    /// Viewing-point rotation around the x axis, degrees.
+    pub rot_x_deg: f32,
+    /// Viewing-point rotation around the y axis, degrees.
+    pub rot_y_deg: f32,
+    /// Communication cost model (defaults to the SP2 preset).
+    pub cost: CostModel,
+    /// Optional reduced volume dimensions (tests); `None` = paper dims.
+    pub volume_dims: Option<[usize; 3]>,
+    /// Ray sampling step in voxels.
+    pub step: f32,
+    /// Perspective projection: `Some(distance)` places the eye that many
+    /// volume-diagonals in front of the center (smaller = stronger
+    /// perspective); `None` keeps the paper's orthogonal projection.
+    /// The depth order switches to the exact eye-based BSP traversal.
+    pub perspective_distance: Option<f32>,
+    /// Balance the partition by *visible voxels* (classified opacity
+    /// non-zero) instead of raw extents — the paper's rendering-phase
+    /// load-balancing future-work item.
+    pub balanced_partition: bool,
+    /// Ghost voxels added around each scattered block in the distributed
+    /// pipeline (0 = the paper's plain block decomposition; 2 removes
+    /// rendering seams exactly: 1 for trilinear support + 1 for the
+    /// gradient stencil).
+    pub ghost_voxels: usize,
+    /// How `T_comp` is obtained — see [`CompTiming`]. The default models
+    /// computation from exact operation counts with POWER2-calibrated
+    /// per-op costs, the computation-side counterpart of the network
+    /// cost model.
+    pub comp_timing: CompTiming,
+}
+
+/// Source of the reported computation time.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum CompTiming {
+    /// Use raw thread-CPU measurements from the host, optionally scaled
+    /// by a constant slowdown factor. Subject to oversubscription noise
+    /// when `P` exceeds the host's cores.
+    Measured {
+        /// Multiplier applied to every measured computation time.
+        slowdown: f64,
+    },
+    /// Model computation from operation counts via per-op costs — the
+    /// approach of the paper's Equations (1), (3), (5), (7). Exact and
+    /// deterministic regardless of host load.
+    Modeled(CompCost),
+}
+
+impl CompTiming {
+    /// Resolves a rank's computation times in place per this policy.
+    pub fn apply(&self, stats: &mut slsvr_core::MethodStats) {
+        match self {
+            CompTiming::Measured { slowdown } => {
+                stats.comp_seconds *= slowdown;
+                stats.bound_seconds *= slowdown;
+                stats.encode_seconds *= slowdown;
+            }
+            CompTiming::Modeled(cost) => {
+                stats.comp_seconds = cost.modeled_seconds(stats);
+                stats.bound_seconds = cost.modeled_bound_seconds(stats);
+                stats.encode_seconds = cost.modeled_encode_seconds(stats);
+            }
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            dataset: DatasetKind::EngineLow,
+            image_size: 384,
+            processors: 8,
+            method: Method::Bsbrc,
+            // A generic oblique view so subvolume footprints overlap and
+            // bounding rectangles are non-trivial.
+            rot_x_deg: 20.0,
+            rot_y_deg: 30.0,
+            cost: CostModel::sp2(),
+            volume_dims: None,
+            step: 1.0,
+            perspective_distance: None,
+            balanced_partition: false,
+            ghost_voxels: 0,
+            comp_timing: CompTiming::Modeled(CompCost::power2()),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A small, fast configuration for tests.
+    pub fn small_test(dataset: DatasetKind, processors: usize, method: Method) -> Self {
+        ExperimentConfig {
+            dataset,
+            image_size: 64,
+            processors,
+            method,
+            volume_dims: Some([32, 32, 16]),
+            step: 2.0,
+            cost: CostModel::sp2(),
+            ..Default::default()
+        }
+    }
+
+    /// The volume dimensions this configuration resolves to.
+    pub fn resolved_dims(&self) -> [usize; 3] {
+        self.volume_dims
+            .unwrap_or_else(|| self.dataset.paper_dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.image_size, 384);
+        assert_eq!(c.cost, CostModel::sp2());
+        assert_eq!(c.resolved_dims(), [256, 256, 110]);
+    }
+
+    #[test]
+    fn small_test_overrides_dims() {
+        let c = ExperimentConfig::small_test(DatasetKind::Head, 4, Method::Bs);
+        assert_eq!(c.resolved_dims(), [32, 32, 16]);
+        assert_eq!(c.processors, 4);
+    }
+}

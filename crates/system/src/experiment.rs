@@ -1,0 +1,441 @@
+//! The experiment runner: render once, composite with any method.
+
+use std::sync::Arc;
+
+use slsvr_core::{
+    composite, gather_image, reference_composite, virtual_completion, Method, MethodStats,
+};
+use vr_comm::{run_group, TrafficStats};
+use vr_image::Image;
+use vr_render::{render_block, Camera, Projection, RenderParams};
+use vr_volume::{kd_partition, kd_partition_weighted, Dataset, DepthOrder};
+
+use crate::config::ExperimentConfig;
+
+/// A prepared workload: dataset built, volume partitioned, camera fixed
+/// and all subimages rendered. Rendering happens **once**; each
+/// compositing method then runs on clones of the same subimages —
+/// exactly how the paper isolates the compositing phase.
+pub struct Experiment {
+    config: ExperimentConfig,
+    camera: Camera,
+    depth: DepthOrder,
+    subimages: Vec<Image>,
+    /// Per-rank rendering wall time, seconds (informational; the paper's
+    /// tables cover only the compositing phase).
+    pub render_seconds: Vec<f64>,
+}
+
+/// Group-level aggregates of a compositing run.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Max measured computation time over ranks, seconds (paper `T_comp`).
+    pub t_comp: f64,
+    /// Max modeled communication time over ranks, seconds (paper `T_comm`).
+    pub t_comm: f64,
+    /// Mean computation time over ranks, seconds.
+    pub t_comp_mean: f64,
+    /// Mean communication time over ranks, seconds.
+    pub t_comm_mean: f64,
+    /// Maximum received bytes over ranks (the paper's `M_max`).
+    pub m_max: u64,
+    /// Total bytes sent by all ranks.
+    pub total_bytes: u64,
+    /// Critical-path completion time (seconds) from the virtual-time
+    /// schedule, including waits on partners — `None` for schedules
+    /// with multi-peer stages (direct send, pipeline) or measured
+    /// timing. Always ≥ the per-rank sums behind `t_comp`/`t_comm`.
+    pub t_critical_path: Option<f64>,
+}
+
+impl Aggregate {
+    /// `T_total = T_comp + T_comm` in milliseconds, the paper's table
+    /// quantity.
+    pub fn t_total_ms(&self) -> f64 {
+        (self.t_comp + self.t_comm) * 1e3
+    }
+
+    /// `T_comp` in milliseconds.
+    pub fn t_comp_ms(&self) -> f64 {
+        self.t_comp * 1e3
+    }
+
+    /// `T_comm` in milliseconds.
+    pub fn t_comm_ms(&self) -> f64 {
+        self.t_comm * 1e3
+    }
+}
+
+/// The outcome of one compositing run over a prepared experiment.
+pub struct Outcome {
+    /// Group aggregates (the numbers the paper tabulates).
+    pub aggregate: Aggregate,
+    /// Per-rank method statistics.
+    pub per_rank: Vec<MethodStats>,
+    /// Per-rank transport counters.
+    pub traffic: Vec<TrafficStats>,
+    /// The assembled final image (gathered at rank 0).
+    pub image: Image,
+}
+
+impl Experiment {
+    /// Builds the dataset, partitions the volume, renders every rank's
+    /// subimage (in parallel, one thread per rank) and fixes the depth
+    /// order.
+    pub fn prepare(config: &ExperimentConfig) -> Experiment {
+        let dims = config.resolved_dims();
+        let dataset = Arc::new(Dataset::with_dims(config.dataset, dims));
+        Experiment::prepare_with_dataset(config, dataset)
+    }
+
+    /// Like [`Experiment::prepare`] but reuses an already built dataset
+    /// — animation sweeps re-render the same volume from many views and
+    /// must not pay the procedural build per frame.
+    pub fn prepare_with_dataset(config: &ExperimentConfig, dataset: Arc<Dataset>) -> Experiment {
+        let dims = config.resolved_dims();
+        assert_eq!(
+            dataset.volume.dims(),
+            dims,
+            "dataset dims must match the config"
+        );
+        let camera = match config.perspective_distance {
+            None => Camera::orbit(
+                dims,
+                config.image_size,
+                config.image_size,
+                config.rot_x_deg,
+                config.rot_y_deg,
+            ),
+            Some(distance) => Camera::orbit_perspective(
+                dims,
+                config.image_size,
+                config.image_size,
+                config.rot_x_deg,
+                config.rot_y_deg,
+                distance,
+            ),
+        };
+        let partition = if config.balanced_partition {
+            let tf = dataset.transfer.clone();
+            kd_partition_weighted(
+                &dataset.volume,
+                |s| if tf.opacity(s as f32) > 0.0 { 1.0 } else { 0.0 },
+                config.processors,
+            )
+        } else {
+            kd_partition(dims, config.processors)
+        };
+        let depth = match camera.projection {
+            Projection::Orthographic => partition.depth_order(camera.view_dir),
+            Projection::Perspective { eye } => partition.depth_order_from_eye(eye),
+        };
+        let params = RenderParams {
+            step: config.step,
+            ..Default::default()
+        };
+
+        // Rendering phase: embarrassingly parallel, one thread per rank
+        // (no communication — the property that makes sort-last scale).
+        let mut subimages: Vec<Option<(Image, f64)>> =
+            (0..config.processors).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, block) in subimages.iter_mut().zip(partition.subvolumes()) {
+                let dataset = Arc::clone(&dataset);
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let img =
+                        render_block(&dataset.volume, block, &dataset.transfer, &camera, &params);
+                    *slot = Some((img, start.elapsed().as_secs_f64()));
+                });
+            }
+        });
+        let (subimages, render_seconds) = subimages
+            .into_iter()
+            .map(|s| s.expect("render thread finished"))
+            .unzip();
+
+        Experiment {
+            config: *config,
+            camera,
+            depth,
+            subimages,
+            render_seconds,
+        }
+    }
+
+    /// Builds a prepared experiment directly from explicit subimages
+    /// (used by tests and ablation benches that bypass rendering).
+    pub fn from_subimages(
+        config: ExperimentConfig,
+        subimages: Vec<Image>,
+        depth: DepthOrder,
+    ) -> Experiment {
+        assert_eq!(subimages.len(), config.processors);
+        let dims = config.resolved_dims();
+        let camera = Camera::orbit(
+            dims,
+            config.image_size,
+            config.image_size,
+            config.rot_x_deg,
+            config.rot_y_deg,
+        );
+        let render_seconds = vec![0.0; subimages.len()];
+        Experiment {
+            config,
+            camera,
+            depth,
+            subimages,
+            render_seconds,
+        }
+    }
+
+    /// The rendered (pre-compositing) subimages, indexed by rank.
+    pub fn subimages(&self) -> &[Image] {
+        &self.subimages
+    }
+
+    /// The fixed depth order for this view.
+    pub fn depth(&self) -> &DepthOrder {
+        &self.depth
+    }
+
+    /// The experiment's camera.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Runs the compositing phase with `method` on clones of the
+    /// prepared subimages and gathers the final image at rank 0.
+    pub fn run(&self, method: Method) -> Outcome {
+        let p = self.config.processors;
+        let out = run_group(p, self.config.cost, |ep| {
+            let mut img = self.subimages[ep.rank()].clone();
+            let result = composite(method, ep, &mut img, &self.depth);
+            let gathered = gather_image(ep, &img, &result.piece, 0);
+            (result.stats, gathered)
+        });
+
+        let mut per_rank = Vec::with_capacity(p);
+        let mut image = None;
+        for (mut stats, gathered) in out.results {
+            // Resolve T_comp per the configured timing source.
+            self.config.comp_timing.apply(&mut stats);
+            per_rank.push(stats);
+            if let Some(img) = gathered {
+                image = Some(img);
+            }
+        }
+        let image = image.expect("rank 0 gathers the final image");
+
+        let t_comp = per_rank.iter().map(|s| s.comp_seconds).fold(0.0, f64::max);
+        let t_comm = per_rank.iter().map(|s| s.comm_seconds).fold(0.0, f64::max);
+        let t_comp_mean = per_rank.iter().map(|s| s.comp_seconds).sum::<f64>() / p as f64;
+        let t_comm_mean = per_rank.iter().map(|s| s.comm_seconds).sum::<f64>() / p as f64;
+        // M_max over the *compositing* stages only (gather excluded), as
+        // in Section 4.
+        let m_max = per_rank.iter().map(|s| s.recv_bytes()).max().unwrap_or(0);
+        let total_bytes = per_rank.iter().map(|s| s.sent_bytes()).sum();
+        let t_critical_path = match self.config.comp_timing {
+            crate::config::CompTiming::Modeled(cost) => {
+                virtual_completion(&per_rank, &self.config.cost, &cost)
+                    .map(|vt| vt.into_iter().fold(0.0, f64::max))
+            }
+            crate::config::CompTiming::Measured { .. } => None,
+        };
+
+        Outcome {
+            aggregate: Aggregate {
+                t_comp,
+                t_comm,
+                t_comp_mean,
+                t_comm_mean,
+                m_max,
+                total_bytes,
+                t_critical_path,
+            },
+            per_rank,
+            traffic: out.stats,
+            image,
+        }
+    }
+
+    /// The sequential reference composite of the prepared subimages.
+    pub fn reference(&self) -> Image {
+        reference_composite(&self.subimages, &self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_volume::DatasetKind;
+
+    fn prep(p: usize) -> Experiment {
+        let config = ExperimentConfig::small_test(DatasetKind::EngineLow, p, Method::Bsbrc);
+        Experiment::prepare(&config)
+    }
+
+    #[test]
+    fn full_pipeline_all_methods_match_reference() {
+        let exp = prep(4);
+        let expect = exp.reference();
+        for method in Method::all() {
+            let out = exp.run(method);
+            let diff = out.image.max_abs_diff(&expect);
+            assert!(diff < 2e-4, "{method:?} differs from reference by {diff}");
+        }
+    }
+
+    #[test]
+    fn full_pipeline_non_pow2() {
+        let exp = prep(6);
+        let expect = exp.reference();
+        for method in [
+            Method::Bs,
+            Method::Bsbrc,
+            Method::DirectSend,
+            Method::Pipeline,
+        ] {
+            let out = exp.run(method);
+            let diff = out.image.max_abs_diff(&expect);
+            assert!(diff < 2e-4, "{method:?} P=6 differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn rendered_subimages_are_sparse() {
+        let exp = prep(8);
+        for img in exp.subimages() {
+            // Each of 8 blocks must cover well under the full frame.
+            assert!(img.non_blank_count() * 2 < img.area());
+        }
+    }
+
+    #[test]
+    fn aggregates_are_populated() {
+        let exp = prep(4);
+        let out = exp.run(Method::Bsbrc);
+        assert!(
+            out.aggregate.t_comm > 0.0,
+            "modeled comm time must be positive"
+        );
+        assert!(out.aggregate.m_max > 0);
+        assert!(out.aggregate.total_bytes > 0);
+        assert_eq!(out.per_rank.len(), 4);
+        assert!(out.aggregate.t_total_ms() > 0.0);
+    }
+
+    #[test]
+    fn critical_path_reported_for_swap_methods() {
+        let exp = prep(8);
+        let swap = exp.run(Method::Bsbrc);
+        let t = swap
+            .aggregate
+            .t_critical_path
+            .expect("BSBRC is stage-paired");
+        // Waiting can only add to the busiest rank's own time.
+        assert!(t * 1e3 >= swap.aggregate.t_comp_ms().max(swap.aggregate.t_comm_ms()) / 1e3);
+        assert!(t > 0.0);
+        let dsend = exp.run(Method::DirectSend);
+        assert!(dsend.aggregate.t_critical_path.is_none());
+    }
+
+    #[test]
+    fn bs_m_max_dominates_sparse_methods() {
+        // Equation (9): M_max(BS) ≥ M_max(BSBR) ≥ M_max(BSBRC) ≥ M_max(BSLC).
+        let exp = prep(8);
+        let m = |method: Method| exp.run(method).aggregate.m_max;
+        let bs = m(Method::Bs);
+        let bsbr = m(Method::Bsbr);
+        let bsbrc = m(Method::Bsbrc);
+        let bslc = m(Method::Bslc);
+        assert!(bs >= bsbr, "BS {bs} < BSBR {bsbr}");
+        assert!(bsbr >= bsbrc, "BSBR {bsbr} < BSBRC {bsbrc}");
+        assert!(bsbrc >= bslc, "BSBRC {bsbrc} < BSLC {bslc}");
+    }
+
+    #[test]
+    fn perspective_projection_stays_correct() {
+        // The eye-based BSP depth order must keep every method exact
+        // against the sequential reference.
+        for distance in [0.8, 1.5, 10.0] {
+            let mut config = ExperimentConfig::small_test(DatasetKind::EngineLow, 8, Method::Bsbrc);
+            config.perspective_distance = Some(distance);
+            let exp = Experiment::prepare(&config);
+            let expect = exp.reference();
+            for method in [Method::Bs, Method::Bsbrc, Method::BinaryTree] {
+                let out = exp.run(method);
+                let diff = out.image.max_abs_diff(&expect);
+                assert!(
+                    diff < 2e-4,
+                    "{method:?} at distance {distance} differs by {diff}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perspective_image_resembles_orthographic_at_distance() {
+        let base = ExperimentConfig::small_test(DatasetKind::Head, 4, Method::Bsbrc);
+        let ortho = Experiment::prepare(&base).run(Method::Bsbrc).image;
+        let mut far = base;
+        far.perspective_distance = Some(300.0);
+        let persp = Experiment::prepare(&far).run(Method::Bsbrc).image;
+        // Same object coverage within a small band.
+        let a = ortho.non_blank_count() as f64;
+        let b = persp.non_blank_count() as f64;
+        assert!((a - b).abs() / a.max(1.0) < 0.1, "coverage {a} vs {b}");
+    }
+
+    #[test]
+    fn balanced_partition_stays_correct() {
+        // The weighted partitioner changes block shapes and hence the
+        // depth order; every method must still match the reference.
+        let mut config = ExperimentConfig::small_test(DatasetKind::EngineHigh, 8, Method::Bsbrc);
+        config.balanced_partition = true;
+        let exp = Experiment::prepare(&config);
+        let expect = exp.reference();
+        for method in [Method::Bs, Method::Bsbrc, Method::Bslc, Method::Pipeline] {
+            let out = exp.run(method);
+            let diff = out.image.max_abs_diff(&expect);
+            assert!(diff < 2e-4, "{method:?} balanced differs by {diff}");
+        }
+    }
+
+    #[test]
+    fn balanced_partition_evens_rendered_workload() {
+        // Visible content off-center: compare the per-rank non-blank
+        // pixel spread with and without balancing.
+        let spread = |balanced: bool| {
+            let mut config =
+                ExperimentConfig::small_test(DatasetKind::EngineHigh, 8, Method::Bsbrc);
+            config.balanced_partition = balanced;
+            config.rot_x_deg = 0.0;
+            config.rot_y_deg = 0.0;
+            let exp = Experiment::prepare(&config);
+            let counts: Vec<usize> = exp
+                .subimages()
+                .iter()
+                .map(|img| img.non_blank_count())
+                .collect();
+            let max = *counts.iter().max().unwrap() as f64;
+            let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+            max / mean.max(1.0)
+        };
+        let plain = spread(false);
+        let balanced = spread(true);
+        assert!(
+            balanced <= plain * 1.1,
+            "balancing should not worsen workload spread: {balanced:.2} vs {plain:.2}"
+        );
+    }
+
+    #[test]
+    fn from_subimages_skips_rendering() {
+        let config = ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::Bs);
+        let imgs = vec![Image::blank(64, 64), Image::blank(64, 64)];
+        let exp = Experiment::from_subimages(config, imgs, DepthOrder::identity(2));
+        let out = exp.run(Method::Bs);
+        assert_eq!(out.image.non_blank_count(), 0);
+    }
+}

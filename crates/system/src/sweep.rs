@@ -1,0 +1,165 @@
+//! Parameter sweeps with CSV export — the workhorse behind custom
+//! evaluations beyond the paper's fixed tables.
+
+use serde::{Deserialize, Serialize};
+use slsvr_core::Method;
+use vr_volume::DatasetKind;
+
+use crate::config::ExperimentConfig;
+use crate::experiment::Experiment;
+
+/// One sweep cell's results.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Dataset name (the paper's sample name).
+    pub dataset: String,
+    /// Square frame side in pixels.
+    pub image_size: u16,
+    /// Processor count.
+    pub processors: usize,
+    /// Compositing method name.
+    pub method: String,
+    /// `T_comp` in milliseconds (max over ranks).
+    pub t_comp_ms: f64,
+    /// `T_comm` in milliseconds (max over ranks).
+    pub t_comm_ms: f64,
+    /// `T_total` in milliseconds.
+    pub t_total_ms: f64,
+    /// Maximum received bytes over ranks.
+    pub m_max: u64,
+    /// Total bytes sent by all ranks.
+    pub total_bytes: u64,
+    /// Total `over` operations across ranks.
+    pub composite_ops: u64,
+}
+
+/// A cartesian sweep over datasets × processor counts × methods at one
+/// frame size. Rendering is shared across methods within a cell.
+#[derive(Clone, Debug)]
+pub struct SweepBuilder {
+    /// Base configuration; `dataset`, `processors` and `method` are
+    /// overridden per cell.
+    pub base: ExperimentConfig,
+    /// Datasets to sweep.
+    pub datasets: Vec<DatasetKind>,
+    /// Processor counts to sweep.
+    pub processor_counts: Vec<usize>,
+    /// Methods to sweep.
+    pub methods: Vec<Method>,
+}
+
+impl SweepBuilder {
+    /// A sweep mirroring the paper's Table 1 axes.
+    pub fn paper_table1() -> Self {
+        SweepBuilder {
+            base: ExperimentConfig::default(),
+            datasets: DatasetKind::all().to_vec(),
+            processor_counts: vec![2, 4, 8, 16, 32, 64],
+            methods: Method::paper_methods().to_vec(),
+        }
+    }
+
+    /// Runs every cell, rendering once per (dataset, P).
+    pub fn run(&self) -> Vec<SweepRecord> {
+        let mut records = Vec::new();
+        for &dataset in &self.datasets {
+            for &processors in &self.processor_counts {
+                let config = ExperimentConfig {
+                    dataset,
+                    processors,
+                    ..self.base
+                };
+                let exp = Experiment::prepare(&config);
+                for &method in &self.methods {
+                    let out = exp.run(method);
+                    records.push(SweepRecord {
+                        dataset: dataset.name().to_string(),
+                        image_size: config.image_size,
+                        processors,
+                        method: method.name().to_string(),
+                        t_comp_ms: out.aggregate.t_comp_ms(),
+                        t_comm_ms: out.aggregate.t_comm_ms(),
+                        t_total_ms: out.aggregate.t_total_ms(),
+                        m_max: out.aggregate.m_max,
+                        total_bytes: out.aggregate.total_bytes,
+                        composite_ops: out.per_rank.iter().map(|s| s.composite_ops()).sum(),
+                    });
+                }
+            }
+        }
+        records
+    }
+}
+
+/// Renders sweep records as CSV (header + one line per record).
+pub fn to_csv(records: &[SweepRecord]) -> String {
+    let mut out = String::from(
+        "dataset,image_size,processors,method,t_comp_ms,t_comm_ms,t_total_ms,m_max,total_bytes,composite_ops\n",
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{:.4},{:.4},{:.4},{},{},{}\n",
+            r.dataset,
+            r.image_size,
+            r.processors,
+            r.method,
+            r.t_comp_ms,
+            r.t_comm_ms,
+            r.t_total_ms,
+            r.m_max,
+            r.total_bytes,
+            r.composite_ops
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> SweepBuilder {
+        SweepBuilder {
+            base: ExperimentConfig {
+                image_size: 48,
+                volume_dims: Some([24, 24, 12]),
+                step: 2.0,
+                ..Default::default()
+            },
+            datasets: vec![DatasetKind::Cube, DatasetKind::Head],
+            processor_counts: vec![2, 4],
+            methods: vec![Method::Bs, Method::Bsbrc],
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_cartesian_product() {
+        let records = small_sweep().run();
+        assert_eq!(records.len(), 2 * 2 * 2);
+        assert!(records
+            .iter()
+            .any(|r| r.dataset == "Cube" && r.processors == 4 && r.method == "BSBRC"));
+        for r in &records {
+            assert!(r.t_total_ms > 0.0);
+            assert!(r.m_max > 0);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let records = small_sweep().run();
+        let csv = to_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), records.len() + 1);
+        assert!(lines[0].starts_with("dataset,image_size"));
+        assert_eq!(lines[1].split(',').count(), 10);
+    }
+
+    #[test]
+    fn paper_table1_axes() {
+        let s = SweepBuilder::paper_table1();
+        assert_eq!(s.datasets.len(), 4);
+        assert_eq!(s.processor_counts, vec![2, 4, 8, 16, 32, 64]);
+        assert_eq!(s.methods.len(), 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! The scalar volume grid.
+
+use crate::vec3::Vec3;
+
+/// A regular 3D grid of 8-bit scalar samples (CT-style density values),
+/// stored x-fastest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Volume {
+    dims: [usize; 3],
+    data: Vec<u8>,
+}
+
+impl Volume {
+    /// Creates a zero-filled volume.
+    pub fn zeros(dims: [usize; 3]) -> Self {
+        Volume {
+            dims,
+            data: vec![0; dims[0] * dims[1] * dims[2]],
+        }
+    }
+
+    /// Creates a volume by evaluating `f(x, y, z)` at every voxel.
+    pub fn from_fn(dims: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> u8) -> Self {
+        let mut data = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    data.push(f(x, y, z));
+                }
+            }
+        }
+        Volume { dims, data }
+    }
+
+    /// Grid dimensions `[nx, ny, nz]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total voxel count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the volume has no voxels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw sample access (panics out of range).
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> u8 {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        self.data[(z * self.dims[1] + y) * self.dims[0] + x]
+    }
+
+    /// Sets a sample.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: u8) {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        self.data[(z * self.dims[1] + y) * self.dims[0] + x] = v;
+    }
+
+    /// Sample with clamp-to-edge semantics for out-of-range integer
+    /// coordinates.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize, z: isize) -> u8 {
+        let cx = x.clamp(0, self.dims[0] as isize - 1) as usize;
+        let cy = y.clamp(0, self.dims[1] as isize - 1) as usize;
+        let cz = z.clamp(0, self.dims[2] as isize - 1) as usize;
+        self.get(cx, cy, cz)
+    }
+
+    /// Trilinearly interpolated sample at a continuous point in voxel
+    /// coordinates. Points outside the grid clamp to the boundary.
+    pub fn sample(&self, p: Vec3) -> f32 {
+        let fx = p.x.floor();
+        let fy = p.y.floor();
+        let fz = p.z.floor();
+        let tx = p.x - fx;
+        let ty = p.y - fy;
+        let tz = p.z - fz;
+        let (x0, y0, z0) = (fx as isize, fy as isize, fz as isize);
+        let c =
+            |dx: isize, dy: isize, dz: isize| self.get_clamped(x0 + dx, y0 + dy, z0 + dz) as f32;
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        let xy00 = lerp(c(0, 0, 0), c(1, 0, 0), tx);
+        let xy10 = lerp(c(0, 1, 0), c(1, 1, 0), tx);
+        let xy01 = lerp(c(0, 0, 1), c(1, 0, 1), tx);
+        let xy11 = lerp(c(0, 1, 1), c(1, 1, 1), tx);
+        let y0v = lerp(xy00, xy10, ty);
+        let y1v = lerp(xy01, xy11, ty);
+        lerp(y0v, y1v, tz)
+    }
+
+    /// Central-difference gradient at a continuous point, in voxel
+    /// coordinates — used for gray-level gradient shading.
+    pub fn gradient(&self, p: Vec3) -> Vec3 {
+        let h = 1.0;
+        let dx =
+            self.sample(Vec3::new(p.x + h, p.y, p.z)) - self.sample(Vec3::new(p.x - h, p.y, p.z));
+        let dy =
+            self.sample(Vec3::new(p.x, p.y + h, p.z)) - self.sample(Vec3::new(p.x, p.y - h, p.z));
+        let dz =
+            self.sample(Vec3::new(p.x, p.y, p.z + h)) - self.sample(Vec3::new(p.x, p.y, p.z - h));
+        Vec3::new(dx, dy, dz) * 0.5
+    }
+
+    /// Extracts the sub-block `[origin, origin + dims)` as a standalone
+    /// volume — the partitioning phase's "distribute subvolume data".
+    pub fn extract_block(&self, origin: [usize; 3], dims: [usize; 3]) -> Volume {
+        for i in 0..3 {
+            assert!(
+                origin[i] + dims[i] <= self.dims[i],
+                "block out of range on axis {i}"
+            );
+        }
+        let mut out = Volume::zeros(dims);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    out.set(
+                        x,
+                        y,
+                        z,
+                        self.get(origin[0] + x, origin[1] + y, origin[2] + z),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of voxels with a non-zero sample (a crude sparsity probe
+    /// used by dataset tests).
+    pub fn occupancy(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&v| v > 0).count() as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_order_is_x_fastest() {
+        let v = Volume::from_fn([3, 2, 2], |x, y, z| (x + 10 * y + 100 * z) as u8);
+        assert_eq!(v.get(1, 0, 0), 1);
+        assert_eq!(v.get(0, 1, 0), 10);
+        assert_eq!(v.get(0, 0, 1), 100);
+        assert_eq!(v.get(2, 1, 1), 112);
+    }
+
+    #[test]
+    fn sample_at_lattice_points_exact() {
+        let v = Volume::from_fn([4, 4, 4], |x, y, z| (x + y + z) as u8 * 10);
+        assert_eq!(v.sample(Vec3::new(1.0, 2.0, 3.0)), 60.0);
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let v = Volume::from_fn([2, 1, 1], |x, _, _| if x == 0 { 0 } else { 100 });
+        assert!((v.sample(Vec3::new(0.5, 0.0, 0.0)) - 50.0).abs() < 1e-4);
+        assert!((v.sample(Vec3::new(0.25, 0.0, 0.0)) - 25.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_clamps_outside() {
+        let v = Volume::from_fn([2, 2, 2], |x, _, _| if x == 0 { 10 } else { 20 });
+        assert_eq!(v.sample(Vec3::new(-5.0, 0.0, 0.0)), 10.0);
+        assert_eq!(v.sample(Vec3::new(9.0, 0.0, 0.0)), 20.0);
+    }
+
+    #[test]
+    fn gradient_of_linear_ramp() {
+        let v = Volume::from_fn([8, 8, 8], |x, _, _| (x * 10) as u8);
+        let g = v.gradient(Vec3::new(4.0, 4.0, 4.0));
+        assert!((g.x - 10.0).abs() < 1e-4, "{g:?}");
+        assert!(g.y.abs() < 1e-4 && g.z.abs() < 1e-4);
+    }
+
+    #[test]
+    fn extract_block_copies_region() {
+        let v = Volume::from_fn([4, 4, 4], |x, y, z| (x + 4 * y + 16 * z) as u8);
+        let b = v.extract_block([1, 1, 1], [2, 2, 2]);
+        assert_eq!(b.dims(), [2, 2, 2]);
+        assert_eq!(b.get(0, 0, 0), v.get(1, 1, 1));
+        assert_eq!(b.get(1, 1, 1), v.get(2, 2, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn extract_block_out_of_range_panics() {
+        let v = Volume::zeros([4, 4, 4]);
+        let _ = v.extract_block([3, 0, 0], [2, 1, 1]);
+    }
+
+    #[test]
+    fn occupancy_counts_nonzero() {
+        let mut v = Volume::zeros([2, 2, 2]);
+        v.set(0, 0, 0, 5);
+        v.set(1, 1, 1, 7);
+        assert!((v.occupancy() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for partitioning, depth ordering, transfer
+//! functions and volume I/O.
+
+use proptest::prelude::*;
+use vr_volume::io;
+use vr_volume::{kd_partition, DatasetKind, TransferFunction, Vec3, Volume};
+
+fn arb_dims() -> impl Strategy<Value = [usize; 3]> {
+    (4usize..24, 4usize..24, 4usize..24).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn arb_view() -> impl Strategy<Value = Vec3> {
+    (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0).prop_filter_map("zero vector", |(x, y, z)| {
+        let v = Vec3::new(x, y, z);
+        (v.length() > 1e-3).then(|| v.normalized())
+    })
+}
+
+proptest! {
+    #[test]
+    fn partition_covers_and_is_disjoint(dims in arb_dims(), p in 1usize..12) {
+        let part = kd_partition(dims, p);
+        prop_assert_eq!(part.len(), p);
+        let total: usize = part.subvolumes().iter().map(|s| s.voxels()).sum();
+        prop_assert_eq!(total, dims[0] * dims[1] * dims[2]);
+        for a in part.subvolumes() {
+            prop_assert!(a.voxels() > 0);
+            for b in part.subvolumes() {
+                if a.rank != b.rank {
+                    let overlap = (0..3).all(|ax| {
+                        a.origin[ax] < b.origin[ax] + b.dims[ax]
+                            && b.origin[ax] < a.origin[ax] + a.dims[ax]
+                    });
+                    prop_assert!(!overlap, "blocks {} and {} overlap", a.rank, b.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_order_is_a_permutation_for_any_view(
+        dims in arb_dims(),
+        p in 1usize..12,
+        view in arb_view(),
+    ) {
+        let part = kd_partition(dims, p);
+        let order = part.depth_order(view);
+        let mut seen = order.front_to_back().to_vec();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn opposite_views_reverse_the_order(dims in arb_dims(), p in 2usize..10, view in arb_view()) {
+        let part = kd_partition(dims, p);
+        let fwd = part.depth_order(view).front_to_back().to_vec();
+        let mut bwd = part.depth_order(-view).front_to_back().to_vec();
+        bwd.reverse();
+        // Reversal holds when no view component is exactly zero (ties
+        // break identically in both directions otherwise).
+        if view.x != 0.0 && view.y != 0.0 && view.z != 0.0 {
+            prop_assert_eq!(fwd, bwd);
+        }
+    }
+
+    #[test]
+    fn eye_order_matches_orthographic_in_the_limit(
+        dims in arb_dims(),
+        p in 1usize..10,
+        view in arb_view(),
+    ) {
+        let part = kd_partition(dims, p);
+        let center = Vec3::new(dims[0] as f32 / 2.0, dims[1] as f32 / 2.0, dims[2] as f32 / 2.0);
+        let eye = center - view * 1e7;
+        let from_eye = part.depth_order_from_eye(eye);
+        let ortho = part.depth_order(view);
+        prop_assert_eq!(from_eye.front_to_back(), ortho.front_to_back());
+    }
+
+    #[test]
+    fn transfer_functions_stay_in_unit_range(d in 0.0f32..256.0) {
+        for kind in DatasetKind::all() {
+            let tf = kind.transfer();
+            let (i, o) = tf.classify(d);
+            prop_assert!((0.0..=1.0).contains(&i), "{kind:?} intensity {i}");
+            prop_assert!((0.0..=1.0).contains(&o), "{kind:?} opacity {o}");
+        }
+    }
+
+    #[test]
+    fn window_transfer_is_monotone(lo in 0.0f32..200.0, width in 1.0f32..55.0, d1 in 0.0f32..255.0, d2 in 0.0f32..255.0) {
+        let tf = TransferFunction::window(lo, lo + width, 0.9);
+        let (a, b) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(tf.opacity(a) <= tf.opacity(b) + 1e-6);
+    }
+
+    #[test]
+    fn volume_io_round_trips(dims in arb_dims(), seed in any::<u32>()) {
+        let v = Volume::from_fn(dims, |x, y, z| {
+            (x as u32)
+                .wrapping_mul(31)
+                .wrapping_add((y as u32).wrapping_mul(17))
+                .wrapping_add((z as u32).wrapping_mul(7))
+                .wrapping_add(seed) as u8
+        });
+        let mut buf = Vec::new();
+        io::write_volume(&v, &mut buf).unwrap();
+        prop_assert_eq!(io::read_volume(&buf[..]).unwrap(), v);
+    }
+
+    #[test]
+    fn block_encode_round_trips(dims in arb_dims(), p in 1usize..8) {
+        let v = Volume::from_fn(dims, |x, y, z| (x * 3 + y * 5 + z * 7) as u8);
+        let part = kd_partition(dims, p);
+        for block in part.subvolumes() {
+            let bytes = io::encode_block(&v, block);
+            let (placement, local) = io::decode_block(&bytes).unwrap();
+            prop_assert_eq!(placement, *block);
+            prop_assert_eq!(local, v.extract_block(block.origin, block.dims));
+        }
+    }
+
+    #[test]
+    fn trilinear_sample_is_bounded_by_extremes(dims in arb_dims(), px in 0.0f32..32.0, py in 0.0f32..32.0, pz in 0.0f32..32.0) {
+        let v = Volume::from_fn(dims, |x, y, z| ((x * 7 + y * 13 + z * 29) % 251) as u8);
+        let s = v.sample(Vec3::new(px, py, pz));
+        prop_assert!((0.0..=255.0).contains(&s), "sample {s} out of range");
+    }
+
+    #[test]
+    fn ghost_expansion_contains_the_block(dims in arb_dims(), p in 1usize..8, ghost in 0usize..4) {
+        let part = kd_partition(dims, p);
+        for b in part.subvolumes() {
+            let e = b.expanded(ghost, dims);
+            for (ax, &extent) in dims.iter().enumerate() {
+                prop_assert!(e.origin[ax] <= b.origin[ax]);
+                prop_assert!(
+                    e.origin[ax] + e.dims[ax] >= b.origin[ax] + b.dims[ax]
+                );
+                prop_assert!(e.origin[ax] + e.dims[ax] <= extent);
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Compares all seven compositing methods (the paper's four plus the
+//! three related-work baselines) on one workload, printing a table like
+//! the rows of Table 1 extended with M_max and message counts.
+//!
+//! ```text
+//! cargo run --release --example compare_methods [-- <processors>]
+//! ```
+
+use slsvr::compositing::Method;
+use slsvr::system::{Experiment, ExperimentConfig};
+use slsvr::volume::DatasetKind;
+
+fn main() {
+    let processors: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let config = ExperimentConfig {
+        dataset: DatasetKind::EngineHigh,
+        image_size: 384,
+        processors,
+        volume_dims: Some([128, 128, 64]),
+        ..Default::default()
+    };
+    println!(
+        "dataset {}, {}² frame, P = {processors}\n",
+        config.dataset.name(),
+        config.image_size
+    );
+    let experiment = Experiment::prepare(&config);
+    let reference = experiment.reference();
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "method", "comp(ms)", "comm(ms)", "total(ms)", "M_max(B)", "ok"
+    );
+    for method in Method::all() {
+        let out = experiment.run(method);
+        let ok = out.image.max_abs_diff(&reference) < 2e-4;
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>12} {:>10}",
+            method.name(),
+            out.aggregate.t_comp_ms(),
+            out.aggregate.t_comm_ms(),
+            out.aggregate.t_total_ms(),
+            out.aggregate.m_max,
+            if ok { "✓" } else { "✗" }
+        );
+    }
+}

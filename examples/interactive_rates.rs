@@ -1,0 +1,52 @@
+//! The paper's motivating scenario: interactive exploration. Orbits the
+//! camera around the engine and reports the compositing-bound frame
+//! rate of each method on the modeled SP2 — the number the compositing
+//! bottleneck caps, no matter how fast rendering scales.
+//!
+//! ```text
+//! cargo run --release --example interactive_rates
+//! ```
+
+use slsvr::compositing::Method;
+use slsvr::system::animation::Animation;
+use slsvr::system::ExperimentConfig;
+use slsvr::volume::DatasetKind;
+
+fn main() {
+    let animation = Animation {
+        base: ExperimentConfig {
+            dataset: DatasetKind::EngineHigh,
+            image_size: 256,
+            processors: 16,
+            volume_dims: Some([96, 96, 48]),
+            ..Default::default()
+        },
+        frames: 6,
+        sweep_y_deg: 120.0,
+        sweep_x_deg: 20.0,
+    };
+
+    println!(
+        "orbiting {} over {} frames, {}² frame, P = {}\n",
+        animation.base.dataset.name(),
+        animation.frames,
+        animation.base.image_size,
+        animation.base.processors
+    );
+    println!(
+        "{:<8} {:>16} {:>18}",
+        "method", "avg T_total(ms)", "compositing fps"
+    );
+    for method in [Method::Bs, Method::Bsbr, Method::Bslc, Method::Bsbrc] {
+        let frames = animation.run(method);
+        let avg_ms =
+            frames.iter().map(|f| f.composite_seconds).sum::<f64>() / frames.len() as f64 * 1e3;
+        let fps = Animation::compositing_fps(&frames);
+        println!("{:<8} {:>16.2} {:>18.2}", method.name(), avg_ms, fps);
+    }
+    println!(
+        "\nThe compositing phase caps the interactive rate regardless of\n\
+         render scaling — the paper's core motivation. BSBRC sustains the\n\
+         highest rate on the modeled SP2."
+    );
+}

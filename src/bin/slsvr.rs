@@ -1,0 +1,279 @@
+//! `slsvr` — command-line driver for the sort-last-sparse parallel
+//! volume rendering system.
+//!
+//! ```text
+//! slsvr render  [--dataset NAME] [--size N] [--procs P] [--method M]
+//!               [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
+//!               [--distributed] [--ghost N] [--out FILE.pgm]
+//! slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
+//! slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
+//! slsvr info
+//! ```
+
+use std::process::ExitCode;
+
+use slsvr::compositing::Method;
+use slsvr::system::{run_distributed, Experiment, ExperimentConfig, SweepBuilder};
+use slsvr::volume::DatasetKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "render" => cmd_render(rest),
+        "compare" => cmd_compare(rest),
+        "sweep" => cmd_sweep(rest),
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+slsvr — sort-last-sparse parallel volume rendering
+
+USAGE:
+  slsvr render  [--dataset NAME] [--size N] [--procs P] [--method M]
+                [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
+                [--perspective DIST] [--balanced]
+                [--distributed] [--ghost N] [--out FILE.pgm]
+  slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
+                [--perspective DIST] [--balanced]
+  slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
+  slsvr info
+
+DATASETS: engine_low | engine_high | head | cube
+METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe | radixk";
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for {key}")),
+        }
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "engine_low" | "enginelow" => Ok(DatasetKind::EngineLow),
+        "engine_high" | "enginehigh" => Ok(DatasetKind::EngineHigh),
+        "head" => Ok(DatasetKind::Head),
+        "cube" => Ok(DatasetKind::Cube),
+        other => Err(format!(
+            "unknown dataset `{other}` (try engine_low/engine_high/head/cube)"
+        )),
+    }
+}
+
+fn parse_method(name: &str) -> Result<Method, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "bs" => Ok(Method::Bs),
+        "bsbr" => Ok(Method::Bsbr),
+        "bslc" => Ok(Method::Bslc),
+        "bsbrc" => Ok(Method::Bsbrc),
+        "bsrl" => Ok(Method::Bsrl),
+        "bsbm" => Ok(Method::Bsbm),
+        "bsmr" => Ok(Method::Bsmr),
+        "btree" => Ok(Method::BinaryTree),
+        "dsend" => Ok(Method::DirectSend),
+        "pipe" => Ok(Method::Pipeline),
+        "radixk" | "radix" => Ok(Method::RadixK),
+        other => Err(format!("unknown method `{other}`")),
+    }
+}
+
+fn parse_dims(spec: &str) -> Result<[usize; 3], String> {
+    let parts: Vec<usize> = spec
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("invalid dims `{spec}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 3 || parts.contains(&0) {
+        return Err(format!(
+            "dims must be three positive integers, got `{spec}`"
+        ));
+    }
+    Ok([parts[0], parts[1], parts[2]])
+}
+
+fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig {
+        dataset: parse_dataset(flags.get("--dataset").unwrap_or("engine_low"))?,
+        image_size: flags.parse("--size", 384u16)?,
+        processors: flags.parse("--procs", 8usize)?,
+        method: parse_method(flags.get("--method").unwrap_or("bsbrc"))?,
+        rot_x_deg: flags.parse("--rot-x", 20.0f32)?,
+        rot_y_deg: flags.parse("--rot-y", 30.0f32)?,
+        ghost_voxels: flags.parse("--ghost", 0usize)?,
+        balanced_partition: flags.has("--balanced"),
+        ..Default::default()
+    };
+    if let Some(d) = flags.get("--perspective") {
+        config.perspective_distance = Some(
+            d.parse()
+                .map_err(|_| format!("invalid --perspective `{d}`"))?,
+        );
+    }
+    if let Some(spec) = flags.get("--dims") {
+        config.volume_dims = Some(parse_dims(spec)?);
+    }
+    if config.processors == 0 {
+        return Err("--procs must be at least 1".into());
+    }
+    Ok(config)
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let config = config_from_flags(&flags)?;
+    let out_path = flags.get("--out").unwrap_or("render.pgm");
+
+    let (image, comp_ms, comm_ms, m_max) = if flags.has("--distributed") {
+        let out = run_distributed(&config);
+        let comp = out
+            .per_rank
+            .iter()
+            .map(|s| s.comp_seconds)
+            .fold(0.0, f64::max)
+            * 1e3;
+        let comm = out
+            .per_rank
+            .iter()
+            .map(|s| s.comm_seconds)
+            .fold(0.0, f64::max)
+            * 1e3;
+        let m_max = out
+            .per_rank
+            .iter()
+            .map(|s| s.recv_bytes())
+            .max()
+            .unwrap_or(0);
+        (out.image, comp, comm, m_max)
+    } else {
+        let exp = Experiment::prepare(&config);
+        let out = exp.run(config.method);
+        (
+            out.image,
+            out.aggregate.t_comp_ms(),
+            out.aggregate.t_comm_ms(),
+            out.aggregate.m_max,
+        )
+    };
+
+    slsvr::image::pgm::save_pgm(&image, out_path)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "{} · {}² · P={} · {}: T_comp {:.2} ms, T_comm {:.2} ms, M_max {} B",
+        config.dataset.name(),
+        config.image_size,
+        config.processors,
+        config.method.name(),
+        comp_ms,
+        comm_ms,
+        m_max
+    );
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let config = config_from_flags(&flags)?;
+    let exp = Experiment::prepare(&config);
+    let reference = exp.reference();
+    println!(
+        "{} · {}² · P={}\n",
+        config.dataset.name(),
+        config.image_size,
+        config.processors
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>5}",
+        "method", "comp(ms)", "comm(ms)", "total(ms)", "M_max(B)", "ok"
+    );
+    for method in Method::all() {
+        let out = exp.run(method);
+        let ok = out.image.max_abs_diff(&reference) < 2e-4;
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>12} {:>5}",
+            method.name(),
+            out.aggregate.t_comp_ms(),
+            out.aggregate.t_comm_ms(),
+            out.aggregate.t_total_ms(),
+            out.aggregate.m_max,
+            if ok { "✓" } else { "✗" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let config = config_from_flags(&flags)?;
+    let sweep = SweepBuilder {
+        base: config,
+        datasets: DatasetKind::all().to_vec(),
+        processor_counts: vec![2, 4, 8, 16, 32, 64],
+        methods: Method::paper_methods().to_vec(),
+    };
+    let csv = slsvr::system::to_csv(&sweep.run());
+    match flags.get("--out") {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_info() {
+    println!("datasets:");
+    for d in DatasetKind::all() {
+        let dims = d.paper_dims();
+        println!("  {:<12} {}x{}x{}", d.name(), dims[0], dims[1], dims[2]);
+    }
+    println!("\nmethods:");
+    for m in Method::all() {
+        println!("  {}", m.name());
+    }
+}
