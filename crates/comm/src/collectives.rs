@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 
-use crate::endpoint::{Endpoint, RecvError, Tag};
+use crate::endpoint::{CommError, Endpoint, Tag};
 
 /// Scatters one payload per rank from `root`; returns this rank's
 /// payload. The root sends `P−1` messages directly (the natural pattern
@@ -19,7 +19,7 @@ pub fn scatter(
     root: usize,
     tag: Tag,
     payloads: Option<Vec<Bytes>>,
-) -> Result<Bytes, RecvError> {
+) -> Result<Bytes, CommError> {
     if ep.rank() == root {
         let payloads = payloads.expect("root must supply one payload per rank");
         assert_eq!(
@@ -32,12 +32,12 @@ pub fn scatter(
             if dst == ep.rank() {
                 own = Some(payload);
             } else {
-                ep.send(dst, tag, payload);
+                ep.send(dst, tag, payload)?;
             }
         }
         Ok(own.expect("root keeps its own payload"))
     } else {
-        ep.recv(root, tag)
+        Ok(ep.recv(root, tag)?)
     }
 }
 
@@ -48,7 +48,7 @@ pub fn broadcast(
     root: usize,
     tag: Tag,
     payload: Option<Bytes>,
-) -> Result<Bytes, RecvError> {
+) -> Result<Bytes, CommError> {
     let p = ep.size();
     // Work in a rotated space where the root is rank 0.
     let me = (ep.rank() + p - root) % p;
@@ -69,7 +69,7 @@ pub fn broadcast(
     for b in (0..lowest.min(usize::BITS as usize - 1)).rev() {
         let child = me | (1 << b);
         if child < p && child != me {
-            ep.send((child + root) % p, tag, data.clone());
+            ep.send((child + root) % p, tag, data.clone())?;
         }
     }
     Ok(data)
@@ -84,7 +84,7 @@ pub fn reduce(
     tag: Tag,
     own: Bytes,
     mut combine: impl FnMut(Bytes, Bytes) -> Bytes,
-) -> Result<Option<Bytes>, RecvError> {
+) -> Result<Option<Bytes>, CommError> {
     let p = ep.size();
     let me = (ep.rank() + p - root) % p;
     let mut acc = own;
@@ -93,7 +93,7 @@ pub fn reduce(
         if me & bit != 0 {
             // Send to the partner below and retire.
             let dst = me & !bit;
-            ep.send((dst + root) % p, tag, acc);
+            ep.send((dst + root) % p, tag, acc)?;
             return Ok(None);
         }
         let src = me | bit;
@@ -108,7 +108,7 @@ pub fn reduce(
 
 /// All-gather: every rank contributes one payload and receives all of
 /// them (indexed by rank). Implemented as gather-to-0 + broadcast.
-pub fn all_gather(ep: &mut Endpoint, tag: Tag, own: Bytes) -> Result<Vec<Bytes>, RecvError> {
+pub fn all_gather(ep: &mut Endpoint, tag: Tag, own: Bytes) -> Result<Vec<Bytes>, CommError> {
     let gathered = ep.gather(0, tag, own)?;
     // Flatten to one frame: u32 count, then (u32 len, bytes) per rank.
     let frame = if let Some(parts) = gathered {

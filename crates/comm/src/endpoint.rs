@@ -1,12 +1,33 @@
 //! One rank's communication endpoint.
+//!
+//! The endpoint has two wire modes:
+//!
+//! * **Raw** (default): messages go straight onto the per-link channel
+//!   with no framing — byte-identical behaviour and stats to builds
+//!   that predate the reliability layer.
+//! * **Reliable**: every message is wrapped in a sequence-numbered,
+//!   CRC-protected frame (see [`crate::reliable`]) and delivered via a
+//!   stop-and-wait ARQ: the sender retransmits on ack timeout with
+//!   bounded exponential backoff until the retry budget is exhausted;
+//!   the receiver CRC-checks, deduplicates by sequence number and acks
+//!   every accepted or duplicate frame.
+//!
+//! Either mode can run under a [`FaultPlan`] that drops, corrupts,
+//! duplicates or delays individual physical transmissions, and can kill
+//! this rank outright after a configured number of operations.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::cost::CostModel;
+use crate::fault::{FaultAction, FaultPlan, StreamClass};
+use crate::reliable::{
+    decode_frame, encode_frame, ReliabilityConfig, FRAME_ACK, FRAME_DATA, HEADER_LEN,
+};
 use crate::stats::TrafficStats;
 use crate::trace::{EventKind, Tracer};
 
@@ -24,7 +45,7 @@ pub struct Message {
 }
 
 /// Error from a receive operation.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RecvError {
     /// No message arrived before the deadline — almost always a protocol
     /// deadlock in the compositing schedule.
@@ -38,6 +59,9 @@ pub enum RecvError {
     /// The peer's endpoint was dropped (its rank function returned or
     /// panicked before sending).
     Disconnected { from: usize },
+    /// This rank itself was killed by fault injection; the operation was
+    /// not performed.
+    Killed { rank: usize },
 }
 
 impl std::fmt::Display for RecvError {
@@ -62,20 +86,172 @@ impl std::fmt::Display for RecvError {
             RecvError::Disconnected { from } => {
                 write!(f, "rank {from} disconnected before sending")
             }
+            RecvError::Killed { rank } => {
+                write!(f, "rank {rank} was killed by fault injection")
+            }
         }
     }
 }
 
 impl std::error::Error for RecvError {}
 
-/// How long a blocking receive waits before declaring a deadlock.
-const RECV_DEADLINE: Duration = Duration::from_secs(60);
+/// Error from a send operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendError {
+    /// The destination rank.
+    pub to: usize,
+    /// Why the send failed.
+    pub kind: SendErrorKind,
+}
+
+/// Why a send failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendErrorKind {
+    /// The destination's endpoint was dropped (it exited or died).
+    Disconnected,
+    /// Reliable delivery gave up after exhausting its retransmissions
+    /// without an acknowledgement.
+    RetryBudgetExhausted {
+        /// Total transmissions attempted (initial send + retries).
+        attempts: u32,
+    },
+    /// This rank itself was killed by fault injection; nothing was sent.
+    Killed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            SendErrorKind::Disconnected => {
+                write!(f, "rank {} mailbox closed (peer exited early)", self.to)
+            }
+            SendErrorKind::RetryBudgetExhausted { attempts } => write!(
+                f,
+                "no ack from rank {} after {attempts} transmissions (retry budget exhausted)",
+                self.to
+            ),
+            SendErrorKind::Killed => {
+                write!(f, "send to rank {} aborted: this rank was killed", self.to)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Error from a combined send+receive operation ([`Endpoint::exchange`],
+/// [`Endpoint::gather`], collectives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The sending half failed.
+    Send(SendError),
+    /// The receiving half failed.
+    Recv(RecvError),
+}
+
+impl From<SendError> for CommError {
+    fn from(e: SendError) -> Self {
+        CommError::Send(e)
+    }
+}
+
+impl From<RecvError> for CommError {
+    fn from(e: RecvError) -> Self {
+        CommError::Recv(e)
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Send(e) => e.fmt(f),
+            CommError::Recv(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl CommError {
+    /// True when the error means the *peer* is gone (dead or
+    /// unreachable) — the survivable case a degraded compositing run
+    /// routes around.
+    pub fn is_peer_dead(&self) -> bool {
+        matches!(
+            self,
+            CommError::Send(SendError {
+                kind: SendErrorKind::Disconnected | SendErrorKind::RetryBudgetExhausted { .. },
+                ..
+            }) | CommError::Recv(RecvError::Disconnected { .. })
+        )
+    }
+
+    /// True when *this* rank was killed by fault injection and must stop
+    /// participating.
+    pub fn is_self_killed(&self) -> bool {
+        matches!(
+            self,
+            CommError::Send(SendError {
+                kind: SendErrorKind::Killed,
+                ..
+            }) | CommError::Recv(RecvError::Killed { .. })
+        )
+    }
+
+    /// The peer rank involved, when the error names one.
+    pub fn peer(&self) -> Option<usize> {
+        match self {
+            CommError::Send(e) => Some(e.to),
+            CommError::Recv(RecvError::Timeout { from, .. })
+            | CommError::Recv(RecvError::TagMismatch { from, .. })
+            | CommError::Recv(RecvError::Disconnected { from }) => Some(*from),
+            CommError::Recv(RecvError::Killed { .. }) => None,
+        }
+    }
+}
+
+/// Default deadline a blocking receive waits before declaring a deadlock.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(60);
+
+/// How long the reliable pump sleeps between polls of the incoming links.
+const PUMP_SLEEP: Duration = Duration::from_micros(50);
+
+/// Per-peer link state for the reliable layer and fault keying.
+#[derive(Debug, Default)]
+struct LinkState {
+    // --- send side ---
+    /// Next data sequence number for frames to this peer.
+    next_seq: u32,
+    /// Highest data seq this peer has acknowledged.
+    acked: Option<u32>,
+    /// Raw-mode transmission counter (fault keying).
+    raw_index: u64,
+    // --- receive side ---
+    /// Next data seq expected from this peer.
+    expected_seq: u32,
+    /// Reliable messages accepted from this peer, awaiting `recv`.
+    pending: VecDeque<Message>,
+    /// The peer's channel reported disconnected (no more frames ever).
+    peer_closed: bool,
+    /// Last data seq this rank acked to this peer, with how many acks
+    /// it has sent for it (fault keying for re-acks of duplicates).
+    last_ack: Option<(u32, u64)>,
+}
+
+/// Per-endpoint wiring handed over by the group runner.
+pub(crate) struct EndpointConfig {
+    pub cost: CostModel,
+    pub recv_deadline: Duration,
+    pub reliability: ReliabilityConfig,
+    pub faults: Option<FaultPlan>,
+    pub kill_at: Option<u64>,
+}
 
 /// A rank's private endpoint into the group.
 ///
-/// Sends are buffered (never block); receives are selective by source
-/// rank, which matches how every compositing schedule here names its
-/// communication partner explicitly.
+/// Sends are buffered (never block in raw mode); receives are selective
+/// by source rank, which matches how every compositing schedule here
+/// names its communication partner explicitly.
 pub struct Endpoint {
     rank: usize,
     size: usize,
@@ -87,6 +263,16 @@ pub struct Endpoint {
     cost: CostModel,
     stats: TrafficStats,
     tracer: Option<Tracer>,
+    recv_deadline: Duration,
+    reliability: ReliabilityConfig,
+    faults: Option<FaultPlan>,
+    links: Vec<LinkState>,
+    /// Application-level operations (sends + receives) completed.
+    ops: u64,
+    /// Op count at which this rank dies, if the fault plan kills it.
+    kill_at: Option<u64>,
+    /// Set once the kill threshold is crossed; every further op fails.
+    dead: bool,
 }
 
 impl Endpoint {
@@ -96,7 +282,7 @@ impl Endpoint {
         to: Vec<Sender<Message>>,
         from: Vec<Receiver<Message>>,
         barrier: Arc<std::sync::Barrier>,
-        cost: CostModel,
+        config: EndpointConfig,
     ) -> Self {
         Endpoint {
             rank,
@@ -104,9 +290,16 @@ impl Endpoint {
             to,
             from,
             barrier,
-            cost,
+            cost: config.cost,
             stats: TrafficStats::default(),
             tracer: None,
+            recv_deadline: config.recv_deadline,
+            reliability: config.reliability,
+            faults: config.faults,
+            links: (0..size).map(|_| LinkState::default()).collect(),
+            ops: 0,
+            kill_at: config.kill_at,
+            dead: false,
         }
     }
 
@@ -139,30 +332,255 @@ impl Endpoint {
         &self.stats
     }
 
+    /// True once fault injection has killed this rank: every further
+    /// send/receive fails with a `Killed` error.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
     /// Consumes the endpoint, yielding its final traffic stats.
     pub fn into_stats(self) -> TrafficStats {
         self.stats
     }
 
-    /// Sends `payload` to `dst` with `tag`. Never blocks.
-    pub fn send(&mut self, dst: usize, tag: Tag, payload: Bytes) {
+    /// Keeps the transport responsive after this rank's work is done:
+    /// answers retransmissions (re-acking duplicates) until `done`
+    /// reports the whole group finished.
+    ///
+    /// Without this, a peer whose ack was lost in transit would
+    /// retransmit into a closed channel and wrongly conclude this rank
+    /// died — a healthy transport's protocol state outlives the
+    /// application's last receive. No-op in raw (unreliable) mode.
+    pub fn linger_until(&mut self, done: impl Fn() -> bool) {
+        if !self.reliability.enabled {
+            return;
+        }
+        while !done() {
+            self.pump();
+            std::thread::sleep(PUMP_SLEEP);
+        }
+    }
+
+    /// Accounts one application-level operation against the kill
+    /// threshold. Returns false when the rank is (now) dead.
+    fn consume_op(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        if let Some(kill_at) = self.kill_at {
+            if self.ops >= kill_at {
+                self.dead = true;
+                return false;
+            }
+        }
+        self.ops += 1;
+        true
+    }
+
+    /// Pushes one physical transmission onto the wire, applying the
+    /// fault plan. `Err` means the destination channel is closed.
+    fn transmit(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        class: StreamClass,
+        index: u64,
+    ) -> Result<(), ()> {
+        let Some(plan) = self.faults else {
+            return self.push(dst, tag, payload);
+        };
+        match plan.action(self.rank, dst, class, index) {
+            FaultAction::Deliver => self.push(dst, tag, payload),
+            FaultAction::Drop => Ok(()), // lost in transit
+            FaultAction::Corrupt => {
+                let mut bytes = payload.to_vec();
+                if !bytes.is_empty() {
+                    let i = plan.corrupt_byte(self.rank, dst, class, index, bytes.len());
+                    bytes[i] ^= 0x01;
+                }
+                self.push(dst, tag, Bytes::from(bytes))
+            }
+            FaultAction::Duplicate => {
+                self.push(dst, tag, payload.clone())?;
+                self.push(dst, tag, payload)
+            }
+            FaultAction::Delay => {
+                std::thread::sleep(plan.delay());
+                self.push(dst, tag, payload)
+            }
+        }
+    }
+
+    fn push(&mut self, dst: usize, tag: Tag, payload: Bytes) -> Result<(), ()> {
+        self.to[dst].send(Message { tag, payload }).map_err(|_| ())
+    }
+
+    /// Sends `payload` to `dst` with `tag`.
+    ///
+    /// In raw mode this never blocks; in reliable mode it blocks until
+    /// the frame is acknowledged (retransmitting on timeout) and fails
+    /// with [`SendErrorKind::RetryBudgetExhausted`] when the peer stays
+    /// silent through the whole retry budget.
+    pub fn send(&mut self, dst: usize, tag: Tag, payload: Bytes) -> Result<(), SendError> {
         assert!(
             dst < self.size,
             "send to rank {dst} out of range (size {})",
             self.size
         );
+        if !self.consume_op() {
+            return Err(SendError {
+                to: dst,
+                kind: SendErrorKind::Killed,
+            });
+        }
         if let Some(t) = &self.tracer {
             t.record(self.rank, dst, EventKind::Send, payload.len(), tag);
         }
         self.stats.on_send(payload.len());
-        self.to[dst]
-            .send(Message { tag, payload })
-            .unwrap_or_else(|_| panic!("rank {dst} mailbox closed (peer exited early)"));
+        if self.reliability.enabled {
+            self.send_reliable(dst, tag, payload)
+        } else {
+            let index = self.links[dst].raw_index;
+            self.links[dst].raw_index += 1;
+            self.transmit(dst, tag, payload, StreamClass::Raw, index)
+                .map_err(|()| SendError {
+                    to: dst,
+                    kind: SendErrorKind::Disconnected,
+                })
+        }
+    }
+
+    /// Stop-and-wait reliable send: frame, transmit, await ack, retry
+    /// with exponential backoff.
+    fn send_reliable(&mut self, dst: usize, tag: Tag, payload: Bytes) -> Result<(), SendError> {
+        let seq = self.links[dst].next_seq;
+        self.links[dst].next_seq = seq.wrapping_add(1);
+        let frame = encode_frame(FRAME_DATA, seq, &payload);
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > 0 {
+                self.stats.retransmits += 1;
+                self.stats.retransmit_bytes += frame.len() as u64;
+            }
+            let key = ((seq as u64) << 16) | (attempt as u64 & 0xFFFF);
+            if self
+                .transmit(dst, tag, frame.clone(), StreamClass::Data, key)
+                .is_err()
+            {
+                return Err(SendError {
+                    to: dst,
+                    kind: SendErrorKind::Disconnected,
+                });
+            }
+            let deadline = Instant::now() + self.reliability.retry_delay(attempt);
+            loop {
+                self.pump();
+                if self.links[dst].acked.is_some_and(|a| a >= seq) {
+                    return Ok(());
+                }
+                if self.links[dst].peer_closed {
+                    // The channel is drained and the peer is gone: the
+                    // ack can never arrive.
+                    return Err(SendError {
+                        to: dst,
+                        kind: SendErrorKind::Disconnected,
+                    });
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(PUMP_SLEEP);
+            }
+            self.stats.ack_timeouts += 1;
+            attempt += 1;
+            if attempt > self.reliability.max_retries {
+                return Err(SendError {
+                    to: dst,
+                    kind: SendErrorKind::RetryBudgetExhausted { attempts: attempt },
+                });
+            }
+        }
+    }
+
+    /// Drains every incoming link without blocking, processing frames:
+    /// CRC check, dedup, ack, and buffering of accepted messages.
+    fn pump(&mut self) {
+        for src in 0..self.size {
+            loop {
+                match self.from[src].try_recv() {
+                    Ok(msg) => self.process_frame(src, msg),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.links[src].peer_closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles one physical frame off the wire (reliable mode only).
+    fn process_frame(&mut self, src: usize, msg: Message) {
+        let raw_len = msg.payload.len();
+        // Every physical frame costs modeled wire time at the receiver.
+        self.stats.modeled_comm_seconds += self.cost.message_seconds(raw_len);
+        match decode_frame(&msg.payload) {
+            Err(_) => {
+                // Corrupted in transit; drop it and let the sender's ack
+                // timeout drive a retransmission.
+                self.stats.corruptions_detected += 1;
+                self.stats.overhead_bytes += raw_len as u64;
+            }
+            Ok(frame) if frame.kind == FRAME_ACK => {
+                self.stats.overhead_bytes += raw_len as u64;
+                let link = &mut self.links[src];
+                link.acked = Some(link.acked.map_or(frame.seq, |a| a.max(frame.seq)));
+            }
+            Ok(frame) => {
+                let expected = self.links[src].expected_seq;
+                if frame.seq == expected {
+                    self.links[src].expected_seq = expected.wrapping_add(1);
+                    self.stats.overhead_bytes += HEADER_LEN as u64;
+                    self.send_ack(src, msg.tag, frame.seq);
+                    self.links[src].pending.push_back(Message {
+                        tag: msg.tag,
+                        payload: frame.payload,
+                    });
+                } else {
+                    // A duplicate (retransmission of something already
+                    // accepted): discard, but re-ack so the sender can
+                    // make progress if the first ack was lost.
+                    self.stats.overhead_bytes += raw_len as u64;
+                    if frame.seq < expected {
+                        self.send_ack(src, msg.tag, frame.seq);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Acks `seq` back to `src`. Failures are ignored: a peer that
+    /// already exited no longer needs the ack.
+    fn send_ack(&mut self, src: usize, tag: Tag, seq: u32) {
+        let attempt = {
+            let link = &mut self.links[src];
+            let n = match link.last_ack {
+                Some((s, n)) if s == seq => n + 1,
+                _ => 0,
+            };
+            link.last_ack = Some((seq, n));
+            n
+        };
+        let frame = encode_frame(FRAME_ACK, seq, &[]);
+        let key = ((seq as u64) << 16) | (attempt & 0xFFFF);
+        let _ = self.transmit(src, tag, frame, StreamClass::Ack, key);
     }
 
     /// Receives the next message from `src`, requiring `tag`.
     ///
-    /// Blocks up to an internal deadline, then returns
+    /// Blocks up to the group's receive deadline, then returns
     /// [`RecvError::Timeout`] so schedule deadlocks surface as test
     /// failures instead of hangs.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Result<Bytes, RecvError> {
@@ -171,28 +589,71 @@ impl Endpoint {
             "recv from rank {src} out of range (size {})",
             self.size
         );
-        match self.from[src].recv_timeout(RECV_DEADLINE) {
-            Ok(msg) => {
-                if msg.tag != tag {
-                    return Err(RecvError::TagMismatch {
-                        from: src,
-                        expected: tag,
-                        got: msg.tag,
-                    });
-                }
-                if let Some(tr) = &self.tracer {
-                    tr.record(self.rank, src, EventKind::Recv, msg.payload.len(), tag);
-                }
-                let t = self.cost.message_seconds(msg.payload.len());
-                self.stats.on_recv(msg.payload.len(), t);
-                Ok(msg.payload)
-            }
-            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout {
-                from: src,
-                waited: RECV_DEADLINE,
-            }),
-            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected { from: src }),
+        if !self.consume_op() {
+            return Err(RecvError::Killed { rank: self.rank });
         }
+        if self.reliability.enabled {
+            self.recv_reliable(src, tag)
+        } else {
+            match self.from[src].recv_timeout(self.recv_deadline) {
+                Ok(msg) => self.deliver(src, tag, msg),
+                Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout {
+                    from: src,
+                    waited: self.recv_deadline,
+                }),
+                Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected { from: src }),
+            }
+        }
+    }
+
+    /// Reliable-mode receive: pops this link's pending queue, pumping
+    /// all links while waiting so in-flight acks and frames for *other*
+    /// conversations keep moving (this is what makes ring and exchange
+    /// schedules deadlock-free under ARQ).
+    fn recv_reliable(&mut self, src: usize, tag: Tag) -> Result<Bytes, RecvError> {
+        let deadline = Instant::now() + self.recv_deadline;
+        loop {
+            if let Some(msg) = self.links[src].pending.pop_front() {
+                return self.deliver(src, tag, msg);
+            }
+            self.pump();
+            if !self.links[src].pending.is_empty() {
+                continue;
+            }
+            if self.links[src].peer_closed {
+                return Err(RecvError::Disconnected { from: src });
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvError::Timeout {
+                    from: src,
+                    waited: self.recv_deadline,
+                });
+            }
+            std::thread::sleep(PUMP_SLEEP);
+        }
+    }
+
+    /// Tag-checks and accounts one application message.
+    fn deliver(&mut self, src: usize, tag: Tag, msg: Message) -> Result<Bytes, RecvError> {
+        if msg.tag != tag {
+            return Err(RecvError::TagMismatch {
+                from: src,
+                expected: tag,
+                got: msg.tag,
+            });
+        }
+        if let Some(tr) = &self.tracer {
+            tr.record(self.rank, src, EventKind::Recv, msg.payload.len(), tag);
+        }
+        // In reliable mode the wire time was already charged per physical
+        // frame by `process_frame`; charge it here only for raw delivery.
+        let modeled = if self.reliability.enabled {
+            0.0
+        } else {
+            self.cost.message_seconds(msg.payload.len())
+        };
+        self.stats.on_recv(msg.payload.len(), modeled);
+        Ok(msg.payload)
     }
 
     /// Full-duplex exchange with `peer`: buffered send, then blocking
@@ -200,9 +661,9 @@ impl Endpoint {
     ///
     /// This is the binary-swap primitive: "each PE sends the half subimage
     /// it keeps to PE'; each PE receives the half subimage from PE'".
-    pub fn exchange(&mut self, peer: usize, tag: Tag, payload: Bytes) -> Result<Bytes, RecvError> {
-        self.send(peer, tag, payload);
-        self.recv(peer, tag)
+    pub fn exchange(&mut self, peer: usize, tag: Tag, payload: Bytes) -> Result<Bytes, CommError> {
+        self.send(peer, tag, payload)?;
+        Ok(self.recv(peer, tag)?)
     }
 
     /// Blocks until every rank in the group has reached the barrier.
@@ -211,13 +672,15 @@ impl Endpoint {
     }
 
     /// Gathers every rank's payload at `root`; returns `Some(payloads)`
-    /// (indexed by rank) at the root, `None` elsewhere.
+    /// (indexed by rank) at the root, `None` elsewhere. Any failure is a
+    /// hard error — use [`Endpoint::gather_tolerant`] to survive dead
+    /// contributors.
     pub fn gather(
         &mut self,
         root: usize,
         tag: Tag,
         payload: Bytes,
-    ) -> Result<Option<Vec<Bytes>>, RecvError> {
+    ) -> Result<Option<Vec<Bytes>>, CommError> {
         if self.rank == root {
             let mut all: Vec<Bytes> = Vec::with_capacity(self.size);
             for src in 0..self.size {
@@ -229,8 +692,45 @@ impl Endpoint {
             }
             Ok(Some(all))
         } else {
-            self.send(root, tag, payload);
+            self.send(root, tag, payload)?;
             Ok(None)
+        }
+    }
+
+    /// Like [`Endpoint::gather`], but a contributor that died or
+    /// disconnected yields `None` in its slot instead of failing the
+    /// whole gather. Only `Killed` (this rank is dead) and protocol
+    /// errors (timeout, tag mismatch) remain hard errors.
+    pub fn gather_tolerant(
+        &mut self,
+        root: usize,
+        tag: Tag,
+        payload: Bytes,
+    ) -> Result<Option<Vec<Option<Bytes>>>, CommError> {
+        if self.rank == root {
+            let mut all: Vec<Option<Bytes>> = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == self.rank {
+                    all.push(Some(payload.clone()));
+                } else {
+                    match self.recv(src, tag) {
+                        Ok(bytes) => all.push(Some(bytes)),
+                        Err(RecvError::Disconnected { .. }) => all.push(None),
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            Ok(Some(all))
+        } else {
+            match self.send(root, tag, payload) {
+                Ok(()) => Ok(None),
+                // A dead root cannot collect; nothing for this rank to do.
+                Err(SendError {
+                    kind: SendErrorKind::Disconnected | SendErrorKind::RetryBudgetExhausted { .. },
+                    ..
+                }) => Ok(None),
+                Err(e) => Err(e.into()),
+            }
         }
     }
 }
@@ -238,14 +738,16 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::group::run_group;
+    use crate::fault::{FaultConfig, KillSpec, TargetedFault};
+    use crate::group::{run_group, run_group_with, GroupOptions};
 
     #[test]
     fn ring_pass() {
         let out = run_group(4, CostModel::free(), |ep| {
             let next = (ep.rank() + 1) % ep.size();
             let prev = (ep.rank() + ep.size() - 1) % ep.size();
-            ep.send(next, 7, Bytes::from(vec![ep.rank() as u8]));
+            ep.send(next, 7, Bytes::from(vec![ep.rank() as u8]))
+                .unwrap();
             let got = ep.recv(prev, 7).unwrap();
             got[0] as usize
         });
@@ -268,7 +770,7 @@ mod tests {
     fn tag_mismatch_detected() {
         let out = run_group(2, CostModel::free(), |ep| {
             let peer = 1 - ep.rank();
-            ep.send(peer, 1, Bytes::new());
+            ep.send(peer, 1, Bytes::new()).unwrap();
             matches!(ep.recv(peer, 2), Err(RecvError::TagMismatch { .. }))
         });
         assert!(out.results.iter().all(|&ok| ok));
@@ -327,9 +829,400 @@ mod tests {
     #[test]
     fn self_send_works() {
         let out = run_group(1, CostModel::free(), |ep| {
-            ep.send(0, 9, Bytes::from_static(b"hi"));
+            ep.send(0, 9, Bytes::from_static(b"hi")).unwrap();
             ep.recv(0, 9).unwrap()
         });
         assert_eq!(&out.results[0][..], b"hi");
+    }
+
+    #[test]
+    fn send_to_exited_peer_returns_error_not_panic() {
+        let out = run_group(2, CostModel::free(), |ep| {
+            if ep.rank() == 1 {
+                return true; // exit immediately; rank 0 sends into the void
+            }
+            // Retry until rank 1's endpoint is actually dropped.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match ep.send(1, 0, Bytes::from_static(b"x")) {
+                    Err(SendError {
+                        to: 1,
+                        kind: SendErrorKind::Disconnected,
+                    }) => return true,
+                    Ok(()) => {
+                        if Instant::now() > deadline {
+                            return false;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return false,
+                }
+            }
+        });
+        assert!(out.results.iter().all(|&ok| ok), "expected SendError");
+    }
+
+    #[test]
+    fn configurable_recv_deadline_times_out_fast() {
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            recv_deadline: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 1 {
+                // Stay alive past rank 0's deadline so the channel
+                // remains open and the timeout (not a disconnect) fires.
+                std::thread::sleep(Duration::from_millis(400));
+                return None;
+            }
+            Some(ep.recv(1, 0))
+        });
+        assert_eq!(
+            out.results[0],
+            Some(Err(RecvError::Timeout {
+                from: 1,
+                waited: Duration::from_millis(100),
+            }))
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "short deadline must not fall back to the 60s default"
+        );
+    }
+
+    #[test]
+    fn reliable_mode_delivers_like_raw() {
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            reliability: ReliabilityConfig::on(),
+            ..Default::default()
+        };
+        let out = run_group_with(4, options, |ep| {
+            let next = (ep.rank() + 1) % ep.size();
+            let prev = (ep.rank() + ep.size() - 1) % ep.size();
+            ep.send(next, 7, Bytes::from(vec![ep.rank() as u8; 128]))
+                .unwrap();
+            let got = ep.recv(prev, 7).unwrap();
+            got[0] as usize
+        });
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+        for s in &out.stats {
+            // Logical counters see the app payload, not the framing.
+            assert_eq!(s.sent_bytes, 128);
+            assert_eq!(s.recv_bytes, 128);
+            assert_eq!(s.retransmits, 0);
+            assert_eq!(s.corruptions_detected, 0);
+            // Each rank received one data frame header + one ack frame.
+            assert_eq!(s.overhead_bytes, (HEADER_LEN + HEADER_LEN) as u64);
+        }
+    }
+
+    #[test]
+    fn dropped_data_frame_is_retransmitted() {
+        let faults = FaultConfig {
+            target: Some(TargetedFault {
+                src: 0,
+                dst: 1,
+                class: StreamClass::Data,
+                index: 0, // seq 0, attempt 0: the very first transmission
+                action: FaultAction::Drop,
+            }),
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            reliability: ReliabilityConfig {
+                enabled: true,
+                ack_timeout: Duration::from_millis(2),
+                ..Default::default()
+            },
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 3, Bytes::from_static(b"precious")).unwrap();
+                Bytes::new()
+            } else {
+                ep.recv(0, 3).unwrap()
+            }
+        });
+        assert_eq!(&out.results[1][..], b"precious");
+        assert!(out.stats[0].retransmits >= 1, "drop must force a retry");
+        assert!(out.stats[0].ack_timeouts >= 1);
+        assert!(out.stats[0].retransmit_bytes >= (HEADER_LEN + 8) as u64);
+    }
+
+    #[test]
+    fn corrupted_data_frame_is_detected_and_retransmitted() {
+        let faults = FaultConfig {
+            target: Some(TargetedFault {
+                src: 0,
+                dst: 1,
+                class: StreamClass::Data,
+                index: 0,
+                action: FaultAction::Corrupt,
+            }),
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            reliability: ReliabilityConfig {
+                enabled: true,
+                ack_timeout: Duration::from_millis(2),
+                ..Default::default()
+            },
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 3, Bytes::from_static(b"precious")).unwrap();
+                Bytes::new()
+            } else {
+                ep.recv(0, 3).unwrap()
+            }
+        });
+        assert_eq!(&out.results[1][..], b"precious", "payload must heal");
+        assert!(out.stats[1].corruptions_detected >= 1);
+        assert!(out.stats[0].retransmits >= 1);
+    }
+
+    #[test]
+    fn duplicated_data_frame_is_deduplicated() {
+        let faults = FaultConfig {
+            target: Some(TargetedFault {
+                src: 0,
+                dst: 1,
+                class: StreamClass::Data,
+                index: 0,
+                action: FaultAction::Duplicate,
+            }),
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            reliability: ReliabilityConfig::on(),
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 3, Bytes::from_static(b"once")).unwrap();
+                ep.send(1, 3, Bytes::from_static(b"twice")).unwrap();
+                (Bytes::new(), Bytes::new())
+            } else {
+                let a = ep.recv(0, 3).unwrap();
+                let b = ep.recv(0, 3).unwrap();
+                (a, b)
+            }
+        });
+        assert_eq!(&out.results[1].0[..], b"once");
+        assert_eq!(&out.results[1].1[..], b"twice");
+        assert_eq!(out.stats[1].recv_messages, 2, "duplicate must not surface");
+    }
+
+    #[test]
+    fn silent_peer_exhausts_retry_budget() {
+        // Every data frame from 0 to 1 is dropped; rank 1 stays alive
+        // (pumping inside its own recv) but never sees anything, so the
+        // sender burns its whole retry budget.
+        let faults = FaultConfig {
+            drop: 1.0,
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            recv_deadline: Duration::from_millis(500),
+            reliability: ReliabilityConfig {
+                enabled: true,
+                ack_timeout: Duration::from_millis(1),
+                max_retries: 3,
+                backoff: 2.0,
+                max_backoff: Duration::from_millis(4),
+            },
+            faults: Some(faults),
+        };
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 0 {
+                match ep.send(1, 0, Bytes::from_static(b"lost")) {
+                    Err(SendError {
+                        kind: SendErrorKind::RetryBudgetExhausted { attempts },
+                        ..
+                    }) => attempts as usize,
+                    other => panic!("expected retry exhaustion, got {other:?}"),
+                }
+            } else {
+                // The sender gives up long before our deadline and
+                // exits, so we observe either its disconnect or (rarely,
+                // under scheduler delay) our own timeout.
+                match ep.recv(0, 0) {
+                    Err(RecvError::Timeout { .. } | RecvError::Disconnected { .. }) => usize::MAX,
+                    other => panic!("expected timeout/disconnect, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out.results[0], 4, "initial send + 3 retries");
+        assert_eq!(out.stats[0].retransmits, 3);
+        assert_eq!(out.stats[0].ack_timeouts, 4);
+    }
+
+    #[test]
+    fn killed_rank_errors_on_every_operation() {
+        let faults = FaultConfig {
+            kill: Some(KillSpec {
+                rank: 0,
+                after_ops: 1,
+            }),
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            recv_deadline: Duration::from_secs(5),
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 0 {
+                // First op succeeds, second hits the kill threshold.
+                ep.send(1, 0, Bytes::from_static(b"last words")).unwrap();
+                let first = ep.recv(1, 0);
+                let second = ep.send(1, 0, Bytes::new());
+                assert_eq!(first, Err(RecvError::Killed { rank: 0 }));
+                assert_eq!(
+                    second,
+                    Err(SendError {
+                        to: 1,
+                        kind: SendErrorKind::Killed
+                    })
+                );
+                assert!(ep.is_dead());
+                0
+            } else {
+                // The dying rank's buffered message still arrives...
+                let got = ep.recv(0, 0).unwrap();
+                assert_eq!(&got[..], b"last words");
+                // ...and once its endpoint drops, we observe disconnect
+                // rather than hanging.
+                match ep.recv(0, 0) {
+                    Err(RecvError::Disconnected { from: 0 }) => 1,
+                    other => panic!("expected disconnect, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+        assert_eq!(out.dead_ranks, vec![0]);
+    }
+
+    #[test]
+    fn gather_tolerant_skips_dead_contributor() {
+        let faults = FaultConfig {
+            kill: Some(KillSpec {
+                rank: 1,
+                after_ops: 0,
+            }),
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            recv_deadline: Duration::from_secs(5),
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let out = run_group_with(3, options, |ep| {
+            let payload = Bytes::from(vec![ep.rank() as u8]);
+            ep.gather_tolerant(0, 4, payload)
+        });
+        let root = out.results[0].as_ref().unwrap().as_ref().unwrap();
+        assert_eq!(root.len(), 3);
+        assert_eq!(root[0].as_ref().unwrap()[0], 0);
+        assert!(root[1].is_none(), "killed rank contributes nothing");
+        assert_eq!(root[2].as_ref().unwrap()[0], 2);
+        assert_eq!(out.dead_ranks, vec![1]);
+    }
+
+    #[test]
+    fn raw_mode_probabilistic_drops_are_deterministic() {
+        let run = || {
+            let faults = FaultConfig {
+                drop: 0.5,
+                seed: 99,
+                ..Default::default()
+            };
+            let options = GroupOptions {
+                cost: CostModel::free(),
+                recv_deadline: Duration::from_millis(50),
+                faults: Some(faults),
+                ..Default::default()
+            };
+            run_group_with(2, options, |ep| {
+                if ep.rank() == 0 {
+                    for i in 0..32u8 {
+                        ep.send(1, 0, Bytes::from(vec![i])).unwrap();
+                    }
+                    Vec::new()
+                } else {
+                    let mut got = Vec::new();
+                    while let Ok(b) = ep.recv(0, 0) {
+                        got.push(b[0]);
+                    }
+                    got
+                }
+            })
+            .results[1]
+                .clone()
+        };
+        let first = run();
+        assert!(
+            !first.is_empty() && first.len() < 32,
+            "drop=0.5 should lose some but not all of 32 messages, kept {}",
+            first.len()
+        );
+        assert_eq!(first, run(), "same seed must drop the same messages");
+    }
+
+    #[test]
+    fn lost_ack_does_not_fake_a_dead_peer() {
+        // Regression: rank 1 receives the data frame but its ack is
+        // dropped; rank 1 then finishes its (only) receive. Rank 0's
+        // retransmission must be re-acked by the lingering rank 1
+        // instead of hitting a closed channel and reporting the peer
+        // dead.
+        let faults = FaultConfig {
+            target: Some(TargetedFault {
+                src: 1,
+                dst: 0,
+                class: StreamClass::Ack,
+                index: 0, // (seq 0) << 16 | (first ack)
+                action: FaultAction::Drop,
+            }),
+            ..Default::default()
+        };
+        let options = GroupOptions {
+            reliability: ReliabilityConfig {
+                enabled: true,
+                ack_timeout: Duration::from_millis(5),
+                ..ReliabilityConfig::on()
+            },
+            recv_deadline: Duration::from_secs(2),
+            faults: Some(faults),
+            ..Default::default()
+        };
+        let out = run_group_with(2, options, |ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 7, Bytes::from_static(b"payload")).is_ok()
+            } else {
+                ep.recv(0, 7).is_ok()
+            }
+        });
+        assert!(out.results[0], "sender must not see a dead peer");
+        assert!(out.results[1], "receiver got the data");
+        assert!(out.dead_ranks.is_empty());
+        assert!(
+            out.stats[0].retransmits >= 1,
+            "the lost ack must force at least one retransmission"
+        );
     }
 }

@@ -1,13 +1,42 @@
 //! Spawning a group of rank threads.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 
 use crate::cost::CostModel;
-use crate::endpoint::{Endpoint, Message};
+use crate::endpoint::{Endpoint, EndpointConfig, Message, DEFAULT_RECV_DEADLINE};
+use crate::fault::{FaultConfig, FaultPlan};
+use crate::reliable::ReliabilityConfig;
 use crate::stats::TrafficStats;
+
+/// Group-wide knobs for a run: cost model, receive deadline, fault
+/// injection and the reliable-delivery policy.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupOptions {
+    /// Communication cost model applied to every received message.
+    pub cost: CostModel,
+    /// How long a blocking receive waits before declaring a deadlock.
+    pub recv_deadline: Duration,
+    /// Fault-injection campaign, if any.
+    pub faults: Option<FaultConfig>,
+    /// Reliable-delivery (framing + ack/retransmit) policy.
+    pub reliability: ReliabilityConfig,
+}
+
+impl Default for GroupOptions {
+    fn default() -> Self {
+        GroupOptions {
+            cost: CostModel::sp2(),
+            recv_deadline: DEFAULT_RECV_DEADLINE,
+            faults: None,
+            reliability: ReliabilityConfig::default(),
+        }
+    }
+}
 
 /// The outcome of a group run: each rank's return value plus its traffic.
 #[derive(Debug)]
@@ -16,6 +45,8 @@ pub struct GroupRun<R> {
     pub results: Vec<R>,
     /// Per-rank traffic stats, indexed by rank.
     pub stats: Vec<TrafficStats>,
+    /// Ranks killed by fault injection during the run (ascending).
+    pub dead_ranks: Vec<usize>,
 }
 
 impl<R> GroupRun<R> {
@@ -27,6 +58,11 @@ impl<R> GroupRun<R> {
     /// Maximum modeled communication time over ranks, in seconds.
     pub fn max_comm_seconds(&self) -> f64 {
         crate::stats::max_comm_seconds(&self.stats)
+    }
+
+    /// True when fault injection killed at least one rank.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead_ranks.is_empty()
     }
 }
 
@@ -44,7 +80,7 @@ impl<R> GroupRun<R> {
 /// let out = run_group(4, CostModel::sp2(), |ep| {
 ///     let next = (ep.rank() + 1) % ep.size();
 ///     let prev = (ep.rank() + ep.size() - 1) % ep.size();
-///     ep.send(next, 0, Bytes::from(vec![ep.rank() as u8]));
+///     ep.send(next, 0, Bytes::from(vec![ep.rank() as u8])).unwrap();
 ///     ep.recv(prev, 0).unwrap()[0] as usize
 /// });
 /// assert_eq!(out.results, vec![3, 0, 1, 2]);
@@ -55,7 +91,33 @@ where
     R: Send,
     F: Fn(&mut Endpoint) -> R + Sync,
 {
+    run_group_with(
+        size,
+        GroupOptions {
+            cost,
+            ..Default::default()
+        },
+        f,
+    )
+}
+
+/// [`run_group`] with full control over deadline, faults and reliability.
+///
+/// If a rank panics, its endpoint is dropped *immediately* (so partners
+/// observe `Disconnected` instead of blocking until the receive
+/// deadline), every other rank is still allowed to finish, and the
+/// original panic is then re-raised.
+pub fn run_group_with<R, F>(size: usize, options: GroupOptions, f: F) -> GroupRun<R>
+where
+    R: Send,
+    F: Fn(&mut Endpoint) -> R + Sync,
+{
     assert!(size >= 1, "group must have at least one rank");
+
+    let plan = options
+        .faults
+        .filter(|cfg| !cfg.is_noop())
+        .map(FaultPlan::new);
 
     // Wire one dedicated channel per ordered (src, dst) pair so selective
     // receive-by-source never reorders unrelated messages.
@@ -87,13 +149,26 @@ where
             to,
             from,
             Arc::clone(&barrier),
-            cost,
+            EndpointConfig {
+                cost: options.cost,
+                recv_deadline: options.recv_deadline,
+                reliability: options.reliability,
+                faults: plan,
+                kill_at: plan.and_then(|p| p.kill_threshold(rank)),
+            },
         ));
     }
     drop(senders_by_dst);
 
     let slots: Mutex<Vec<Option<(R, TrafficStats)>>> =
         Mutex::new((0..size).map(|_| None).collect());
+    let dead_flags: Mutex<Vec<bool>> = Mutex::new(vec![false; size]);
+    // Ranks that completed their closure; healthy ranks linger (keep
+    // answering retransmissions) until everyone is done.
+    let finished = std::sync::atomic::AtomicUsize::new(0);
+    // Panic payloads in the order they occurred; the first is re-raised
+    // (later ones are usually cascades from the first rank's death).
+    let panics: Mutex<Vec<Box<dyn std::any::Any + Send + 'static>>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
@@ -101,22 +176,58 @@ where
             let rank = ep.rank();
             let fr = &f;
             let res = &slots;
+            let dead = &dead_flags;
+            let boom = &panics;
+            let finished = &finished;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
                     .spawn_scoped(scope, move || {
-                        let r = fr(&mut ep);
-                        res.lock()[rank] = Some((r, ep.into_stats()));
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| fr(&mut ep)));
+                        let killed = ep.is_dead();
+                        finished.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        if outcome.is_ok() && !killed {
+                            // A healthy rank's transport state outlives
+                            // its last receive: re-ack retransmissions
+                            // until the whole group is done so lost acks
+                            // don't masquerade as a dead peer. Killed or
+                            // panicking ranks drop immediately instead —
+                            // that disconnect *is* their failure signal.
+                            ep.linger_until(|| {
+                                finished.load(std::sync::atomic::Ordering::SeqCst) == size
+                            });
+                        }
+                        let stats = ep.into_stats();
+                        // `ep` is gone here: its outgoing senders are
+                        // dropped, so partners blocked on this rank see
+                        // `Disconnected` now rather than at the deadline.
+                        match outcome {
+                            Ok(r) => {
+                                dead.lock()[rank] = killed;
+                                res.lock()[rank] = Some((r, stats));
+                            }
+                            Err(payload) => {
+                                dead.lock()[rank] = true;
+                                boom.lock().push(payload);
+                            }
+                        }
                     })
                     .expect("failed to spawn rank thread"),
             );
         }
         for h in handles {
+            // Rank bodies run under catch_unwind, so joins only fail on
+            // runtime-internal panics; propagate those unchanged.
             if let Err(payload) = h.join() {
                 std::panic::resume_unwind(payload);
             }
         }
     });
+
+    let mut panics = panics.into_inner();
+    if !panics.is_empty() {
+        std::panic::resume_unwind(panics.remove(0));
+    }
 
     let mut results_out = Vec::with_capacity(size);
     let mut stats_out = Vec::with_capacity(size);
@@ -125,21 +236,32 @@ where
         results_out.push(r);
         stats_out.push(s);
     }
+    let dead_ranks = dead_flags
+        .into_inner()
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, &d)| d.then_some(rank))
+        .collect();
     GroupRun {
         results: results_out,
         stats: stats_out,
+        dead_ranks,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
+    use std::time::Instant;
 
     #[test]
     fn single_rank_group_runs() {
         let out = run_group(1, CostModel::free(), |ep| ep.rank() + ep.size());
         assert_eq!(out.results, vec![1]);
         assert_eq!(out.stats.len(), 1);
+        assert!(out.dead_ranks.is_empty());
+        assert!(!out.is_degraded());
     }
 
     #[test]
@@ -162,5 +284,75 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn dying_rank_unblocks_partners_immediately() {
+        // Regression: a panicking rank used to leave partners blocked in
+        // `recv` until the 60s deadline, because its endpoint (and thus
+        // its outgoing channel senders) stayed alive until the scope
+        // joined every thread. Now the endpoint drops as soon as the
+        // rank body unwinds, partners see `Disconnected` right away, and
+        // the original panic is re-raised afterwards.
+        let started = Instant::now();
+        let outcome = std::panic::catch_unwind(|| {
+            run_group(2, CostModel::free(), |ep| {
+                if ep.rank() == 1 {
+                    panic!("kaboom");
+                }
+                // Rank 0 waits on the dying rank; it must not hang.
+                let got = ep.recv(1, 0);
+                assert_eq!(got, Err(crate::RecvError::Disconnected { from: 1 }));
+            })
+        });
+        let elapsed = started.elapsed();
+        let payload = outcome.expect_err("the rank panic must re-raise");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "kaboom", "the original panic payload survives");
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "partners must unblock promptly, took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn survivors_finish_before_panic_re_raise() {
+        // All non-panicking ranks complete their work and store results
+        // even though the run ultimately re-raises.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static FINISHED: AtomicUsize = AtomicUsize::new(0);
+        FINISHED.store(0, Ordering::SeqCst);
+        let outcome = std::panic::catch_unwind(|| {
+            run_group(4, CostModel::free(), |ep| {
+                if ep.rank() == 0 {
+                    panic!("die");
+                }
+                // Survivors talk among themselves (ring over ranks 1..4).
+                let next = 1 + (ep.rank() % 3);
+                let prev = 1 + ((ep.rank() + 1) % 3);
+                ep.send(next, 0, Bytes::from(vec![ep.rank() as u8]))
+                    .unwrap();
+                let _ = ep.recv(prev, 0).unwrap();
+                FINISHED.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert!(outcome.is_err());
+        assert_eq!(FINISHED.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn noop_fault_config_is_ignored() {
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            faults: Some(FaultConfig::default()),
+            ..Default::default()
+        };
+        let out = run_group_with(2, options, |ep| {
+            ep.exchange(1 - ep.rank(), 0, Bytes::from_static(b"ok"))
+                .unwrap()
+                .len()
+        });
+        assert_eq!(out.results, vec![2, 2]);
+        assert!(out.dead_ranks.is_empty());
     }
 }

@@ -21,13 +21,19 @@
 pub mod collectives;
 pub mod cost;
 pub mod endpoint;
+pub mod fault;
 pub mod group;
+pub mod reliable;
 pub mod stats;
 pub mod trace;
 
 pub use collectives::{all_gather, broadcast, reduce, scatter};
 pub use cost::CostModel;
-pub use endpoint::{Endpoint, Message, RecvError, Tag};
-pub use group::{run_group, GroupRun};
+pub use endpoint::{
+    CommError, Endpoint, Message, RecvError, SendError, SendErrorKind, Tag, DEFAULT_RECV_DEADLINE,
+};
+pub use fault::{FaultAction, FaultConfig, FaultPlan, KillSpec, StreamClass, TargetedFault};
+pub use group::{run_group, run_group_with, GroupOptions, GroupRun};
+pub use reliable::ReliabilityConfig;
 pub use stats::TrafficStats;
 pub use trace::{run_group_traced, Trace, TraceEvent, Tracer};

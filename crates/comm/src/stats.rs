@@ -20,6 +20,22 @@ pub struct TrafficStats {
     /// Modeled communication seconds: `Σ over received messages of
     /// (T_s + bytes · T_c)`.
     pub modeled_comm_seconds: f64,
+    /// Data frames retransmitted by this rank (reliable mode).
+    #[serde(default)]
+    pub retransmits: u64,
+    /// Wire bytes of those retransmitted frames (header + payload).
+    #[serde(default)]
+    pub retransmit_bytes: u64,
+    /// Incoming frames this rank discarded for CRC mismatch.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Ack waits that expired before the ack arrived.
+    #[serde(default)]
+    pub ack_timeouts: u64,
+    /// Wire bytes received beyond the application payload: frame
+    /// headers, ack frames, and discarded duplicate/corrupt frames.
+    #[serde(default)]
+    pub overhead_bytes: u64,
 }
 
 impl TrafficStats {
@@ -43,6 +59,11 @@ impl TrafficStats {
         self.recv_messages += other.recv_messages;
         self.recv_bytes += other.recv_bytes;
         self.modeled_comm_seconds += other.modeled_comm_seconds;
+        self.retransmits += other.retransmits;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.corruptions_detected += other.corruptions_detected;
+        self.ack_timeouts += other.ack_timeouts;
+        self.overhead_bytes += other.overhead_bytes;
     }
 }
 
@@ -97,5 +118,24 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.sent_bytes, 10);
         assert_eq!(a.recv_bytes, 20);
+    }
+
+    #[test]
+    fn merge_adds_reliability_counters() {
+        let mut a = TrafficStats {
+            retransmits: 1,
+            retransmit_bytes: 100,
+            corruptions_detected: 2,
+            ack_timeouts: 3,
+            overhead_bytes: 40,
+            ..Default::default()
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.retransmit_bytes, 200);
+        assert_eq!(a.corruptions_detected, 4);
+        assert_eq!(a.ack_timeouts, 6);
+        assert_eq!(a.overhead_bytes, 80);
     }
 }

@@ -282,7 +282,9 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, net, |ep| {
             let mut img = images[ep.rank()].clone();
-            crate::methods::composite(Method::Bs, ep, &mut img, &depth).stats
+            crate::methods::composite(Method::Bs, ep, &mut img, &depth)
+                .unwrap()
+                .stats
         });
         let predicted = predict_bs(a, p, &net, &comp);
         for stats in &out.results {
@@ -388,7 +390,9 @@ mod tests {
         for method in [Method::Bs, Method::Bsbrc, Method::BinaryTree] {
             let out = run_group(p, net, |ep| {
                 let mut img = images[ep.rank()].clone();
-                crate::methods::composite(method, ep, &mut img, &depth).stats
+                crate::methods::composite(method, ep, &mut img, &depth)
+                    .unwrap()
+                    .stats
             });
             let stats = out.results;
             let vt = virtual_completion(&stats, &net, &comp)
@@ -423,7 +427,9 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, net, |ep| {
             let mut img = images[ep.rank()].clone();
-            crate::methods::composite(Method::DirectSend, ep, &mut img, &depth).stats
+            crate::methods::composite(Method::DirectSend, ep, &mut img, &depth)
+                .unwrap()
+                .stats
         });
         assert!(virtual_completion(&out.results, &net, &comp).is_none());
     }
@@ -444,7 +450,9 @@ mod tests {
         let depth = DepthOrder::identity(2);
         let out = run_group(2, net, |ep| {
             let mut img = images[ep.rank()].clone();
-            crate::methods::composite(Method::Bsbrc, ep, &mut img, &depth).stats
+            crate::methods::composite(Method::Bsbrc, ep, &mut img, &depth)
+                .unwrap()
+                .stats
         });
         let vt = virtual_completion(&out.results, &net, &comp).unwrap();
         // Rank 0 received rank 1's dense half: its completion exceeds

@@ -1,0 +1,186 @@
+//! Degraded-mode error handling for compositing runs.
+//!
+//! Under fault injection a rank can die mid-schedule. The methods treat a
+//! *dead peer* as survivable: the survivor keeps its own partial image
+//! and the dead rank's contribution becomes a transparent hole in the
+//! final image (reported by the tolerant gather). Two conditions remain
+//! hard errors: *this* rank being killed (it must stop participating),
+//! and protocol-level failures such as receive timeouts or tag
+//! mismatches, which indicate a broken schedule rather than a dead peer.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use vr_comm::{CommError, Endpoint, RecvError, SendError, SendErrorKind, Tag};
+
+/// Why a compositing run could not produce this rank's piece.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompositeError {
+    /// This rank was killed by fault injection; its partial image is
+    /// abandoned.
+    Killed {
+        /// The killed rank (this rank).
+        rank: usize,
+    },
+    /// An unsurvivable communication failure — a receive timeout or tag
+    /// mismatch, meaning the schedule itself broke down.
+    Comm {
+        /// Which protocol step failed (e.g. `"fold"`, `"bs stage"`).
+        during: &'static str,
+        /// The underlying transport error.
+        source: CommError,
+    },
+}
+
+impl std::fmt::Display for CompositeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompositeError::Killed { rank } => {
+                write!(f, "rank {rank} was killed by fault injection")
+            }
+            CompositeError::Comm { during, source } => {
+                write!(f, "communication failed during {during}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompositeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompositeError::Killed { .. } => None,
+            CompositeError::Comm { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Sends `payload` to `peer`, tolerating a dead peer.
+///
+/// Returns `Ok(true)` if the message was handed to the transport,
+/// `Ok(false)` if the peer is (or just turned out to be) dead — the
+/// caller should skip that peer's slot. Errors only when this rank
+/// itself was killed.
+pub(crate) fn try_send(
+    ep: &mut Endpoint,
+    peer: usize,
+    tag: Tag,
+    payload: Bytes,
+    dead: &mut BTreeSet<usize>,
+    during: &'static str,
+) -> Result<bool, CompositeError> {
+    let _ = during;
+    if dead.contains(&peer) {
+        return Ok(false);
+    }
+    match ep.send(peer, tag, payload) {
+        Ok(()) => Ok(true),
+        Err(SendError {
+            kind: SendErrorKind::Killed,
+            ..
+        }) => Err(CompositeError::Killed { rank: ep.rank() }),
+        Err(SendError { to, .. }) => {
+            // Disconnected or retry budget exhausted: the peer is gone.
+            dead.insert(to);
+            Ok(false)
+        }
+    }
+}
+
+/// Receives from `peer`, tolerating a dead peer.
+///
+/// Returns `Ok(None)` when the peer is dead (already known dead, or its
+/// endpoint disconnected while we waited) — the caller keeps its own
+/// partial and moves on. Timeouts and tag mismatches are hard errors.
+pub(crate) fn try_recv(
+    ep: &mut Endpoint,
+    peer: usize,
+    tag: Tag,
+    dead: &mut BTreeSet<usize>,
+    during: &'static str,
+) -> Result<Option<Bytes>, CompositeError> {
+    if dead.contains(&peer) {
+        return Ok(None);
+    }
+    match ep.recv(peer, tag) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(RecvError::Killed { rank }) => Err(CompositeError::Killed { rank }),
+        Err(RecvError::Disconnected { from }) => {
+            dead.insert(from);
+            Ok(None)
+        }
+        Err(e) => Err(CompositeError::Comm {
+            during,
+            source: e.into(),
+        }),
+    }
+}
+
+/// The binary-swap primitive: send our half to `peer` and receive theirs,
+/// tolerating a dead partner.
+///
+/// Returns `Ok(None)` when the partner is dead; the survivor keeps its
+/// own half (the partner's half becomes a hole in the final image).
+pub(crate) fn try_exchange(
+    ep: &mut Endpoint,
+    peer: usize,
+    tag: Tag,
+    payload: Bytes,
+    dead: &mut BTreeSet<usize>,
+    during: &'static str,
+) -> Result<Option<Bytes>, CompositeError> {
+    if !try_send(ep, peer, tag, payload, dead, during)? {
+        return Ok(None);
+    }
+    try_recv(ep, peer, tag, dead, during)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_comm::{run_group, CostModel};
+
+    #[test]
+    fn display_names_the_step() {
+        let e = CompositeError::Comm {
+            during: "fold",
+            source: CommError::Recv(RecvError::Disconnected { from: 3 }),
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("fold"), "{msg}");
+        let k = CompositeError::Killed { rank: 2 };
+        assert!(format!("{k}").contains("rank 2"));
+    }
+
+    #[test]
+    fn try_exchange_with_dead_peer_returns_none_and_marks_dead() {
+        let out = run_group(2, CostModel::free(), |ep| {
+            if ep.rank() == 1 {
+                // Exit immediately: rank 0 sees a disconnected peer.
+                return (true, true);
+            }
+            let mut dead = BTreeSet::new();
+            let got = try_exchange(
+                ep,
+                1,
+                7,
+                Bytes::from_static(b"half"),
+                &mut dead,
+                "test stage",
+            )
+            .unwrap();
+            (got.is_none(), dead.contains(&1))
+        });
+        assert_eq!(out.results[0], (true, true));
+    }
+
+    #[test]
+    fn try_send_skips_already_dead_peer() {
+        let out = run_group(1, CostModel::free(), |ep| {
+            let mut dead = BTreeSet::new();
+            dead.insert(5);
+            // Peer index is never touched when already marked dead.
+            try_send(ep, 5, 0, Bytes::new(), &mut dead, "t").unwrap()
+        });
+        assert_eq!(out.results, vec![false]);
+    }
+}

@@ -5,6 +5,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, StridedSeq};
 use vr_volume::DepthOrder;
 
+use crate::error::CompositeError;
 use crate::methods::OwnedPiece;
 use crate::schedule::tags;
 use crate::wire::{MsgReader, MsgWriter};
@@ -14,40 +15,78 @@ const KIND_RECT: u32 = 1;
 const KIND_SEQ: u32 = 2;
 const KIND_WHOLE: u32 = 3;
 
+/// Encodes a rank's owned piece (with its pixel data) for the gather.
+fn encode_piece(image: &Image, piece: &OwnedPiece) -> bytes::Bytes {
+    let mut w = MsgWriter::new();
+    match piece {
+        OwnedPiece::Nothing => w.put_u32(KIND_NOTHING),
+        OwnedPiece::Rect(r) => {
+            w.put_u32(KIND_RECT);
+            w.put_rect(*r);
+            w.put_pixels(&image.extract_rect(r));
+        }
+        OwnedPiece::Seq(seq) => {
+            w.put_u32(KIND_SEQ);
+            w.put_u32(seq.start as u32);
+            w.put_u32(seq.stride as u32);
+            w.put_u32(seq.count as u32);
+            for idx in seq.iter() {
+                w.put_pixel(image.pixels()[idx]);
+            }
+        }
+        OwnedPiece::Whole => {
+            w.put_u32(KIND_WHOLE);
+            w.put_pixels(image.pixels());
+        }
+    }
+    w.freeze()
+}
+
+/// Writes one encoded piece into `out`, returning the pixel count it
+/// covered.
+fn apply_piece(out: &mut Image, bytes: bytes::Bytes) -> usize {
+    let mut r = MsgReader::new(bytes);
+    match r.get_u32() {
+        KIND_NOTHING => 0,
+        KIND_RECT => {
+            let rect = r.get_rect();
+            let pixels = r.get_pixels(rect.area());
+            out.write_rect(&rect, &pixels);
+            rect.area()
+        }
+        KIND_SEQ => {
+            let seq = StridedSeq {
+                start: r.get_u32() as usize,
+                stride: r.get_u32() as usize,
+                count: r.get_u32() as usize,
+            };
+            for idx in seq.iter() {
+                out.pixels_mut()[idx] = r.get_pixel();
+            }
+            seq.count
+        }
+        KIND_WHOLE => {
+            let pixels = r.get_pixels(out.area());
+            let full = out.full_rect();
+            out.write_rect(&full, &pixels);
+            out.area()
+        }
+        other => panic!("unknown gather piece kind {other}"),
+    }
+}
+
 /// Sends this rank's owned piece to `root` and, at the root, assembles
 /// the final image from all pieces. Returns `Some(image)` at the root.
+///
+/// Panics if the gather fails or the pieces do not tile the image —
+/// use [`gather_image_tolerant`] when ranks may have died.
 pub fn gather_image(
     ep: &mut Endpoint,
     image: &Image,
     piece: &OwnedPiece,
     root: usize,
 ) -> Option<Image> {
-    let payload = {
-        let mut w = MsgWriter::new();
-        match piece {
-            OwnedPiece::Nothing => w.put_u32(KIND_NOTHING),
-            OwnedPiece::Rect(r) => {
-                w.put_u32(KIND_RECT);
-                w.put_rect(*r);
-                w.put_pixels(&image.extract_rect(r));
-            }
-            OwnedPiece::Seq(seq) => {
-                w.put_u32(KIND_SEQ);
-                w.put_u32(seq.start as u32);
-                w.put_u32(seq.stride as u32);
-                w.put_u32(seq.count as u32);
-                for idx in seq.iter() {
-                    w.put_pixel(image.pixels()[idx]);
-                }
-            }
-            OwnedPiece::Whole => {
-                w.put_u32(KIND_WHOLE);
-                w.put_pixels(image.pixels());
-            }
-        }
-        w.freeze()
-    };
-
+    let payload = encode_piece(image, piece);
     let all = ep
         .gather(root, tags::GATHER, payload)
         .unwrap_or_else(|e| panic!("gather failed: {e}"))?;
@@ -55,35 +94,7 @@ pub fn gather_image(
     let mut out = Image::blank(image.width(), image.height());
     let mut covered = 0usize;
     for bytes in all {
-        let mut r = MsgReader::new(bytes);
-        match r.get_u32() {
-            KIND_NOTHING => {}
-            KIND_RECT => {
-                let rect = r.get_rect();
-                let pixels = r.get_pixels(rect.area());
-                out.write_rect(&rect, &pixels);
-                covered += rect.area();
-            }
-            KIND_SEQ => {
-                let seq = StridedSeq {
-                    start: r.get_u32() as usize,
-                    stride: r.get_u32() as usize,
-                    count: r.get_u32() as usize,
-                };
-                for (i, idx) in seq.iter().enumerate() {
-                    let _ = i;
-                    out.pixels_mut()[idx] = r.get_pixel();
-                }
-                covered += seq.count;
-            }
-            KIND_WHOLE => {
-                let pixels = r.get_pixels(out.area());
-                let full = out.full_rect();
-                out.write_rect(&full, &pixels);
-                covered += out.area();
-            }
-            other => panic!("unknown gather piece kind {other}"),
-        }
+        covered += apply_piece(&mut out, bytes);
     }
     assert_eq!(
         covered,
@@ -93,6 +104,68 @@ pub fn gather_image(
     Some(out)
 }
 
+/// A gathered image that may be missing contributions from dead ranks.
+#[derive(Debug, Clone)]
+pub struct GatheredImage {
+    /// The assembled image; regions owned by dead ranks stay blank.
+    pub image: Image,
+    /// Ranks whose pieces never arrived (dead or disconnected).
+    pub missing_ranks: Vec<usize>,
+    /// Pixels actually written by surviving pieces.
+    pub covered_pixels: usize,
+}
+
+impl GatheredImage {
+    /// Fraction of the image covered by surviving pieces, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.image.area() == 0 {
+            1.0
+        } else {
+            self.covered_pixels as f64 / self.image.area() as f64
+        }
+    }
+}
+
+/// Fault-tolerant gather: like [`gather_image`] but a dead contributor
+/// leaves a hole instead of panicking. Returns `Some` only at the root;
+/// a dead root means nobody assembles (`Ok(None)` everywhere).
+pub fn gather_image_tolerant(
+    ep: &mut Endpoint,
+    image: &Image,
+    piece: &OwnedPiece,
+    root: usize,
+) -> Result<Option<GatheredImage>, CompositeError> {
+    let payload = encode_piece(image, piece);
+    let all = ep
+        .gather_tolerant(root, tags::GATHER, payload)
+        .map_err(|e| {
+            if e.is_self_killed() {
+                CompositeError::Killed { rank: ep.rank() }
+            } else {
+                CompositeError::Comm {
+                    during: "gather",
+                    source: e,
+                }
+            }
+        })?;
+    let Some(all) = all else { return Ok(None) };
+
+    let mut out = Image::blank(image.width(), image.height());
+    let mut covered = 0usize;
+    let mut missing = Vec::new();
+    for (rank, slot) in all.into_iter().enumerate() {
+        match slot {
+            Some(bytes) => covered += apply_piece(&mut out, bytes),
+            None => missing.push(rank),
+        }
+    }
+    Ok(Some(GatheredImage {
+        image: out,
+        missing_ranks: missing,
+        covered_pixels: covered,
+    }))
+}
+
 /// Convenience used by tests and examples: composites with `method` and
 /// gathers at rank 0, returning the final image there.
 pub fn composite_and_gather(
@@ -100,10 +173,10 @@ pub fn composite_and_gather(
     ep: &mut Endpoint,
     image: &mut Image,
     depth: &DepthOrder,
-) -> (Option<Image>, crate::stats::MethodStats) {
-    let result = crate::methods::composite(method, ep, image, depth);
+) -> Result<(Option<Image>, crate::stats::MethodStats), CompositeError> {
+    let result = crate::methods::composite(method, ep, image, depth)?;
     let gathered = gather_image(ep, image, &result.piece, 0);
-    (gathered, result.stats)
+    Ok((gathered, result.stats))
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 //! which preserves that contiguity.
 
 pub mod analysis;
+pub mod error;
 pub mod gather;
 pub mod methods;
 pub mod reference;
@@ -46,7 +47,8 @@ pub mod wire;
 pub use analysis::{
     predict_bs, predict_from_stats, virtual_completion, Prediction, UniformWorkload,
 };
-pub use gather::gather_image;
+pub use error::CompositeError;
+pub use gather::{gather_image, gather_image_tolerant, GatheredImage};
 pub use methods::{composite, CompositeResult, Method, OwnedPiece};
 pub use reference::reference_composite;
 pub use schedule::{fold_into_pow2, FoldOutcome, VirtualTopology};

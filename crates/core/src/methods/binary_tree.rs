@@ -17,6 +17,7 @@ use vr_image::rle::{ValueRle, ValueRun};
 use vr_image::Image;
 use vr_volume::DepthOrder;
 
+use crate::error::{try_recv, try_send, CompositeError};
 use crate::schedule::{tags, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -24,7 +25,11 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{CompositeResult, OwnedPiece, Run};
 
 /// Runs binary-tree compositing (works for any `P ≥ 1`).
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
     let v = topo.vrank();
@@ -49,40 +54,57 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
                 }
                 w.freeze()
             });
-            let stat = StageStat {
-                sent_bytes: payload.len() as u64,
+            let mut stat = StageStat {
                 run_codes: stream.runs().len() as u64,
                 peer: Some(topo.real(v - bit) as u16),
                 ..Default::default()
             };
-            ep.send(topo.real(v - bit), tags::TREE_BASE + stage as u32, payload);
+            let len = payload.len() as u64;
+            // A dead parent loses this subtree's partial (a hole); the
+            // sender retires either way.
+            if try_send(
+                ep,
+                topo.real(v - bit),
+                tags::TREE_BASE + stage as u32,
+                payload,
+                &mut run.dead,
+                "binary-tree send",
+            )? {
+                stat.sent_bytes = len;
+            }
             run.stages.push(stat);
-            return run.finish(ep, OwnedPiece::Nothing);
+            return Ok(run.finish(ep, OwnedPiece::Nothing));
         }
         if v + bit < p {
             // Receiver: the partner behind us sends; composite local
-            // (front) over received (back), run-aligned.
-            let received = ep
-                .recv(topo.real(v + bit), tags::TREE_BASE + stage as u32)
-                .unwrap_or_else(|e| panic!("binary-tree stage {stage} recv failed: {e}"));
+            // (front) over received (back), run-aligned. A dead child
+            // contributes nothing.
             let mut stat = StageStat {
-                recv_bytes: received.len() as u64,
                 peer: Some(topo.real(v + bit) as u16),
                 ..Default::default()
             };
-            run.comp.time(|| {
-                let mut r = MsgReader::new(received);
-                let nruns = r.get_u32() as usize;
-                let mut runs = Vec::with_capacity(nruns);
-                for _ in 0..nruns {
-                    let pixel = r.get_pixel();
-                    let count = r.get_codes(1)[0];
-                    runs.push(ValueRun { pixel, count });
-                }
-                let back = ValueRle::from_runs(runs);
-                stream = ValueRle::composite_over(&stream, &back);
-                stat.composite_ops = stream.runs().len() as u64;
-            });
+            if let Some(received) = try_recv(
+                ep,
+                topo.real(v + bit),
+                tags::TREE_BASE + stage as u32,
+                &mut run.dead,
+                "binary-tree recv",
+            )? {
+                stat.recv_bytes = received.len() as u64;
+                run.comp.time(|| {
+                    let mut r = MsgReader::new(received);
+                    let nruns = r.get_u32() as usize;
+                    let mut runs = Vec::with_capacity(nruns);
+                    for _ in 0..nruns {
+                        let pixel = r.get_pixel();
+                        let count = r.get_codes(1)[0];
+                        runs.push(ValueRun { pixel, count });
+                    }
+                    let back = ValueRle::from_runs(runs);
+                    stream = ValueRle::composite_over(&stream, &back);
+                    stat.composite_ops = stream.runs().len() as u64;
+                });
+            }
             run.stages.push(stat);
         }
         stage += 1;
@@ -94,7 +116,7 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
         let full = image.full_rect();
         image.write_rect(&full, &pixels);
     });
-    run.finish(ep, OwnedPiece::Whole)
+    Ok(run.finish(ep, OwnedPiece::Whole))
 }
 
 #[cfg(test)]
@@ -129,7 +151,7 @@ mod tests {
         let depth = DepthOrder::from_sequence(vec![2, 0, 1, 3]);
         let out = run_group(4, CostModel::free(), |ep| {
             let mut img = Image::blank(8, 8);
-            run(ep, &mut img, &depth).piece
+            run(ep, &mut img, &depth).unwrap().piece
         });
         // Virtual rank 0 is real rank 2.
         for (rank, piece) in out.results.iter().enumerate() {
@@ -145,7 +167,7 @@ mod tests {
     fn blank_images_compress_to_one_run() {
         let out = run_group(2, CostModel::free(), |ep| {
             let mut img = Image::blank(64, 64);
-            run(ep, &mut img, &depth_identity()).stats
+            run(ep, &mut img, &depth_identity()).unwrap().stats
         });
         // Sender (virtual rank 1) ships a single 18-byte run… but 64·64 =
         // 4096 pixels > u16::MAX? No: 4096 fits, so exactly one run +

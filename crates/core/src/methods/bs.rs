@@ -13,6 +13,7 @@ use vr_comm::Endpoint;
 use vr_image::Image;
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -20,12 +21,23 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{CompositeResult, OwnedPiece, Run};
 
 /// Runs plain binary swap. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     let mut splitter = RegionSplitter::new(image.full_rect());
@@ -44,25 +56,32 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             ..Default::default()
         };
 
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BS stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BS stage",
+        )?;
 
-        run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let pixels = r.get_pixels(keep.area());
-            stat.composite_ops = if topo.received_is_front(vpartner) {
-                image.composite_rect_over(&keep, &pixels) as u64
-            } else {
-                image.composite_rect_under(&keep, &pixels) as u64
-            };
-        });
+        if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let pixels = r.get_pixels(keep.area());
+                stat.composite_ops = if topo.received_is_front(vpartner) {
+                    image.composite_rect_over(&keep, &pixels) as u64
+                } else {
+                    image.composite_rect_under(&keep, &pixels) as u64
+                };
+            });
+        }
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+    Ok(run.finish(ep, OwnedPiece::Rect(splitter.region())))
 }
 
 #[cfg(test)]
@@ -109,7 +128,7 @@ mod tests {
         let images = test_images(1, 16, 16);
         let out = run_group(1, CostModel::free(), |ep| {
             let mut img = images[0].clone();
-            let res = run(ep, &mut img, &DepthOrder::identity(1));
+            let res = run(ep, &mut img, &DepthOrder::identity(1)).unwrap();
             assert_eq!(res.piece, OwnedPiece::Rect(Rect::new(0, 0, 16, 16)));
             img
         });
@@ -126,7 +145,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             assert_eq!(stats.stages.len(), 3);
@@ -145,7 +164,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).piece
+            run(ep, &mut img, &depth).unwrap().piece
         });
         let mut total = 0usize;
         for piece in &out.results {

@@ -13,6 +13,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, Pixel, Rect};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -39,12 +40,23 @@ pub fn iter_bitmask(mask: &[u8], area: usize) -> impl Iterator<Item = usize> + '
 }
 
 /// Runs BSBM. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     run.bound_pixels += image.area() as u64;
@@ -79,43 +91,53 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             ..Default::default()
         };
 
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BSBM stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BSBM stage",
+        )?;
 
-        let recv_rect = run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let rect = r.get_rect();
-            stat.recv_rect_empty = rect.is_empty();
-            if !rect.is_empty() {
-                debug_assert!(keep.contains_rect(&rect));
-                let mask = r.get_bytes(rect.area().div_ceil(8));
-                let front = topo.received_is_front(vpartner);
-                let row_w = rect.width() as usize;
-                let mut ops = 0u64;
-                for pos in iter_bitmask(&mask, rect.area()) {
-                    let x = rect.x0 + (pos % row_w) as u16;
-                    let y = rect.y0 + (pos / row_w) as u16;
-                    let incoming: Pixel = r.get_pixel();
-                    let local = image.get_mut(x, y);
-                    *local = if front {
-                        incoming.over(*local)
-                    } else {
-                        local.over(incoming)
-                    };
-                    ops += 1;
+        let recv_rect = if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let rect = r.get_rect();
+                stat.recv_rect_empty = rect.is_empty();
+                if !rect.is_empty() {
+                    debug_assert!(keep.contains_rect(&rect));
+                    let mask = r.get_bytes(rect.area().div_ceil(8));
+                    let front = topo.received_is_front(vpartner);
+                    let row_w = rect.width() as usize;
+                    let mut ops = 0u64;
+                    for pos in iter_bitmask(&mask, rect.area()) {
+                        let x = rect.x0 + (pos % row_w) as u16;
+                        let y = rect.y0 + (pos / row_w) as u16;
+                        let incoming: Pixel = r.get_pixel();
+                        let local = image.get_mut(x, y);
+                        *local = if front {
+                            incoming.over(*local)
+                        } else {
+                            local.over(incoming)
+                        };
+                        ops += 1;
+                    }
+                    stat.composite_ops = ops;
                 }
-                stat.composite_ops = ops;
-            }
-            rect
-        });
+                rect
+            })
+        } else {
+            stat.recv_rect_empty = true;
+            Rect::EMPTY
+        };
         local_bounds = keep_bounds.union(&recv_rect);
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+    Ok(run.finish(ep, OwnedPiece::Rect(splitter.region())))
 }
 
 #[cfg(test)]
@@ -173,6 +195,7 @@ mod tests {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .sent_bytes()
             })
@@ -210,6 +233,7 @@ mod tests {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .sent_bytes()
             })
@@ -229,7 +253,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = Image::blank(16, 16);
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             assert_eq!(stats.stages[0].sent_bytes, 8);

@@ -11,6 +11,7 @@ use vr_comm::Endpoint;
 use vr_image::Image;
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -18,12 +19,23 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{CompositeResult, OwnedPiece, Run};
 
 /// Runs BSBR. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     // T_bound: the one full scan for the initial bounding rectangle.
@@ -54,37 +66,47 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             ..Default::default()
         };
 
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BSBR stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BSBR stage",
+        )?;
 
-        let recv_rect = run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let rect = r.get_rect();
-            stat.recv_rect_empty = rect.is_empty();
-            if !rect.is_empty() {
-                debug_assert!(
-                    keep.contains_rect(&rect),
-                    "received rect must lie in kept half"
-                );
-                let pixels = r.get_pixels(rect.area());
-                stat.composite_ops = if topo.received_is_front(vpartner) {
-                    image.composite_rect_over(&rect, &pixels) as u64
-                } else {
-                    image.composite_rect_under(&rect, &pixels) as u64
-                };
-            }
-            rect
-        });
+        let recv_rect = if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let rect = r.get_rect();
+                stat.recv_rect_empty = rect.is_empty();
+                if !rect.is_empty() {
+                    debug_assert!(
+                        keep.contains_rect(&rect),
+                        "received rect must lie in kept half"
+                    );
+                    let pixels = r.get_pixels(rect.area());
+                    stat.composite_ops = if topo.received_is_front(vpartner) {
+                        image.composite_rect_over(&rect, &pixels) as u64
+                    } else {
+                        image.composite_rect_under(&rect, &pixels) as u64
+                    };
+                }
+                rect
+            })
+        } else {
+            stat.recv_rect_empty = true;
+            vr_image::Rect::EMPTY
+        };
         // New local bounding rectangle: what we kept plus what arrived
         // (algorithm line 21).
         local_bounds = keep_bounds.union(&recv_rect);
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+    Ok(run.finish(ep, OwnedPiece::Rect(splitter.region())))
 }
 
 #[cfg(test)]
@@ -136,6 +158,7 @@ mod tests {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .sent_bytes()
             })
@@ -160,7 +183,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         let blank_rank = &out.results[1];
         assert_eq!(blank_rank.stages[0].sent_bytes, 8);
@@ -185,7 +208,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).piece
+            run(ep, &mut img, &depth).unwrap().piece
         });
         let mut total = 0;
         for piece in &out.results {

@@ -11,6 +11,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, MaskRle, Pixel};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -18,12 +19,23 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{CompositeResult, OwnedPiece, Run};
 
 /// Runs BSBRC. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     // Algorithm lines 2–4: the single O(A) scan for the local bounding
@@ -73,50 +85,60 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
         };
 
         // Lines 13–14: the exchange (always happens; an empty rectangle
-        // is an 8-byte header).
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BSBRC stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
+        // is an 8-byte header). A dead partner contributes nothing.
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BSBRC stage",
+        )?;
 
         // Lines 15–20: unpack and composite only the non-blank pixels.
-        let recv_rect = run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let rect = r.get_rect();
-            stat.recv_rect_empty = rect.is_empty();
-            if !rect.is_empty() {
-                debug_assert!(keep.contains_rect(&rect));
-                let ncodes = r.get_u32() as usize;
-                let rle = MaskRle::from_codes(r.get_codes(ncodes));
-                let front = topo.received_is_front(vpartner);
-                let row_w = rect.width() as usize;
-                let mut ops = 0u64;
-                for (start, len) in rle.non_blank_runs() {
-                    for i in 0..len {
-                        let pos = start + i;
-                        let x = rect.x0 + (pos % row_w) as u16;
-                        let y = rect.y0 + (pos / row_w) as u16;
-                        let incoming: Pixel = r.get_pixel();
-                        let local = image.get_mut(x, y);
-                        *local = if front {
-                            incoming.over(*local)
-                        } else {
-                            local.over(incoming)
-                        };
-                        ops += 1;
+        let recv_rect = if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let rect = r.get_rect();
+                stat.recv_rect_empty = rect.is_empty();
+                if !rect.is_empty() {
+                    debug_assert!(keep.contains_rect(&rect));
+                    let ncodes = r.get_u32() as usize;
+                    let rle = MaskRle::from_codes(r.get_codes(ncodes));
+                    let front = topo.received_is_front(vpartner);
+                    let row_w = rect.width() as usize;
+                    let mut ops = 0u64;
+                    for (start, len) in rle.non_blank_runs() {
+                        for i in 0..len {
+                            let pos = start + i;
+                            let x = rect.x0 + (pos % row_w) as u16;
+                            let y = rect.y0 + (pos / row_w) as u16;
+                            let incoming: Pixel = r.get_pixel();
+                            let local = image.get_mut(x, y);
+                            *local = if front {
+                                incoming.over(*local)
+                            } else {
+                                local.over(incoming)
+                            };
+                            ops += 1;
+                        }
                     }
+                    stat.composite_ops = ops;
                 }
-                stat.composite_ops = ops;
-            }
-            rect
-        });
+                rect
+            })
+        } else {
+            stat.recv_rect_empty = true;
+            vr_image::Rect::EMPTY
+        };
         // Line 21: merge rectangles for the next stage.
         local_bounds = keep_bounds.union(&recv_rect);
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+    Ok(run.finish(ep, OwnedPiece::Rect(splitter.region())))
 }
 
 #[cfg(test)]
@@ -159,6 +181,7 @@ mod tests {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .sent_bytes()
             })
@@ -183,7 +206,9 @@ mod tests {
         let encoded = |m: Method| {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
-                let stats = crate::methods::composite(m, ep, &mut img, &depth).stats;
+                let stats = crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
+                    .stats;
                 stats.stages.iter().map(|s| s.encoded_pixels).sum::<u64>()
             })
             .results
@@ -201,7 +226,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = Image::blank(16, 16);
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             assert_eq!(stats.stages[0].sent_bytes, 8);
@@ -225,7 +250,7 @@ mod tests {
                 img.set(2, 2, Pixel::gray(0.5, 0.5));
                 img.set(13, 29, Pixel::gray(0.5, 0.5));
             }
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         // Rank 0 keeps the left half at stage 0 and receives rank 1's
         // left-half content.

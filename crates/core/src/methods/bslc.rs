@@ -17,6 +17,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, MaskRle, Pixel, StridedSeq};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -24,12 +25,23 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{CompositeResult, OwnedPiece, Run};
 
 /// Runs BSLC. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     let mut seq = StridedSeq::dense(image.area());
@@ -67,42 +79,50 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             ..Default::default()
         };
 
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BSLC stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BSLC stage",
+        )?;
 
         // Composite only the received non-blank pixels, addressed through
         // the run codes over *our kept sequence* (identical to the
-        // partner's sent sequence by construction).
-        run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let ncodes = r.get_u32() as usize;
-            let rle = MaskRle::from_codes(r.get_codes(ncodes));
-            let front = topo.received_is_front(vpartner);
-            let mut ops = 0u64;
-            for (start, len) in rle.non_blank_runs() {
-                for i in 0..len {
-                    let incoming: Pixel = r.get_pixel();
-                    let idx = keep.index(start + i);
-                    let local = &mut image.pixels_mut()[idx];
-                    *local = if front {
-                        incoming.over(*local)
-                    } else {
-                        local.over(incoming)
-                    };
-                    ops += 1;
+        // partner's sent sequence by construction). A dead partner
+        // contributes nothing.
+        if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let ncodes = r.get_u32() as usize;
+                let rle = MaskRle::from_codes(r.get_codes(ncodes));
+                let front = topo.received_is_front(vpartner);
+                let mut ops = 0u64;
+                for (start, len) in rle.non_blank_runs() {
+                    for i in 0..len {
+                        let incoming: Pixel = r.get_pixel();
+                        let idx = keep.index(start + i);
+                        let local = &mut image.pixels_mut()[idx];
+                        *local = if front {
+                            incoming.over(*local)
+                        } else {
+                            local.over(incoming)
+                        };
+                        ops += 1;
+                    }
                 }
-            }
-            stat.composite_ops = ops;
-        });
+                stat.composite_ops = ops;
+            });
+        }
 
         seq = keep;
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Seq(seq))
+    Ok(run.finish(ep, OwnedPiece::Seq(seq)))
 }
 
 #[cfg(test)]
@@ -139,7 +159,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = Image::blank(16, 16);
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             assert_eq!(stats.stages[0].sent_bytes, 4);
@@ -164,7 +184,7 @@ mod tests {
                     }
                 }
             }
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         let r0 = out.results[0].stages[0].recv_bytes;
         let r1 = out.results[1].stages[0].recv_bytes;
@@ -188,7 +208,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             for (k, stage) in stats.stages.iter().enumerate() {
@@ -208,7 +228,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).piece
+            run(ep, &mut img, &depth).unwrap().piece
         });
         let mut all: Vec<usize> = Vec::new();
         for piece in &out.results {

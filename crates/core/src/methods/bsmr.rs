@@ -17,6 +17,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, Rect};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -72,12 +73,23 @@ pub fn cover_rects(image: &Image, within: &Rect, max_rects: usize) -> Vec<Rect> 
 }
 
 /// Runs BSMR. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     run.bound_pixels += image.area() as u64;
@@ -110,35 +122,44 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             ..Default::default()
         };
 
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BSMR stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BSMR stage",
+        )?;
 
-        run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let n = r.get_u32() as usize;
-            stat.recv_rect_empty = n == 0;
-            let front = topo.received_is_front(vpartner);
-            let mut ops = 0u64;
-            for _ in 0..n {
-                let rect = r.get_rect();
-                debug_assert!(keep.contains_rect(&rect));
-                let pixels = r.get_pixels(rect.area());
-                // Disjoint rects from one sender commute freely.
-                ops += if front {
-                    image.composite_rect_over(&rect, &pixels) as u64
-                } else {
-                    image.composite_rect_under(&rect, &pixels) as u64
-                };
-            }
-            stat.composite_ops = ops;
-        });
+        if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let n = r.get_u32() as usize;
+                stat.recv_rect_empty = n == 0;
+                let front = topo.received_is_front(vpartner);
+                let mut ops = 0u64;
+                for _ in 0..n {
+                    let rect = r.get_rect();
+                    debug_assert!(keep.contains_rect(&rect));
+                    let pixels = r.get_pixels(rect.area());
+                    // Disjoint rects from one sender commute freely.
+                    ops += if front {
+                        image.composite_rect_over(&rect, &pixels) as u64
+                    } else {
+                        image.composite_rect_under(&rect, &pixels) as u64
+                    };
+                }
+                stat.composite_ops = ops;
+            });
+        } else {
+            stat.recv_rect_empty = true;
+        }
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+    Ok(run.finish(ep, OwnedPiece::Rect(splitter.region())))
 }
 
 #[cfg(test)]
@@ -238,6 +259,7 @@ mod tests {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .sent_bytes()
             })
@@ -258,7 +280,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             assert_eq!(stats.stages.len(), 3);

@@ -14,6 +14,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, MaskRle, Pixel};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_exchange, CompositeError};
 use crate::schedule::{fold_into_pow2, tags, FoldOutcome, RegionSplitter, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -21,12 +22,23 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{CompositeResult, OwnedPiece, Run};
 
 /// Runs BSRL. See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
-    let topo = match fold_into_pow2(ep, image, &topo, &mut run.comp, &mut run.stages) {
+    let topo = match fold_into_pow2(
+        ep,
+        image,
+        &topo,
+        &mut run.comp,
+        &mut run.stages,
+        &mut run.dead,
+    )? {
         FoldOutcome::Active(t) => t,
-        FoldOutcome::Folded => return run.finish(ep, OwnedPiece::Nothing),
+        FoldOutcome::Folded => return Ok(run.finish(ep, OwnedPiece::Nothing)),
     };
 
     let mut splitter = RegionSplitter::new(image.full_rect());
@@ -61,40 +73,47 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             ..Default::default()
         };
 
-        let received = ep
-            .exchange(partner, tags::STAGE_BASE + stage as u32, payload)
-            .unwrap_or_else(|e| panic!("BSRL stage {stage} exchange failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
         stat.peer = Some(partner as u16);
+        let received = try_exchange(
+            ep,
+            partner,
+            tags::STAGE_BASE + stage as u32,
+            payload,
+            &mut run.dead,
+            "BSRL stage",
+        )?;
 
-        run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            let ncodes = r.get_u32() as usize;
-            let rle = MaskRle::from_codes(r.get_codes(ncodes));
-            let front = topo.received_is_front(vpartner);
-            let row_w = keep.width() as usize;
-            let mut ops = 0u64;
-            for (start, len) in rle.non_blank_runs() {
-                for i in 0..len {
-                    let pos = start + i;
-                    let x = keep.x0 + (pos % row_w) as u16;
-                    let y = keep.y0 + (pos / row_w) as u16;
-                    let incoming: Pixel = r.get_pixel();
-                    let local = image.get_mut(x, y);
-                    *local = if front {
-                        incoming.over(*local)
-                    } else {
-                        local.over(incoming)
-                    };
-                    ops += 1;
+        if let Some(received) = received {
+            stat.recv_bytes = received.len() as u64;
+            run.comp.time(|| {
+                let mut r = MsgReader::new(received);
+                let ncodes = r.get_u32() as usize;
+                let rle = MaskRle::from_codes(r.get_codes(ncodes));
+                let front = topo.received_is_front(vpartner);
+                let row_w = keep.width() as usize;
+                let mut ops = 0u64;
+                for (start, len) in rle.non_blank_runs() {
+                    for i in 0..len {
+                        let pos = start + i;
+                        let x = keep.x0 + (pos % row_w) as u16;
+                        let y = keep.y0 + (pos / row_w) as u16;
+                        let incoming: Pixel = r.get_pixel();
+                        let local = image.get_mut(x, y);
+                        *local = if front {
+                            incoming.over(*local)
+                        } else {
+                            local.over(incoming)
+                        };
+                        ops += 1;
+                    }
                 }
-            }
-            stat.composite_ops = ops;
-        });
+                stat.composite_ops = ops;
+            });
+        }
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(splitter.region()))
+    Ok(run.finish(ep, OwnedPiece::Rect(splitter.region())))
 }
 
 #[cfg(test)]
@@ -127,7 +146,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).stats
+            run(ep, &mut img, &depth).unwrap().stats
         });
         for stats in &out.results {
             for (k, stage) in stats.stages.iter().enumerate() {
@@ -159,6 +178,7 @@ mod tests {
             let out = run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(method, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .recv_bytes()
             });

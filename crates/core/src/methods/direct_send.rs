@@ -10,6 +10,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, Pixel};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_recv, try_send, CompositeError};
 use crate::schedule::{tags, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -17,7 +18,11 @@ use crate::wire::{MsgReader, MsgWriter};
 use super::{band_rect, CompositeResult, OwnedPiece, Run};
 
 /// Runs direct-send compositing (any `P ≥ 1`).
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
     let v = topo.vrank();
@@ -25,7 +30,7 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
     let my_band = band_rect(image.width(), image.height(), v, p);
 
     if p == 1 {
-        return run.finish(ep, OwnedPiece::Rect(my_band));
+        return Ok(run.finish(ep, OwnedPiece::Rect(my_band)));
     }
 
     // Send every other rank its band from our subimage.
@@ -40,21 +45,38 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             w.put_pixels(&image.extract_rect(&band));
             w.freeze()
         });
-        stat.sent_bytes += payload.len() as u64;
-        ep.send(topo.real(dst), tags::DIRECT, payload);
+        let len = payload.len() as u64;
+        if try_send(
+            ep,
+            topo.real(dst),
+            tags::DIRECT,
+            payload,
+            &mut run.dead,
+            "direct send",
+        )? {
+            stat.sent_bytes += len;
+        }
     }
 
     // Receive the P−1 contributions for our band and fold front-to-back.
-    // `contributions[u]` is virtual rank u's band image (ours included).
+    // `contributions[u]` is virtual rank u's band image (ours included);
+    // a dead contributor's slot stays `None` and is simply skipped.
     let mut contributions: Vec<Option<Vec<Pixel>>> = (0..p).map(|_| None).collect();
     contributions[v] = Some(image.extract_rect(&my_band));
     for (src, slot) in contributions.iter_mut().enumerate() {
         if src == v {
             continue;
         }
-        let received = ep
-            .recv(topo.real(src), tags::DIRECT)
-            .unwrap_or_else(|e| panic!("direct-send recv failed: {e}"));
+        let Some(received) = try_recv(
+            ep,
+            topo.real(src),
+            tags::DIRECT,
+            &mut run.dead,
+            "direct recv",
+        )?
+        else {
+            continue;
+        };
         stat.recv_bytes += received.len() as u64;
         let pixels = run
             .comp
@@ -77,7 +99,7 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
     });
 
     run.stages.push(stat);
-    run.finish(ep, OwnedPiece::Rect(my_band))
+    Ok(run.finish(ep, OwnedPiece::Rect(my_band)))
 }
 
 #[cfg(test)]
@@ -121,7 +143,7 @@ mod tests {
         let depth = DepthOrder::from_sequence(vec![1, 0]);
         let out = run_group(2, CostModel::free(), |ep| {
             let mut img = Image::blank(8, 8);
-            run(ep, &mut img, &depth).piece
+            run(ep, &mut img, &depth).unwrap().piece
         });
         // Real rank 1 is virtual 0 → top band; real rank 0 → bottom.
         assert_eq!(

@@ -14,11 +14,14 @@ pub mod radix;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 use vr_comm::Endpoint;
 use vr_image::{Image, Rect, StridedSeq};
 use vr_volume::DepthOrder;
 
+use crate::error::CompositeError;
 use crate::stats::{MethodStats, StageStat};
 use crate::timer::Stopwatch;
 
@@ -123,11 +126,27 @@ pub struct CompositeResult {
     pub piece: OwnedPiece,
     /// Cost breakdown for this rank.
     pub stats: MethodStats,
+    /// Peers this rank found dead during the schedule (ascending). Empty
+    /// in a healthy run; non-empty means the owned piece may contain
+    /// transparent holes where the dead peers' pixels belonged.
+    pub dead_partners: Vec<usize>,
+}
+
+impl CompositeResult {
+    /// True when at least one peer died mid-schedule.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead_partners.is_empty()
+    }
 }
 
 /// Runs `method` over this rank's subimage. On return, the pixels of the
 /// returned piece inside `image` are final; use
 /// [`gather_image`](crate::gather::gather_image) to assemble them.
+///
+/// Errors only when this rank itself was killed by fault injection or
+/// the schedule broke down (receive timeout / tag mismatch); a *peer*
+/// dying mid-run is survivable and reported via
+/// [`CompositeResult::dead_partners`].
 ///
 /// ```
 /// use slsvr_core::{composite, gather_image, Method};
@@ -140,7 +159,7 @@ pub struct CompositeResult {
 /// let out = run_group(2, CostModel::sp2(), |ep| {
 ///     let mut img = Image::blank(8, 8);
 ///     img.set(3, 3, Pixel::gray(if ep.rank() == 0 { 1.0 } else { 0.2 }, 1.0));
-///     let result = composite(Method::Bsbrc, ep, &mut img, &depth);
+///     let result = composite(Method::Bsbrc, ep, &mut img, &depth).unwrap();
 ///     gather_image(ep, &img, &result.piece, 0)
 /// });
 /// let final_image = out.results[0].as_ref().unwrap();
@@ -151,7 +170,7 @@ pub fn composite(
     ep: &mut Endpoint,
     image: &mut Image,
     depth: &DepthOrder,
-) -> CompositeResult {
+) -> Result<CompositeResult, CompositeError> {
     assert_eq!(
         depth.front_to_back().len(),
         ep.size(),
@@ -187,6 +206,9 @@ pub(crate) struct Run {
     pub bound_pixels: u64,
     /// Pixels visited by one-time pre-stage encoding (binary tree).
     pub pre_encoded_pixels: u64,
+    /// Peers found dead so far (fed by the `try_*` helpers in
+    /// [`crate::error`]).
+    pub dead: BTreeSet<usize>,
     comm_start: f64,
 }
 
@@ -199,6 +221,7 @@ impl Run {
             stages: Vec::new(),
             bound_pixels: 0,
             pre_encoded_pixels: 0,
+            dead: BTreeSet::new(),
             comm_start: ep.stats().modeled_comm_seconds,
         }
     }
@@ -213,7 +236,11 @@ impl Run {
             pre_encoded_pixels: self.pre_encoded_pixels,
             stages: self.stages,
         };
-        CompositeResult { piece, stats }
+        CompositeResult {
+            piece,
+            stats,
+            dead_partners: self.dead.into_iter().collect(),
+        }
     }
 }
 

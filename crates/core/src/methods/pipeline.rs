@@ -15,14 +15,24 @@ use vr_comm::Endpoint;
 use vr_image::{Image, Pixel};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_recv, try_send, CompositeError};
 use crate::schedule::{tags, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
 
 use super::{band_rect, CompositeResult, OwnedPiece, Run};
 
+/// Wire marker for "no band": the sender's upstream died, so the chain
+/// that should occupy this ring slot is lost. Forwarding the marker
+/// keeps the ring in lockstep so downstream ranks never stall.
+const NO_BAND: u32 = u32::MAX;
+
 /// Runs parallel-pipeline compositing (any `P ≥ 1`).
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
     let j = topo.vrank();
@@ -30,15 +40,17 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
     let my_band = band_rect(image.width(), image.height(), j, p);
 
     if p == 1 {
-        return run.finish(ep, OwnedPiece::Rect(my_band));
+        return Ok(run.finish(ep, OwnedPiece::Rect(my_band)));
     }
 
     let next = topo.real((j + 1) % p);
     let prev = topo.real((j + p - 1) % p);
 
     // We start band (j−1) mod P: our own contribution seeds the
-    // behind-segment accumulator `a`.
+    // behind-segment accumulator `a`. `have_band` goes false when the
+    // chain through us is severed by a dead upstream rank.
     let mut band_id = (j + p - 1) % p;
+    let mut have_band = true;
     let mut a_buf = {
         let band = band_rect(image.width(), image.height(), band_id, p);
         run.comp.time(|| image.extract_rect(&band))
@@ -48,6 +60,11 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
     for t in 0..p - 1 {
         let tag = tags::PIPE_BASE + t as u32;
         let payload = run.comp.time(|| {
+            if !have_band {
+                let mut w = MsgWriter::with_capacity(4);
+                w.put_u32(NO_BAND);
+                return w.freeze();
+            }
             let band = band_rect(image.width(), image.height(), band_id, p);
             let mut w = MsgWriter::with_capacity(
                 8 + (1 + b_buf.is_some() as usize) * band.area() * vr_image::BYTES_PER_PIXEL,
@@ -60,75 +77,93 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
             }
             w.freeze()
         });
-        let mut stat = StageStat {
-            sent_bytes: payload.len() as u64,
-            ..Default::default()
-        };
-        ep.send(next, tag, payload);
+        let mut stat = StageStat::default();
+        let len = payload.len() as u64;
+        if try_send(ep, next, tag, payload, &mut run.dead, "pipeline send")? {
+            stat.sent_bytes = len;
+        }
 
-        let received = ep
-            .recv(prev, tag)
-            .unwrap_or_else(|e| panic!("pipeline hop {t} recv failed: {e}"));
-        stat.recv_bytes = received.len() as u64;
+        match try_recv(ep, prev, tag, &mut run.dead, "pipeline recv")? {
+            None => {
+                // Dead upstream: the travelling chains are lost from here
+                // on; keep pumping NO_BAND markers so downstream survives.
+                have_band = false;
+                b_buf = None;
+            }
+            Some(received) => {
+                stat.recv_bytes = received.len() as u64;
+                run.comp.time(|| {
+                    let mut r = MsgReader::new(received);
+                    let got = r.get_u32();
+                    if got == NO_BAND {
+                        have_band = false;
+                        b_buf = None;
+                        return;
+                    }
+                    have_band = true;
+                    band_id = got as usize;
+                    let has_b = r.get_u32() == 1;
+                    let band = band_rect(image.width(), image.height(), band_id, p);
+                    a_buf = r.get_pixels(band.area());
+                    b_buf = if has_b {
+                        Some(r.get_pixels(band.area()))
+                    } else {
+                        None
+                    };
 
-        run.comp.time(|| {
-            let mut r = MsgReader::new(received);
-            band_id = r.get_u32() as usize;
-            let has_b = r.get_u32() == 1;
-            let band = band_rect(image.width(), image.height(), band_id, p);
-            a_buf = r.get_pixels(band.area());
-            b_buf = if has_b {
-                Some(r.get_pixels(band.area()))
-            } else {
-                None
-            };
-
-            // Composite our own contribution for this band. The band
-            // started at position s = (band_id+1) mod P; if our position
-            // has not wrapped past 0 relative to s we extend the behind
-            // segment `a`, otherwise the front segment `b`.
-            let s = (band_id + 1) % p;
-            let mine = image.extract_rect(&band);
-            let mut ops = 0u64;
-            if s <= j {
-                // Behind segment: `a` holds [s..j−1] front-to-back; we
-                // are behind them.
-                for (acc, m) in a_buf.iter_mut().zip(&mine) {
-                    *acc = acc.over(*m);
-                    ops += 1;
-                }
-            } else {
-                // Front segment (wrapped): `b` holds [0..j−1]; we are
-                // behind them but in front of everything in `a`.
-                match &mut b_buf {
-                    Some(b) => {
-                        for (acc, m) in b.iter_mut().zip(&mine) {
+                    // Composite our own contribution for this band. The band
+                    // started at position s = (band_id+1) mod P; if our position
+                    // has not wrapped past 0 relative to s we extend the behind
+                    // segment `a`, otherwise the front segment `b`.
+                    let s = (band_id + 1) % p;
+                    let mine = image.extract_rect(&band);
+                    let mut ops = 0u64;
+                    if s <= j {
+                        // Behind segment: `a` holds [s..j−1] front-to-back; we
+                        // are behind them.
+                        for (acc, m) in a_buf.iter_mut().zip(&mine) {
                             *acc = acc.over(*m);
                             ops += 1;
                         }
+                    } else {
+                        // Front segment (wrapped): `b` holds [0..j−1]; we are
+                        // behind them but in front of everything in `a`.
+                        match &mut b_buf {
+                            Some(b) => {
+                                for (acc, m) in b.iter_mut().zip(&mine) {
+                                    *acc = acc.over(*m);
+                                    ops += 1;
+                                }
+                            }
+                            None => {
+                                b_buf = Some(mine);
+                            }
+                        }
                     }
-                    None => {
-                        b_buf = Some(mine);
-                    }
-                }
+                    stat.composite_ops = ops;
+                });
             }
-            stat.composite_ops = ops;
-        });
+        }
         run.stages.push(stat);
     }
 
-    // After P−1 hops we hold our own band; merge the two segments.
-    debug_assert_eq!(band_id, j, "pipeline must end with the rank's own band");
-    run.comp.time(|| {
-        if let Some(b) = b_buf.take() {
-            for (front, back) in b.iter().zip(a_buf.iter_mut()) {
-                *back = front.over(*back);
+    if have_band && band_id == j {
+        // Healthy finish: after P−1 hops we hold our own band; merge the
+        // two segments.
+        run.comp.time(|| {
+            if let Some(b) = b_buf.take() {
+                for (front, back) in b.iter().zip(a_buf.iter_mut()) {
+                    *back = front.over(*back);
+                }
             }
-        }
-        image.write_rect(&my_band, &a_buf);
-    });
+            image.write_rect(&my_band, &a_buf);
+        });
+    }
+    // Degraded finish: our band's travelling partial was lost with a dead
+    // rank. The image buffer still holds our own rendering of `my_band`,
+    // so the owned piece degrades to this rank's own contribution.
 
-    run.finish(ep, OwnedPiece::Rect(my_band))
+    Ok(run.finish(ep, OwnedPiece::Rect(my_band)))
 }
 
 #[cfg(test)]
@@ -157,7 +192,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = Image::blank(10, 10);
-            run(ep, &mut img, &depth).stats.stages.len()
+            run(ep, &mut img, &depth).unwrap().stats.stages.len()
         });
         assert!(out.results.iter().all(|&hops| hops == p - 1));
     }
@@ -167,7 +202,7 @@ mod tests {
         let out = run_group(1, CostModel::free(), |ep| {
             let mut img = Image::blank(8, 8);
             img.set(1, 1, Pixel::gray(0.5, 0.5));
-            let res = run(ep, &mut img, &DepthOrder::identity(1));
+            let res = run(ep, &mut img, &DepthOrder::identity(1)).unwrap();
             (res.piece, img.get(1, 1))
         });
         let (piece, px) = &out.results[0];

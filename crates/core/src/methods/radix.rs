@@ -21,6 +21,7 @@ use vr_comm::Endpoint;
 use vr_image::{Image, Pixel, Rect};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_recv, try_send, CompositeError};
 use crate::schedule::{tags, VirtualTopology};
 use crate::stats::StageStat;
 use crate::wire::{MsgReader, MsgWriter};
@@ -66,7 +67,11 @@ fn strips(region: Rect, r: usize, axis: usize) -> Vec<Rect> {
 }
 
 /// Runs radix-k compositing (any `P ≥ 1`). See the module docs.
-pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> CompositeResult {
+pub fn run(
+    ep: &mut Endpoint,
+    image: &mut Image,
+    depth: &DepthOrder,
+) -> Result<CompositeResult, CompositeError> {
     let mut run = Run::begin(ep);
     let topo = VirtualTopology::from_depth(ep.rank(), depth);
     let v = topo.vrank();
@@ -106,11 +111,21 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
                 }
                 w.freeze()
             });
-            stat.sent_bytes += payload.len() as u64;
-            ep.send(target, tags::STAGE_BASE + round as u32, payload);
+            let len = payload.len() as u64;
+            if try_send(
+                ep,
+                target,
+                tags::STAGE_BASE + round as u32,
+                payload,
+                &mut run.dead,
+                "radix-k send",
+            )? {
+                stat.sent_bytes += len;
+            }
         }
 
-        // Receive the other digits' contributions for my strip.
+        // Receive the other digits' contributions for my strip; a dead
+        // group member simply contributes nothing.
         let mut fronts: Vec<(Rect, Vec<Pixel>)> = Vec::new(); // digits < mine
         let mut backs: Vec<(Rect, Vec<Pixel>)> = Vec::new(); // digits > mine
         for d in 0..radix {
@@ -118,9 +133,16 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
                 continue;
             }
             let src = topo.real(base + d * stride);
-            let received = ep
-                .recv(src, tags::STAGE_BASE + round as u32)
-                .unwrap_or_else(|e| panic!("radix-k round {round} recv failed: {e}"));
+            let Some(received) = try_recv(
+                ep,
+                src,
+                tags::STAGE_BASE + round as u32,
+                &mut run.dead,
+                "radix-k recv",
+            )?
+            else {
+                continue;
+            };
             stat.recv_bytes += received.len() as u64;
             let (rect, pixels) = run.comp.time(|| {
                 let mut rd = MsgReader::new(received);
@@ -167,7 +189,7 @@ pub fn run(ep: &mut Endpoint, image: &mut Image, depth: &DepthOrder) -> Composit
         run.stages.push(stat);
     }
 
-    run.finish(ep, OwnedPiece::Rect(region))
+    Ok(run.finish(ep, OwnedPiece::Rect(region)))
 }
 
 #[cfg(test)]
@@ -244,6 +266,7 @@ mod tests {
             run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
                 crate::methods::composite(m, ep, &mut img, &depth)
+                    .unwrap()
                     .stats
                     .stages
                     .len()
@@ -261,7 +284,7 @@ mod tests {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            run(ep, &mut img, &depth).piece
+            run(ep, &mut img, &depth).unwrap().piece
         });
         let mut total = 0usize;
         for piece in &out.results {

@@ -45,7 +45,7 @@ pub fn check_against_reference(
     let expect = crate::reference::reference_composite(&images, depth);
     let out = run_group(p, CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        let result = crate::methods::composite(method, ep, &mut img, depth);
+        let result = crate::methods::composite(method, ep, &mut img, depth).unwrap();
         crate::gather::gather_image(ep, &img, &result.piece, 0)
     });
     let final_img = out.results[0].clone().expect("root must gather the image");

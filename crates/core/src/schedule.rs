@@ -1,10 +1,13 @@
 //! Binary-swap scheduling: virtual (depth-ordered) ranks, pairing,
 //! region splitting, and the non-power-of-two fold extension.
 
+use std::collections::BTreeSet;
+
 use vr_comm::Endpoint;
 use vr_image::{Image, Rect};
 use vr_volume::DepthOrder;
 
+use crate::error::{try_recv, try_send, CompositeError};
 use crate::stats::StageStat;
 use crate::timer::Stopwatch;
 use crate::wire::{MsgReader, MsgWriter};
@@ -159,7 +162,8 @@ pub fn fold_into_pow2(
     topo: &VirtualTopology,
     comp: &mut Stopwatch,
     stages: &mut Vec<StageStat>,
-) -> FoldOutcome {
+    dead: &mut BTreeSet<usize>,
+) -> Result<FoldOutcome, CompositeError> {
     let p = topo.vsize();
     let q = if p.is_power_of_two() {
         p
@@ -168,7 +172,7 @@ pub fn fold_into_pow2(
     };
     let extra = p - q;
     if extra == 0 {
-        return FoldOutcome::Active(topo.clone());
+        return Ok(FoldOutcome::Active(topo.clone()));
     }
     let v = topo.vrank();
     let mut stat = StageStat::default();
@@ -176,7 +180,8 @@ pub fn fold_into_pow2(
     if v < 2 * extra {
         if v % 2 == 1 {
             // Fold out: ship bounding rectangle + pixels to the partner
-            // in front (virtual v−1), then retire.
+            // in front (virtual v−1), then retire. If that partner is
+            // dead the image is lost (a hole); this rank retires anyway.
             let (bounds, payload) = comp.time(|| {
                 let bounds = image.bounding_rect();
                 let mut w = MsgWriter::with_capacity(8 + bounds.area() * 16);
@@ -188,25 +193,30 @@ pub fn fold_into_pow2(
             });
             let _ = bounds;
             stat.sent_bytes = payload.len() as u64;
-            ep.send(topo.real(v - 1), tags::FOLD, payload);
-            stages.push(stat);
-            return FoldOutcome::Folded;
+            if try_send(ep, topo.real(v - 1), tags::FOLD, payload, dead, "fold")? {
+                stages.push(stat);
+            } else {
+                stages.push(StageStat::default());
+            }
+            return Ok(FoldOutcome::Folded);
         }
         // Receive the behind-neighbour's image and composite it under
-        // our own (we are in front).
-        let payload = ep
-            .recv(topo.real(v + 1), tags::FOLD)
-            .unwrap_or_else(|e| panic!("fold receive failed: {e}"));
-        stat.recv_bytes = payload.len() as u64;
-        comp.time(|| {
-            let mut r = MsgReader::new(payload);
-            let rect = r.get_rect();
-            stat.recv_rect_empty = rect.is_empty();
-            if !rect.is_empty() {
-                let pixels = r.get_pixels(rect.area());
-                stat.composite_ops = image.composite_rect_under(&rect, &pixels) as u64;
-            }
-        });
+        // our own (we are in front). A dead neighbour contributes
+        // nothing — we keep our own partial.
+        if let Some(payload) = try_recv(ep, topo.real(v + 1), tags::FOLD, dead, "fold")? {
+            stat.recv_bytes = payload.len() as u64;
+            comp.time(|| {
+                let mut r = MsgReader::new(payload);
+                let rect = r.get_rect();
+                stat.recv_rect_empty = rect.is_empty();
+                if !rect.is_empty() {
+                    let pixels = r.get_pixels(rect.area());
+                    stat.composite_ops = image.composite_rect_under(&rect, &pixels) as u64;
+                }
+            });
+        } else {
+            stat.recv_rect_empty = true;
+        }
         stages.push(stat);
     }
 
@@ -220,10 +230,10 @@ pub fn fold_into_pow2(
         v_to_rank.push(topo.real(old));
     }
     let new_v = if v < 2 * extra { v / 2 } else { v - extra };
-    FoldOutcome::Active(VirtualTopology {
+    Ok(FoldOutcome::Active(VirtualTopology {
         vrank: new_v,
         v_to_rank,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -333,7 +343,8 @@ mod tests {
             }
             let mut sw = Stopwatch::new();
             let mut stages = Vec::new();
-            match fold_into_pow2(ep, &mut img, &topo, &mut sw, &mut stages) {
+            let mut dead = BTreeSet::new();
+            match fold_into_pow2(ep, &mut img, &topo, &mut sw, &mut stages, &mut dead).unwrap() {
                 FoldOutcome::Active(t) => Some((t.vrank(), t.vsize(), img.non_blank_count())),
                 FoldOutcome::Folded => None,
             }

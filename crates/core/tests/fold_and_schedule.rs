@@ -30,7 +30,7 @@ fn every_non_pow2_up_to_17_matches_reference() {
         let expect = reference_composite(&images, &depth);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            let res = composite(Method::Bsbrc, ep, &mut img, &depth);
+            let res = composite(Method::Bsbrc, ep, &mut img, &depth).unwrap();
             gather_image(ep, &img, &res.piece, 0)
         });
         let got = out.results[0].as_ref().unwrap();
@@ -50,7 +50,7 @@ fn fold_count_matches_formula() {
         let depth = DepthOrder::identity(p);
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            composite(Method::Bs, ep, &mut img, &depth).stats
+            composite(Method::Bs, ep, &mut img, &depth).unwrap().stats
         });
         let folded = out
             .results
@@ -116,7 +116,9 @@ fn stats_stage_peers_are_symmetric() {
     let depth = DepthOrder::identity(p);
     let out = run_group(p, CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        composite(Method::Bsbrc, ep, &mut img, &depth).stats
+        composite(Method::Bsbrc, ep, &mut img, &depth)
+            .unwrap()
+            .stats
     });
     for (rank, stats) in out.results.iter().enumerate() {
         for (k, stage) in stats.stages.iter().enumerate() {

@@ -38,7 +38,7 @@ fn run_case(method: Method, p: usize, depth: &DepthOrder) {
     let expect = reference_composite(&images, depth);
     let out = run_group(p, CostModel::sp2(), |ep| {
         let mut img = images[ep.rank()].clone();
-        let res = composite(method, ep, &mut img, depth);
+        let res = composite(method, ep, &mut img, depth).unwrap();
         gather_image(ep, &img, &res.piece, 0)
     });
     let got = out.results[0].as_ref().expect("gathered at root");
@@ -94,7 +94,7 @@ fn colored_pixels_survive_every_method() {
     for method in Method::all() {
         let out = run_group(p, CostModel::free(), |ep| {
             let mut img = images[ep.rank()].clone();
-            let res = composite(method, ep, &mut img, &depth);
+            let res = composite(method, ep, &mut img, &depth).unwrap();
             gather_image(ep, &img, &res.piece, 0)
         });
         let got = out.results[0].as_ref().unwrap();
@@ -114,7 +114,10 @@ fn methods_agree_pairwise_on_m_max_relations() {
         let m = |method: Method| {
             let out = run_group(p, CostModel::free(), |ep| {
                 let mut img = images[ep.rank()].clone();
-                composite(method, ep, &mut img, &depth).stats.recv_bytes()
+                composite(method, ep, &mut img, &depth)
+                    .unwrap()
+                    .stats
+                    .recv_bytes()
             });
             out.results.into_iter().max().unwrap()
         };

@@ -52,7 +52,9 @@ fn bsbrc_message_parses_exactly() {
     // from its image content and compare byte-for-byte.
     let out = run_group(p, CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        composite(Method::Bsbrc, ep, &mut img, &depth).stats
+        composite(Method::Bsbrc, ep, &mut img, &depth)
+            .unwrap()
+            .stats
     });
     // Reconstruct what rank 1 must have sent at stage 0: its bounding
     // rect ∩ left half, RLE-encoded.
@@ -74,7 +76,7 @@ fn bsbr_message_parses_exactly() {
     let images = [content_image(24, 24, 3), content_image(24, 24, 4)];
     let out = run_group(p, CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        composite(Method::Bsbr, ep, &mut img, &depth).stats
+        composite(Method::Bsbr, ep, &mut img, &depth).unwrap().stats
     });
     let img = &images[0];
     let (_, right) = img.full_rect().split_at_x(12);
@@ -91,7 +93,7 @@ fn bsbm_message_parses_exactly() {
     let images = [content_image(24, 24, 5), content_image(24, 24, 6)];
     let out = run_group(p, CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        composite(Method::Bsbm, ep, &mut img, &depth).stats
+        composite(Method::Bsbm, ep, &mut img, &depth).unwrap().stats
     });
     let img = &images[0];
     let (_, right) = img.full_rect().split_at_x(12);
@@ -109,7 +111,7 @@ fn bs_message_is_headerless() {
     let images = [content_image(20, 20, 7), content_image(20, 20, 8)];
     let out = run_group(p, CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        composite(Method::Bs, ep, &mut img, &depth).stats
+        composite(Method::Bs, ep, &mut img, &depth).unwrap().stats
     });
     for s in &out.results {
         assert_eq!(s.stages[0].sent_bytes as usize, 10 * 20 * 16);

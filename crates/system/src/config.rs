@@ -1,9 +1,11 @@
 //! Experiment configuration.
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
 use slsvr_core::stats::CompCost;
 use slsvr_core::Method;
-use vr_comm::CostModel;
+use vr_comm::{CostModel, FaultConfig, GroupOptions, ReliabilityConfig};
 use vr_volume::DatasetKind;
 
 /// Everything needed to run one paper experiment cell.
@@ -46,6 +48,15 @@ pub struct ExperimentConfig {
     /// per-op costs, the computation-side counterpart of the network
     /// cost model.
     pub comp_timing: CompTiming,
+    /// Fault-injection campaign applied to the compositing group
+    /// (`None` = the paper's perfect network, zero overhead).
+    pub faults: Option<FaultConfig>,
+    /// Reliable-delivery (framing + ack/retransmit) policy. Disabled by
+    /// default so healthy runs stay byte-identical to the paper model.
+    pub reliability: ReliabilityConfig,
+    /// How long a blocking receive waits before declaring the group
+    /// stuck (`None` = the transport default of 60 s).
+    pub recv_deadline: Option<Duration>,
 }
 
 /// Source of the reported computation time.
@@ -100,6 +111,9 @@ impl Default for ExperimentConfig {
             balanced_partition: false,
             ghost_voxels: 0,
             comp_timing: CompTiming::Modeled(CompCost::power2()),
+            faults: None,
+            reliability: ReliabilityConfig::default(),
+            recv_deadline: None,
         }
     }
 }
@@ -123,6 +137,20 @@ impl ExperimentConfig {
     pub fn resolved_dims(&self) -> [usize; 3] {
         self.volume_dims
             .unwrap_or_else(|| self.dataset.paper_dims())
+    }
+
+    /// The transport options this configuration resolves to.
+    pub fn group_options(&self) -> GroupOptions {
+        let mut options = GroupOptions {
+            cost: self.cost,
+            faults: self.faults,
+            reliability: self.reliability,
+            ..Default::default()
+        };
+        if let Some(deadline) = self.recv_deadline {
+            options.recv_deadline = deadline;
+        }
+        options
     }
 }
 

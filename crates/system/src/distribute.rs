@@ -109,7 +109,9 @@ pub fn run_distributed(config: &ExperimentConfig) -> DistributedOutcome {
         let render_seconds = start.elapsed().as_secs_f64();
 
         // ---- Phase 3: compositing + gather --------------------------
-        let result = composite(method, ep, &mut image, &depth);
+        // The distributed pipeline runs on the perfect-network path
+        // (no fault injection), so compositing errors are fatal here.
+        let result = composite(method, ep, &mut image, &depth).expect("compositing failed");
         let gathered = gather_image(ep, &image, &result.piece, 0);
         (gathered, render_seconds, result.stats, partition_bytes)
     });

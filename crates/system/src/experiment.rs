@@ -3,9 +3,10 @@
 use std::sync::Arc;
 
 use slsvr_core::{
-    composite, gather_image, reference_composite, virtual_completion, Method, MethodStats,
+    composite, gather_image_tolerant, reference_composite, virtual_completion, CompositeError,
+    Method, MethodStats,
 };
-use vr_comm::{run_group, TrafficStats};
+use vr_comm::{run_group_with, TrafficStats};
 use vr_image::Image;
 use vr_render::{render_block, Camera, Projection, RenderParams};
 use vr_volume::{kd_partition, kd_partition_weighted, Dataset, DepthOrder};
@@ -70,12 +71,35 @@ impl Aggregate {
 pub struct Outcome {
     /// Group aggregates (the numbers the paper tabulates).
     pub aggregate: Aggregate,
-    /// Per-rank method statistics.
+    /// Per-rank method statistics (default-empty for killed ranks).
     pub per_rank: Vec<MethodStats>,
     /// Per-rank transport counters.
     pub traffic: Vec<TrafficStats>,
-    /// The assembled final image (gathered at rank 0).
+    /// The assembled final image (gathered at rank 0). Blank where dead
+    /// ranks left holes; fully blank if fault injection killed rank 0.
     pub image: Image,
+    /// Ranks killed by fault injection (empty on a healthy run).
+    pub dead_ranks: Vec<usize>,
+    /// Ranks whose owned piece never reached the gather root.
+    pub missing_ranks: Vec<usize>,
+    /// Fraction of image pixels covered by gathered pieces, in `[0, 1]`
+    /// (1.0 on a healthy run).
+    pub coverage: f64,
+}
+
+impl Outcome {
+    /// True when fault injection degraded this run (dead ranks or
+    /// image holes).
+    pub fn is_degraded(&self) -> bool {
+        !self.dead_ranks.is_empty() || !self.missing_ranks.is_empty() || self.coverage < 1.0
+    }
+
+    /// Peak signal-to-noise ratio of the final image against a
+    /// reference (infinite when identical) — the degraded-quality
+    /// metric reported alongside coverage.
+    pub fn psnr_vs(&self, reference: &Image) -> f64 {
+        vr_image::stats::psnr(&self.image, reference)
+    }
 }
 
 impl Experiment {
@@ -206,26 +230,48 @@ impl Experiment {
 
     /// Runs the compositing phase with `method` on clones of the
     /// prepared subimages and gathers the final image at rank 0.
+    ///
+    /// With faults configured, a killed rank contributes empty stats
+    /// and its image region stays blank; the outcome reports the dead
+    /// rank set, the gather holes and the residual coverage.
     pub fn run(&self, method: Method) -> Outcome {
         let p = self.config.processors;
-        let out = run_group(p, self.config.cost, |ep| {
+        let size = self.config.image_size;
+        let out = run_group_with(p, self.config.group_options(), |ep| {
             let mut img = self.subimages[ep.rank()].clone();
-            let result = composite(method, ep, &mut img, &self.depth);
-            let gathered = gather_image(ep, &img, &result.piece, 0);
-            (result.stats, gathered)
+            let result = match composite(method, ep, &mut img, &self.depth) {
+                Ok(result) => result,
+                Err(CompositeError::Killed { .. }) => return (None, None),
+                Err(e) => panic!("compositing failed: {e}"),
+            };
+            match gather_image_tolerant(ep, &img, &result.piece, 0) {
+                Ok(gathered) => (Some(result.stats), gathered),
+                Err(CompositeError::Killed { .. }) => (Some(result.stats), None),
+                Err(e) => panic!("gather failed: {e}"),
+            }
         });
 
         let mut per_rank = Vec::with_capacity(p);
         let mut image = None;
-        for (mut stats, gathered) in out.results {
-            // Resolve T_comp per the configured timing source.
+        let mut missing_ranks = Vec::new();
+        let mut coverage = 1.0;
+        for (stats, gathered) in out.results {
+            // Resolve T_comp per the configured timing source; a killed
+            // rank reports default (all-zero) stats.
+            let mut stats = stats.unwrap_or_default();
             self.config.comp_timing.apply(&mut stats);
             per_rank.push(stats);
-            if let Some(img) = gathered {
-                image = Some(img);
+            if let Some(g) = gathered {
+                coverage = g.coverage();
+                missing_ranks = g.missing_ranks.clone();
+                image = Some(g.image);
             }
         }
-        let image = image.expect("rank 0 gathers the final image");
+        // A dead root gathers nothing: report a fully blank frame.
+        let image = image.unwrap_or_else(|| {
+            coverage = 0.0;
+            Image::blank(size, size)
+        });
 
         let t_comp = per_rank.iter().map(|s| s.comp_seconds).fold(0.0, f64::max);
         let t_comm = per_rank.iter().map(|s| s.comm_seconds).fold(0.0, f64::max);
@@ -256,7 +302,29 @@ impl Experiment {
             per_rank,
             traffic: out.stats,
             image,
+            dead_ranks: out.dead_ranks,
+            missing_ranks,
+            coverage,
         }
+    }
+
+    /// The sequential reference composite over the *surviving* ranks
+    /// only — what a degraded run should converge to for pair-exchange
+    /// methods (dead contributions become transparent).
+    pub fn survivor_reference(&self, dead_ranks: &[usize]) -> Image {
+        let masked: Vec<Image> = self
+            .subimages
+            .iter()
+            .enumerate()
+            .map(|(rank, img)| {
+                if dead_ranks.contains(&rank) {
+                    Image::blank(img.width(), img.height())
+                } else {
+                    img.clone()
+                }
+            })
+            .collect();
+        reference_composite(&masked, &self.depth)
     }
 
     /// The sequential reference composite of the prepared subimages.

@@ -30,7 +30,7 @@ fn main() {
     for method in [Method::Bs, Method::Bsbrc] {
         let (_, trace) = run_group_traced(p, CostModel::sp2(), |ep| {
             let mut img = images[ep.rank()].clone();
-            composite(method, ep, &mut img, &depth)
+            composite(method, ep, &mut img, &depth).unwrap()
         });
 
         println!("== {} ==", method.name());

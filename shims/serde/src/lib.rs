@@ -1,0 +1,18 @@
+//! Minimal stand-in for `serde` so the workspace builds without a
+//! registry. The workspace derives `Serialize`/`Deserialize` as wire-
+//! format documentation but contains no serializer crate, so marker
+//! traits plus no-op derives are sufficient.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

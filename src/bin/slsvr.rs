@@ -53,13 +53,19 @@ USAGE:
                 [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced]
                 [--distributed] [--ghost N] [--out FILE.pgm]
+                [--faults SPEC] [--reliable] [--recv-deadline MS]
+                [--ack-timeout MS] [--max-retries N]
   slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
   slsvr info
 
 DATASETS: engine_low | engine_high | head | cube
-METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe | radixk";
+METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe | radixk
+
+FAULTS:   --faults drop=0.01,corrupt=0.001,dup=0.001,delay=0.01,delay_ms=2,seed=42,kill=3@17
+          (every key optional; --reliable turns on framing + ack/retransmit
+          so dropped or corrupted messages recover instead of timing out)";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Flags<'a> {
@@ -156,6 +162,32 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
     if let Some(spec) = flags.get("--dims") {
         config.volume_dims = Some(parse_dims(spec)?);
     }
+    if let Some(spec) = flags.get("--faults") {
+        config.faults = Some(
+            spec.parse()
+                .map_err(|e| format!("invalid --faults `{spec}`: {e}"))?,
+        );
+    }
+    if flags.has("--reliable") {
+        config.reliability = slsvr::comm::ReliabilityConfig::on();
+    }
+    if let Some(ms) = flags.get("--ack-timeout") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("invalid --ack-timeout `{ms}`"))?;
+        config.reliability.ack_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = flags.get("--max-retries") {
+        config.reliability.max_retries = n
+            .parse()
+            .map_err(|_| format!("invalid --max-retries `{n}`"))?;
+    }
+    if let Some(ms) = flags.get("--recv-deadline") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("invalid --recv-deadline `{ms}`"))?;
+        config.recv_deadline = Some(std::time::Duration::from_millis(ms));
+    }
     if config.processors == 0 {
         return Err("--procs must be at least 1".into());
     }
@@ -191,6 +223,21 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
     } else {
         let exp = Experiment::prepare(&config);
         let out = exp.run(config.method);
+        let retransmits: u64 = out.traffic.iter().map(|t| t.retransmits).sum();
+        let corruptions: u64 = out.traffic.iter().map(|t| t.corruptions_detected).sum();
+        if retransmits > 0 || corruptions > 0 {
+            println!("reliability: {retransmits} retransmits, {corruptions} corruptions detected");
+        }
+        if out.is_degraded() {
+            println!(
+                "DEGRADED: dead ranks {:?} · missing pieces {:?} · coverage {:.1}% · \
+                 PSNR vs reference {:.1} dB",
+                out.dead_ranks,
+                out.missing_ranks,
+                out.coverage * 100.0,
+                out.psnr_vs(&exp.reference()),
+            );
+        }
         (
             out.image,
             out.aggregate.t_comp_ms(),

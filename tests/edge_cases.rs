@@ -117,7 +117,7 @@ fn non_square_images() {
     // compositing layer directly.
     let out = vr_comm::run_group(4, vr_comm::CostModel::free(), |ep| {
         let mut img = images[ep.rank()].clone();
-        let res = slsvr::compositing::composite(Method::Bsbrc, ep, &mut img, &depth);
+        let res = slsvr::compositing::composite(Method::Bsbrc, ep, &mut img, &depth).unwrap();
         slsvr::compositing::gather_image(ep, &img, &res.piece, 0)
     });
     let got = out.results[0].as_ref().unwrap();
