@@ -30,6 +30,7 @@ use crate::reliable::{
 };
 use crate::stats::TrafficStats;
 use crate::trace::{EventKind, Tracer};
+use crate::vclock::{LingerOutcome, SimNet, VRecvError};
 
 /// Message tags, used to assert protocol agreement between matched
 /// send/receive pairs (like MPI tags, but mismatches are hard errors).
@@ -238,6 +239,16 @@ struct LinkState {
     last_ack: Option<(u32, u64)>,
 }
 
+/// What ended one retry window of a reliable send.
+enum AckWait {
+    /// The peer acknowledged the frame.
+    Acked,
+    /// The peer is gone and drained; the ack can never arrive.
+    PeerClosed,
+    /// The retry window elapsed silently; retransmit.
+    TimedOut,
+}
+
 /// Per-endpoint wiring handed over by the group runner.
 pub(crate) struct EndpointConfig {
     pub cost: CostModel,
@@ -245,6 +256,9 @@ pub(crate) struct EndpointConfig {
     pub reliability: ReliabilityConfig,
     pub faults: Option<FaultPlan>,
     pub kill_at: Option<u64>,
+    /// Present when the group runs under deterministic virtual time; all
+    /// blocking and all timeouts then go through the [`SimNet`].
+    pub sim: Option<Arc<SimNet>>,
 }
 
 /// A rank's private endpoint into the group.
@@ -273,6 +287,18 @@ pub struct Endpoint {
     kill_at: Option<u64>,
     /// Set once the kill threshold is crossed; every further op fails.
     dead: bool,
+    /// Virtual-time network, when the group runs deterministically.
+    sim: Option<Arc<SimNet>>,
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // Under virtual time the scheduler must learn this rank is gone,
+        // exactly when channel senders would drop in real-time mode.
+        if let Some(sim) = self.sim.take() {
+            sim.close_rank(self.rank);
+        }
+    }
 }
 
 impl Endpoint {
@@ -300,6 +326,7 @@ impl Endpoint {
             ops: 0,
             kill_at: config.kill_at,
             dead: false,
+            sim: config.sim,
         }
     }
 
@@ -356,6 +383,19 @@ impl Endpoint {
         if !self.reliability.enabled {
             return;
         }
+        if let Some(sim) = self.sim.clone() {
+            loop {
+                self.pump();
+                if done() {
+                    return;
+                }
+                if sim.linger(self.rank) == LingerOutcome::GroupDone {
+                    // Re-ack anything that raced in with completion.
+                    self.pump();
+                    return;
+                }
+            }
+        }
         while !done() {
             self.pump();
             std::thread::sleep(PUMP_SLEEP);
@@ -407,14 +447,34 @@ impl Endpoint {
                 self.push(dst, tag, payload)
             }
             FaultAction::Delay => {
-                std::thread::sleep(plan.delay());
-                self.push(dst, tag, payload)
+                if self.sim.is_some() {
+                    // Virtual time: the delay rides on the message as
+                    // extra latency instead of stalling the sender.
+                    self.push_delayed(dst, tag, payload, plan.delay().as_secs_f64())
+                } else {
+                    std::thread::sleep(plan.delay());
+                    self.push(dst, tag, payload)
+                }
             }
         }
     }
 
     fn push(&mut self, dst: usize, tag: Tag, payload: Bytes) -> Result<(), ()> {
-        self.to[dst].send(Message { tag, payload }).map_err(|_| ())
+        self.push_delayed(dst, tag, payload, 0.0)
+    }
+
+    fn push_delayed(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        extra_secs: f64,
+    ) -> Result<(), ()> {
+        let msg = Message { tag, payload };
+        match &self.sim {
+            Some(sim) => sim.send(self.rank, dst, msg, extra_secs),
+            None => self.to[dst].send(msg).map_err(|_| ()),
+        }
     }
 
     /// Sends `payload` to `dst` with `tag`.
@@ -474,13 +534,9 @@ impl Endpoint {
                     kind: SendErrorKind::Disconnected,
                 });
             }
-            let deadline = Instant::now() + self.reliability.retry_delay(attempt);
-            loop {
-                self.pump();
-                if self.links[dst].acked.is_some_and(|a| a >= seq) {
-                    return Ok(());
-                }
-                if self.links[dst].peer_closed {
+            match self.await_ack(dst, seq, attempt) {
+                AckWait::Acked => return Ok(()),
+                AckWait::PeerClosed => {
                     // The channel is drained and the peer is gone: the
                     // ack can never arrive.
                     return Err(SendError {
@@ -488,10 +544,7 @@ impl Endpoint {
                         kind: SendErrorKind::Disconnected,
                     });
                 }
-                if Instant::now() >= deadline {
-                    break;
-                }
-                std::thread::sleep(PUMP_SLEEP);
+                AckWait::TimedOut => {}
             }
             self.stats.ack_timeouts += 1;
             attempt += 1;
@@ -504,9 +557,56 @@ impl Endpoint {
         }
     }
 
+    /// Waits for an ack of `seq` from `dst` through one retry window,
+    /// pumping the links the whole time.
+    fn await_ack(&mut self, dst: usize, seq: u32, attempt: u32) -> AckWait {
+        if let Some(sim) = self.sim.clone() {
+            let deadline = sim.now(self.rank) + self.reliability.retry_delay(attempt).as_secs_f64();
+            loop {
+                self.pump();
+                if self.links[dst].acked.is_some_and(|a| a >= seq) {
+                    return AckWait::Acked;
+                }
+                if self.links[dst].peer_closed {
+                    return AckWait::PeerClosed;
+                }
+                if sim.now(self.rank) >= deadline {
+                    return AckWait::TimedOut;
+                }
+                let _ = sim.wait_any(self.rank, Some(dst), Some(deadline));
+            }
+        }
+        let deadline = Instant::now() + self.reliability.retry_delay(attempt);
+        loop {
+            self.pump();
+            if self.links[dst].acked.is_some_and(|a| a >= seq) {
+                return AckWait::Acked;
+            }
+            if self.links[dst].peer_closed {
+                return AckWait::PeerClosed;
+            }
+            if Instant::now() >= deadline {
+                return AckWait::TimedOut;
+            }
+            std::thread::sleep(PUMP_SLEEP);
+        }
+    }
+
     /// Drains every incoming link without blocking, processing frames:
     /// CRC check, dedup, ack, and buffering of accepted messages.
     fn pump(&mut self) {
+        if let Some(sim) = self.sim.clone() {
+            let (msgs, dead) = sim.drain(self.rank);
+            for (src, msg) in msgs {
+                self.process_frame(src, msg);
+            }
+            for (src, is_dead) in dead.into_iter().enumerate() {
+                if is_dead {
+                    self.links[src].peer_closed = true;
+                }
+            }
+            return;
+        }
         for src in 0..self.size {
             loop {
                 match self.from[src].try_recv() {
@@ -594,6 +694,16 @@ impl Endpoint {
         }
         if self.reliability.enabled {
             self.recv_reliable(src, tag)
+        } else if let Some(sim) = self.sim.clone() {
+            let deadline = sim.now(self.rank) + self.recv_deadline.as_secs_f64();
+            match sim.recv_from(self.rank, src, deadline) {
+                Ok(msg) => self.deliver(src, tag, msg),
+                Err(VRecvError::Timeout) => Err(RecvError::Timeout {
+                    from: src,
+                    waited: self.recv_deadline,
+                }),
+                Err(VRecvError::Disconnected) => Err(RecvError::Disconnected { from: src }),
+            }
         } else {
             match self.from[src].recv_timeout(self.recv_deadline) {
                 Ok(msg) => self.deliver(src, tag, msg),
@@ -611,6 +721,28 @@ impl Endpoint {
     /// conversations keep moving (this is what makes ring and exchange
     /// schedules deadlock-free under ARQ).
     fn recv_reliable(&mut self, src: usize, tag: Tag) -> Result<Bytes, RecvError> {
+        if let Some(sim) = self.sim.clone() {
+            let deadline = sim.now(self.rank) + self.recv_deadline.as_secs_f64();
+            loop {
+                if let Some(msg) = self.links[src].pending.pop_front() {
+                    return self.deliver(src, tag, msg);
+                }
+                self.pump();
+                if !self.links[src].pending.is_empty() {
+                    continue;
+                }
+                if self.links[src].peer_closed {
+                    return Err(RecvError::Disconnected { from: src });
+                }
+                if sim.now(self.rank) >= deadline {
+                    return Err(RecvError::Timeout {
+                        from: src,
+                        waited: self.recv_deadline,
+                    });
+                }
+                let _ = sim.wait_any(self.rank, Some(src), Some(deadline));
+            }
+        }
         let deadline = Instant::now() + self.recv_deadline;
         loop {
             if let Some(msg) = self.links[src].pending.pop_front() {
@@ -668,7 +800,12 @@ impl Endpoint {
 
     /// Blocks until every rank in the group has reached the barrier.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        match &self.sim {
+            Some(sim) => sim.barrier(self.rank),
+            None => {
+                self.barrier.wait();
+            }
+        }
     }
 
     /// Gathers every rank's payload at `root`; returns `Some(payloads)`
@@ -1044,6 +1181,7 @@ mod tests {
                 max_backoff: Duration::from_millis(4),
             },
             faults: Some(faults),
+            ..Default::default()
         };
         let out = run_group_with(2, options, |ep| {
             if ep.rank() == 0 {

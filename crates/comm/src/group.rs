@@ -12,10 +12,12 @@ use crate::endpoint::{Endpoint, EndpointConfig, Message, DEFAULT_RECV_DEADLINE};
 use crate::fault::{FaultConfig, FaultPlan};
 use crate::reliable::ReliabilityConfig;
 use crate::stats::TrafficStats;
+use crate::vclock::{ScheduleSpec, ScheduleTrace, SimNet};
 
 /// Group-wide knobs for a run: cost model, receive deadline, fault
-/// injection and the reliable-delivery policy.
-#[derive(Clone, Copy, Debug)]
+/// injection, the reliable-delivery policy, and (optionally) a
+/// deterministic virtual-time schedule.
+#[derive(Clone, Debug)]
 pub struct GroupOptions {
     /// Communication cost model applied to every received message.
     pub cost: CostModel,
@@ -25,6 +27,11 @@ pub struct GroupOptions {
     pub faults: Option<FaultConfig>,
     /// Reliable-delivery (framing + ack/retransmit) policy.
     pub reliability: ReliabilityConfig,
+    /// When set, the run executes under the discrete-event virtual clock
+    /// (see [`crate::vclock`]): timeouts become virtual, delivery order
+    /// is permuted deterministically by the spec's seed, and the whole
+    /// run is bit-reproducible.
+    pub schedule: Option<ScheduleSpec>,
 }
 
 impl Default for GroupOptions {
@@ -34,6 +41,7 @@ impl Default for GroupOptions {
             recv_deadline: DEFAULT_RECV_DEADLINE,
             faults: None,
             reliability: ReliabilityConfig::default(),
+            schedule: None,
         }
     }
 }
@@ -47,6 +55,8 @@ pub struct GroupRun<R> {
     pub stats: Vec<TrafficStats>,
     /// Ranks killed by fault injection during the run (ascending).
     pub dead_ranks: Vec<usize>,
+    /// The schedule the run took, when it ran under virtual time.
+    pub schedule: Option<ScheduleTrace>,
 }
 
 impl<R> GroupRun<R> {
@@ -118,6 +128,10 @@ where
         .faults
         .filter(|cfg| !cfg.is_noop())
         .map(FaultPlan::new);
+    let sim = options
+        .schedule
+        .as_ref()
+        .map(|spec| SimNet::new(size, options.cost, spec.clone()));
 
     // Wire one dedicated channel per ordered (src, dst) pair so selective
     // receive-by-source never reorders unrelated messages.
@@ -155,6 +169,7 @@ where
                 reliability: options.reliability,
                 faults: plan,
                 kill_at: plan.and_then(|p| p.kill_threshold(rank)),
+                sim: sim.clone(),
             },
         ));
     }
@@ -179,6 +194,7 @@ where
             let dead = &dead_flags;
             let boom = &panics;
             let finished = &finished;
+            let sim_t = sim.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rank-{rank}"))
@@ -186,6 +202,11 @@ where
                         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| fr(&mut ep)));
                         let killed = ep.is_dead();
                         finished.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        // Only after the external counter, so a virtual
+                        // group-done wake observes it at its final value.
+                        if let Some(s) = &sim_t {
+                            s.finish_rank(rank);
+                        }
                         if outcome.is_ok() && !killed {
                             // A healthy rank's transport state outlives
                             // its last receive: re-ack retransmissions
@@ -224,6 +245,8 @@ where
         }
     });
 
+    let schedule = sim.map(|s| s.take_trace());
+
     let mut panics = panics.into_inner();
     if !panics.is_empty() {
         std::panic::resume_unwind(panics.remove(0));
@@ -246,6 +269,7 @@ where
         results: results_out,
         stats: stats_out,
         dead_ranks,
+        schedule,
     }
 }
 
@@ -338,6 +362,128 @@ mod tests {
         });
         assert!(outcome.is_err());
         assert_eq!(FINISHED.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn virtual_time_ring_is_reproducible_and_traced() {
+        let run = |seed: u64| {
+            let options = GroupOptions {
+                cost: CostModel::sp2(),
+                schedule: Some(ScheduleSpec::seeded(seed)),
+                ..Default::default()
+            };
+            run_group_with(8, options, |ep| {
+                let next = (ep.rank() + 1) % ep.size();
+                let prev = (ep.rank() + ep.size() - 1) % ep.size();
+                ep.send(next, 7, Bytes::from(vec![ep.rank() as u8]))
+                    .unwrap();
+                ep.recv(prev, 7).unwrap()[0] as usize
+            })
+        };
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a.results, (0..8).map(|r| (r + 7) % 8).collect::<Vec<_>>());
+        assert_eq!(a.results, b.results);
+        let (ta, tb) = (a.schedule.unwrap(), b.schedule.unwrap());
+        assert_eq!(ta, tb, "same seed must replay the same schedule");
+        assert!(ta.events >= 8, "eight deliveries at minimum");
+        assert!(
+            ta.virtual_seconds > 0.0,
+            "sp2 latency must advance virtual time"
+        );
+    }
+
+    #[test]
+    fn virtual_time_reliable_fault_recovery_is_instant_and_deterministic() {
+        // A dropped data frame forces an ack-timeout retransmission; in
+        // virtual time the 10ms default ack timeout costs no wall time
+        // and the healed run is bit-reproducible.
+        let run = || {
+            let faults = FaultConfig {
+                target: Some(crate::fault::TargetedFault {
+                    src: 0,
+                    dst: 1,
+                    class: crate::fault::StreamClass::Data,
+                    index: 0,
+                    action: crate::fault::FaultAction::Drop,
+                }),
+                ..Default::default()
+            };
+            let options = GroupOptions {
+                cost: CostModel::free(),
+                reliability: ReliabilityConfig::on(),
+                faults: Some(faults),
+                schedule: Some(ScheduleSpec::seeded(5)),
+                ..Default::default()
+            };
+            run_group_with(2, options, |ep| {
+                if ep.rank() == 0 {
+                    ep.send(1, 3, Bytes::from_static(b"precious")).unwrap();
+                    Bytes::new()
+                } else {
+                    ep.recv(0, 3).unwrap()
+                }
+            })
+        };
+        let started = Instant::now();
+        let a = run();
+        let b = run();
+        assert_eq!(&a.results[1][..], b"precious");
+        assert!(a.stats[0].retransmits >= 1, "the drop must force a retry");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.schedule.unwrap().digest(), b.schedule.unwrap().digest());
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "virtual ack timeouts must not consume wall time"
+        );
+    }
+
+    #[test]
+    fn virtual_time_kill_degrades_like_real_time() {
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            faults: Some(FaultConfig {
+                kill: Some(crate::fault::KillSpec {
+                    rank: 1,
+                    after_ops: 0,
+                }),
+                ..Default::default()
+            }),
+            schedule: Some(ScheduleSpec::seeded(0)),
+            ..Default::default()
+        };
+        let out = run_group_with(3, options, |ep| {
+            let payload = Bytes::from(vec![ep.rank() as u8]);
+            if ep.rank() == 0 {
+                let mut got = Vec::new();
+                for src in 1..3 {
+                    got.push(ep.recv(src, 4).ok().map(|b| b[0]));
+                }
+                got
+            } else {
+                let _ = ep.send(0, 4, payload);
+                Vec::new()
+            }
+        });
+        assert_eq!(out.dead_ranks, vec![1]);
+        assert_eq!(out.results[0], vec![None, Some(2)]);
+    }
+
+    #[test]
+    fn virtual_time_barrier_and_self_send() {
+        let options = GroupOptions {
+            cost: CostModel::free(),
+            schedule: Some(ScheduleSpec::seeded(9)),
+            ..Default::default()
+        };
+        let out = run_group_with(4, options, |ep| {
+            ep.barrier();
+            ep.send(ep.rank(), 9, Bytes::from(vec![ep.rank() as u8]))
+                .unwrap();
+            ep.barrier();
+            ep.recv(ep.rank(), 9).unwrap()[0]
+        });
+        assert_eq!(out.results, vec![0, 1, 2, 3]);
     }
 
     #[test]

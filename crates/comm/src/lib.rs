@@ -26,6 +26,7 @@ pub mod group;
 pub mod reliable;
 pub mod stats;
 pub mod trace;
+pub mod vclock;
 
 pub use collectives::{all_gather, broadcast, reduce, scatter};
 pub use cost::CostModel;
@@ -37,3 +38,4 @@ pub use group::{run_group, run_group_with, GroupOptions, GroupRun};
 pub use reliable::ReliabilityConfig;
 pub use stats::TrafficStats;
 pub use trace::{run_group_traced, Trace, TraceEvent, Tracer};
+pub use vclock::{explore_schedules, ChoicePoint, ScheduleSpec, ScheduleTrace, SimNet};

@@ -35,6 +35,7 @@
 //! which preserves that contiguity.
 
 pub mod analysis;
+pub mod conformance;
 pub mod error;
 pub mod gather;
 pub mod methods;
@@ -46,6 +47,10 @@ pub mod wire;
 
 pub use analysis::{
     predict_bs, predict_from_stats, virtual_completion, Prediction, UniformWorkload,
+};
+pub use conformance::{
+    expected_traffic, parse_corpus, run_case, ConformanceCase, ConformanceOutcome, CorpusEntry,
+    CostKind, ExpectedTraffic, Workload,
 };
 pub use error::CompositeError;
 pub use gather::{gather_image, gather_image_tolerant, GatheredImage};

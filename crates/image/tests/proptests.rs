@@ -161,4 +161,100 @@ proptest! {
             prop_assert_eq!(out.get(x, y), img.get(x, y));
         }
     }
+
+    #[test]
+    fn rect_clamped_to_image_edge_round_trips(
+        pixels in proptest::collection::vec(arb_sparse_pixel(), 15 * 11),
+        x0 in 0u16..15,
+        y0 in 0u16..11,
+    ) {
+        // A rectangle flush against the bottom-right image corner: the
+        // exclusive bounds coincide with the image dimensions, the
+        // degenerate case the per-row copies must not overrun.
+        let img = Image::from_pixels(15, 11, pixels);
+        let rect = Rect::new(x0, y0, 15, 11);
+        let buf = img.extract_rect(&rect);
+        prop_assert_eq!(buf.len(), rect.area());
+        let mut out = Image::blank(15, 11);
+        out.write_rect(&rect, &buf);
+        for (x, y) in rect.iter() {
+            prop_assert_eq!(out.get(x, y), img.get(x, y));
+        }
+        // The in-rect bounds always stay inside both rect and image.
+        let b = img.bounding_rect_in(&rect);
+        prop_assert!(rect.contains_rect(&b));
+        prop_assert!(img.full_rect().contains_rect(&b));
+        prop_assert_eq!(img.non_blank_count_in(&b), img.non_blank_count_in(&rect));
+    }
+
+    #[test]
+    fn single_pixel_runs_at_row_boundaries(row in 1u16..10, w in 2u16..12) {
+        // Non-blank pixels only at the last column of `row - 1` and the
+        // first column of `row`: adjacent in row-major order, so the
+        // mask RLE must fuse them into ONE run spanning the row seam.
+        let h = 11u16;
+        let img = Image::from_fn(w, h, |x, y| {
+            if (y + 1 == row && x + 1 == w) || (y == row && x == 0) {
+                Pixel::gray(0.5, 1.0)
+            } else {
+                Pixel::BLANK
+            }
+        });
+        let rle = MaskRle::encode_mask(img.pixels().iter().map(|p| !p.is_blank()));
+        let runs: Vec<(usize, usize)> = rle.non_blank_runs().collect();
+        prop_assert_eq!(
+            runs,
+            vec![((row as usize - 1) * w as usize + w as usize - 1, 2)]
+        );
+        prop_assert_eq!(rle.non_blank_total(), 2);
+        // The bounding rectangle must span the full width (both edge
+        // columns are occupied) but only the two touched rows.
+        let b = img.bounding_rect();
+        prop_assert_eq!(b, Rect::new(0, row - 1, w, row + 1));
+    }
+}
+
+#[test]
+fn mask_rle_handles_empty_and_degenerate_masks() {
+    // Zero-length mask.
+    let empty = MaskRle::encode_mask(std::iter::empty());
+    assert_eq!(empty.non_blank_total(), 0);
+    assert_eq!(empty.decode_mask(0), Vec::<bool>::new());
+    assert_eq!(empty.non_blank_runs().count(), 0);
+    // All-blank mask: no non-blank run, decodes to all-false.
+    let blank = MaskRle::encode_mask(std::iter::repeat_n(false, 37));
+    assert_eq!(blank.non_blank_total(), 0);
+    assert_eq!(blank.decode_mask(37), vec![false; 37]);
+    // Single-pixel mask, both polarities.
+    let one_true = MaskRle::encode_mask(std::iter::once(true));
+    assert_eq!(one_true.non_blank_runs().collect::<Vec<_>>(), vec![(0, 1)]);
+    let one_false = MaskRle::encode_mask(std::iter::once(false));
+    assert_eq!(one_false.non_blank_total(), 0);
+}
+
+#[test]
+fn fully_opaque_image_encodes_as_one_run_and_full_bounds() {
+    let img = Image::from_fn(9, 7, |_, _| Pixel::gray(0.3, 1.0));
+    assert_eq!(img.bounding_rect(), img.full_rect());
+    assert_eq!(img.non_blank_count(), img.area());
+    let rle = MaskRle::encode_mask(img.pixels().iter().map(|p| !p.is_blank()));
+    // One leading empty blank run plus one full run: exactly two codes,
+    // the dense closed form the paper's Equation (6) analysis relies on.
+    assert_eq!(rle.num_codes(), 2);
+    assert_eq!(rle.non_blank_runs().collect::<Vec<_>>(), vec![(0, 9 * 7)]);
+}
+
+#[test]
+fn empty_image_has_empty_bounds_everywhere() {
+    let img = Image::blank(13, 9);
+    assert!(img.bounding_rect().is_empty());
+    assert!(img.bounding_rect_in(&Rect::new(2, 3, 13, 9)).is_empty());
+    assert!(img.bounding_rect_in(&Rect::EMPTY).is_empty());
+    assert_eq!(img.non_blank_count(), 0);
+    // An empty rect extracts an empty buffer and writes back harmlessly.
+    let buf = img.extract_rect(&Rect::EMPTY);
+    assert!(buf.is_empty());
+    let mut out = Image::blank(13, 9);
+    out.write_rect(&Rect::EMPTY, &buf);
+    assert_eq!(out.non_blank_count(), 0);
 }

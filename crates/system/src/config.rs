@@ -5,7 +5,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 use slsvr_core::stats::CompCost;
 use slsvr_core::Method;
-use vr_comm::{CostModel, FaultConfig, GroupOptions, ReliabilityConfig};
+use vr_comm::{CostModel, FaultConfig, GroupOptions, ReliabilityConfig, ScheduleSpec};
 use vr_volume::DatasetKind;
 
 /// Everything needed to run one paper experiment cell.
@@ -57,6 +57,11 @@ pub struct ExperimentConfig {
     /// How long a blocking receive waits before declaring the group
     /// stuck (`None` = the transport default of 60 s).
     pub recv_deadline: Option<Duration>,
+    /// When set, the compositing group runs under the deterministic
+    /// virtual clock with this schedule seed: timeouts and fault delays
+    /// become simulated time and message-delivery order is a seeded
+    /// permutation, so the whole run is bit-reproducible.
+    pub schedule_seed: Option<u64>,
 }
 
 /// Source of the reported computation time.
@@ -114,6 +119,7 @@ impl Default for ExperimentConfig {
             faults: None,
             reliability: ReliabilityConfig::default(),
             recv_deadline: None,
+            schedule_seed: None,
         }
     }
 }
@@ -145,6 +151,7 @@ impl ExperimentConfig {
             cost: self.cost,
             faults: self.faults,
             reliability: self.reliability,
+            schedule: self.schedule_seed.map(ScheduleSpec::seeded),
             ..Default::default()
         };
         if let Some(deadline) = self.recv_deadline {
@@ -164,6 +171,14 @@ mod tests {
         assert_eq!(c.image_size, 384);
         assert_eq!(c.cost, CostModel::sp2());
         assert_eq!(c.resolved_dims(), [256, 256, 110]);
+    }
+
+    #[test]
+    fn schedule_seed_maps_to_group_schedule() {
+        let mut c = ExperimentConfig::default();
+        assert!(c.group_options().schedule.is_none());
+        c.schedule_seed = Some(9);
+        assert_eq!(c.group_options().schedule, Some(ScheduleSpec::seeded(9)));
     }
 
     #[test]

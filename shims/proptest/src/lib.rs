@@ -7,6 +7,10 @@
 //!
 //! Generation is deterministic (seeded per test name) and there is no
 //! shrinking: a failing case reports the inputs via the panic message.
+//! Seeds persisted in a sibling `<test file>.proptest-regressions` file
+//! are replayed before novel cases, and a failing novel case appends
+//! its seed there (`cc <16 hex digits>`), mirroring upstream proptest's
+//! workflow.
 
 pub mod arbitrary;
 pub mod collection;
@@ -131,7 +135,7 @@ macro_rules! __proptest_tests {
         $(
             $(#[$meta])+
             fn $name() {
-                $crate::test_runner::run_cases($cfg, stringify!($name), |__rng| {
+                $crate::test_runner::run_cases_in($cfg, file!(), stringify!($name), |__rng| {
                     $(
                         let __strategy = $strat;
                         let $pat = match $crate::strategy::Strategy::sample(&__strategy, __rng) {

@@ -100,15 +100,109 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Resolves `<source stem>.proptest-regressions` for a `file!()` path.
+///
+/// `file!()` paths are workspace-relative while tests run from the
+/// package root, so each path suffix is tried in turn; the first
+/// candidate that exists wins, and otherwise the first whose parent
+/// directory exists (so a new failure can create the file beside its
+/// test source).
+fn regression_path(source_file: &str) -> Option<std::path::PathBuf> {
+    let stem = source_file.strip_suffix(".rs")?;
+    let full = std::path::PathBuf::from(format!("{stem}.proptest-regressions"));
+    let components: Vec<_> = full.iter().collect();
+    let candidates: Vec<std::path::PathBuf> = (0..components.len())
+        .map(|skip| components[skip..].iter().collect())
+        .collect();
+    candidates
+        .iter()
+        .find(|c| c.is_file())
+        .or_else(|| {
+            candidates
+                .iter()
+                .find(|c| c.parent().is_some_and(std::path::Path::is_dir))
+        })
+        .cloned()
+}
+
+/// Parses the `cc <hex>` seed lines of a proptest regression file.
+///
+/// A 16-digit hex token is taken verbatim as a [`TestRng`] seed (the
+/// format this shim persists); longer tokens — upstream proptest
+/// persists 64 hex digits of RNG state — are hashed down to a
+/// deterministic 64-bit seed so checked-in files from the real crate
+/// still replay a stable extra case.
+pub fn parse_regression_seeds(contents: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let token = rest.split_whitespace().next()?;
+            if !token.chars().all(|c| c.is_ascii_hexdigit()) {
+                return None;
+            }
+            Some(if token.len() == 16 {
+                u64::from_str_radix(token, 16).unwrap()
+            } else {
+                fnv1a(token.as_bytes())
+            })
+        })
+        .collect()
+}
+
+fn persist_failure(path: &std::path::Path, seed: u64, name: &str) {
+    use std::io::Write as _;
+    let mut contents = std::fs::read_to_string(path).unwrap_or_default();
+    let line = format!("cc {seed:016x} # seeds TestRng; found by '{name}'");
+    if contents.contains(&format!("cc {seed:016x}")) {
+        return;
+    }
+    if !contents.is_empty() && !contents.ends_with('\n') {
+        contents.push('\n');
+    }
+    // Best effort: losing the hint must not mask the test failure.
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+}
+
 /// Runs `config.cases` accepted cases of `f`, resampling rejections.
 ///
 /// `f` returns `None` (or `Some(Err(Reject))`) for a rejected sample and
 /// `Some(Err(Fail))` for a genuine property failure, which panics with
 /// the case number and reason.
-pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
+pub fn run_cases<F>(config: ProptestConfig, name: &str, f: F)
 where
     F: FnMut(&mut TestRng) -> Option<Result<(), TestCaseError>>,
 {
+    run_cases_in(config, "", name, f)
+}
+
+/// [`run_cases`] with regression-file support: seeds persisted in
+/// `<source stem>.proptest-regressions` (next to `source_file`, as
+/// produced by `file!()`) are replayed before any novel case, and a
+/// failing novel case appends its seed there.
+pub fn run_cases_in<F>(config: ProptestConfig, source_file: &str, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Option<Result<(), TestCaseError>>,
+{
+    let regressions = regression_path(source_file);
+    if let Some(path) = regressions.as_ref().filter(|p| p.is_file()) {
+        let contents = std::fs::read_to_string(path).unwrap_or_default();
+        for seed in parse_regression_seeds(&contents) {
+            let mut rng = TestRng::new(seed);
+            if let Some(Err(TestCaseError::Fail(reason))) = f(&mut rng) {
+                panic!(
+                    "proptest '{name}' failed replaying persisted regression \
+                     cc {seed:016x} from {}: {reason}",
+                    path.display()
+                );
+            }
+        }
+    }
+
     let seed = fnv1a(name.as_bytes());
     let mut attempts = 0u32;
     let mut accepted = 0u32;
@@ -120,16 +214,49 @@ where
                 config.cases
             );
         }
-        let mut rng = TestRng::new(seed ^ (attempts as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let case_seed = seed ^ (attempts as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = TestRng::new(case_seed);
         attempts += 1;
         match f(&mut rng) {
             None | Some(Err(TestCaseError::Reject(_))) => continue,
             Some(Ok(())) => accepted += 1,
             Some(Err(TestCaseError::Fail(reason))) => {
+                if let Some(path) = &regressions {
+                    persist_failure(path, case_seed, name);
+                }
                 panic!(
                     "proptest '{name}' failed at case {accepted} (attempt {attempts}): {reason}"
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_seed_formats() {
+        let contents = "# comment\ncc 00000000000000ff # short\n\
+                        cc 341a85f0ef96db63c968681cc81308f5f7add5969073f8ba3f278e63d8ef4461 # long\n\
+                        not a seed line\n";
+        let seeds = parse_regression_seeds(contents);
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0], 0xff);
+        // The long form must hash deterministically.
+        assert_eq!(
+            seeds[1],
+            fnv1a(b"341a85f0ef96db63c968681cc81308f5f7add5969073f8ba3f278e63d8ef4461")
+        );
+    }
+
+    #[test]
+    fn regression_path_strips_missing_prefixes() {
+        // A workspace-relative path whose prefix does not exist under
+        // the current directory falls back to a suffix whose parent
+        // does (here: the crate root itself via `src/...`).
+        let p = regression_path("no/such/prefix/src/lib.rs");
+        assert!(p.is_some());
     }
 }

@@ -54,7 +54,7 @@ USAGE:
                 [--perspective DIST] [--balanced]
                 [--distributed] [--ghost N] [--out FILE.pgm]
                 [--faults SPEC] [--reliable] [--recv-deadline MS]
-                [--ack-timeout MS] [--max-retries N]
+                [--ack-timeout MS] [--max-retries N] [--schedule-seed S]
   slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
@@ -65,7 +65,12 @@ METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe |
 
 FAULTS:   --faults drop=0.01,corrupt=0.001,dup=0.001,delay=0.01,delay_ms=2,seed=42,kill=3@17
           (every key optional; --reliable turns on framing + ack/retransmit
-          so dropped or corrupted messages recover instead of timing out)";
+          so dropped or corrupted messages recover instead of timing out)
+
+SCHEDULE: --schedule-seed S runs compositing under the deterministic
+          virtual clock: timeouts and fault delays use simulated time and
+          message-delivery order is a seeded permutation, so the run is
+          bit-reproducible (same seed => same image and byte counts)";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Flags<'a> {
@@ -187,6 +192,12 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
             .parse()
             .map_err(|_| format!("invalid --recv-deadline `{ms}`"))?;
         config.recv_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(seed) = flags.get("--schedule-seed") {
+        config.schedule_seed = Some(
+            seed.parse()
+                .map_err(|_| format!("invalid --schedule-seed `{seed}`"))?,
+        );
     }
     if config.processors == 0 {
         return Err("--procs must be at least 1".into());

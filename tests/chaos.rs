@@ -76,6 +76,7 @@ fn reliable_options(faults: FaultConfig) -> GroupOptions {
             backoff: 2.0,
             max_backoff: Duration::from_millis(50),
         },
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,457 @@
+//! Differential conformance suite: all compositing methods against the
+//! sequential reference, under deterministic virtual-time schedules,
+//! with the paper's byte-count equations as an independent oracle.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SLSVR_CONFORMANCE_P` — comma-separated rank counts for the main
+//!   matrix (default `1,2,4,8,16`);
+//! * `SLSVR_SCHEDULE_SEEDS` — comma-separated schedule seeds for the
+//!   schedule-independence sweep (default ten fixed seeds);
+//! * `SLSVR_FUZZ_COUNT` / `SLSVR_FUZZ_BASE` / `SLSVR_FUZZ_OUT` — budget,
+//!   base seed and output path of the `#[ignore]`d long-fuzz test; any
+//!   failing `(case, seed)` is appended to the output file as a corpus
+//!   line ready to check in under `tests/conformance_corpus/`.
+
+use std::io::Write as _;
+
+use slsvr::comm::{explore_schedules, FaultConfig, ScheduleSpec};
+use slsvr::compositing::conformance::{
+    expected_traffic, parse_corpus, run_case, ConformanceCase, CorpusEntry, CostKind, Workload,
+};
+use slsvr::compositing::Method;
+use slsvr::volume::DepthOrder;
+
+/// Float slack for `over` re-association across distribution layouts.
+const TOLERANCE: f32 = 2e-4;
+
+fn env_list(var: &str, default: &[u64]) -> Vec<u64> {
+    match std::env::var(var) {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("numeric list"))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn rank_counts() -> Vec<usize> {
+    env_list("SLSVR_CONFORMANCE_P", &[1, 2, 4, 8, 16])
+        .into_iter()
+        .map(|p| p as usize)
+        .collect()
+}
+
+fn schedule_seeds() -> Vec<u64> {
+    env_list(
+        "SLSVR_SCHEDULE_SEEDS",
+        &[3, 7, 11, 19, 23, 42, 97, 131, 255, 1009],
+    )
+}
+
+/// A fixed but non-trivial front-to-back permutation of `0..p`.
+fn shuffled_depth(p: usize, salt: usize) -> DepthOrder {
+    let mut order: Vec<usize> = (0..p).collect();
+    for i in (1..p).rev() {
+        let j = (i * 2654435761 + salt * 40503) % (i + 1);
+        order.swap(i, j);
+    }
+    DepthOrder::from_sequence(order)
+}
+
+/// Tentpole matrix: every method × every rank count matches the
+/// sequential reference bit-for-tolerance under a virtual schedule.
+#[test]
+fn all_methods_match_reference_under_virtual_schedules() {
+    for p in rank_counts() {
+        let depth = shuffled_depth(p, 1);
+        for method in Method::all() {
+            for workload in [Workload::Sparse, Workload::Bands] {
+                let case = ConformanceCase {
+                    depth: depth.clone(),
+                    ..ConformanceCase::new(method, p, workload, 11)
+                };
+                let out = run_case(&case);
+                assert!(
+                    out.max_diff < TOLERANCE,
+                    "{} P={p} {workload:?}: diff {} vs reference",
+                    method.name(),
+                    out.max_diff
+                );
+                assert_eq!(out.coverage, 1.0, "{} P={p}", method.name());
+                assert!(out.dead_ranks.is_empty());
+                let trace = out.schedule.expect("virtual run must produce a trace");
+                assert!(p == 1 || trace.events > 0, "{} P={p}", method.name());
+            }
+        }
+    }
+}
+
+/// Satellite: non-power-of-two groups across every binary-swap variant
+/// (the fold prologue plus all four paper methods and the three hybrids).
+#[test]
+fn non_pow2_groups_match_reference_for_all_bs_variants() {
+    let variants = [
+        Method::Bs,
+        Method::Bsbr,
+        Method::Bslc,
+        Method::Bsbrc,
+        Method::Bsrl,
+        Method::Bsbm,
+        Method::Bsmr,
+    ];
+    for p in [3usize, 5, 6, 7, 12] {
+        let depth = shuffled_depth(p, 2);
+        for method in variants {
+            let case = ConformanceCase {
+                depth: depth.clone(),
+                ..ConformanceCase::new(method, p, Workload::Sparse, 5)
+            };
+            let out = run_case(&case);
+            assert!(
+                out.max_diff < TOLERANCE,
+                "{} P={p}: diff {}",
+                method.name(),
+                out.max_diff
+            );
+            assert_eq!(out.coverage, 1.0);
+        }
+    }
+}
+
+/// The image hash must not depend on the schedule seed: ten different
+/// delivery-order permutations, one image.
+#[test]
+fn image_hash_is_schedule_independent_across_seeds() {
+    for method in [
+        Method::Bsbrc,
+        Method::Bslc,
+        Method::DirectSend,
+        Method::RadixK,
+    ] {
+        let mut baseline = None;
+        for seed in schedule_seeds() {
+            let case = ConformanceCase {
+                depth: shuffled_depth(8, 3),
+                ..ConformanceCase::new(method, 8, Workload::Sparse, seed)
+            };
+            let out = run_case(&case);
+            assert!(out.max_diff < TOLERANCE, "{} seed {seed}", method.name());
+            match baseline {
+                None => baseline = Some(out.image_hash),
+                Some(h) => assert_eq!(
+                    h,
+                    out.image_hash,
+                    "{} seed {seed} produced a different image",
+                    method.name()
+                ),
+            }
+        }
+    }
+}
+
+/// Same seed twice ⇒ identical image hash AND identical schedule path.
+#[test]
+fn same_seed_replays_the_same_schedule_and_image() {
+    let case = ConformanceCase {
+        depth: shuffled_depth(8, 4),
+        ..ConformanceCase::new(Method::Bsbrc, 8, Workload::Sparse, 77)
+    };
+    let a = run_case(&case);
+    let b = run_case(&case);
+    assert_eq!(a.image_hash, b.image_hash);
+    assert_eq!(
+        a.schedule.unwrap().digest(),
+        b.schedule.unwrap().digest(),
+        "decision log must replay exactly"
+    );
+}
+
+/// Bounded systematic mode: exhaustively permute the first choice
+/// points; every explored schedule must converge to the same image.
+#[test]
+fn systematic_schedule_exploration_converges() {
+    let case = ConformanceCase {
+        depth: DepthOrder::identity(4),
+        width: 16,
+        height: 12,
+        ..ConformanceCase::new(Method::DirectSend, 4, Workload::Sparse, 0)
+    };
+    let explored = explore_schedules(9, 3, |spec: &ScheduleSpec| {
+        let out = run_case(&ConformanceCase {
+            schedule: Some(spec.clone()),
+            ..case.clone()
+        });
+        let trace = out.schedule.clone().expect("virtual trace");
+        (out.image_hash, trace)
+    });
+    assert!(
+        explored.len() > 1,
+        "free cost model must expose at least one race"
+    );
+    let first = explored[0].1;
+    for (spec, hash) in &explored {
+        assert_eq!(*hash, first, "schedule {spec:?} changed the image");
+    }
+}
+
+/// Paper equations (2)/(4)/(6)/(8): the analytic traffic oracle matches
+/// the implementation's byte counters on dense and sparse inputs, and
+/// the dense closed forms hold exactly.
+#[test]
+fn paper_byte_equations_hold_on_dense_and_sparse() {
+    for p in [8usize, 16] {
+        for workload in [Workload::Dense, Workload::Sparse] {
+            for method in Method::paper_methods() {
+                let case = ConformanceCase {
+                    depth: shuffled_depth(p, 5),
+                    ..ConformanceCase::new(method, p, workload, 13)
+                };
+                let expect = expected_traffic(method, &case.images(), &case.depth)
+                    .expect("paper method, pow2 P");
+                let out = run_case(&case);
+                for (rank, stats) in out.per_rank.iter().enumerate() {
+                    let stats = stats.as_ref().unwrap();
+                    for (k, stage) in stats.stages.iter().enumerate() {
+                        assert_eq!(
+                            stage.sent_bytes,
+                            expect.sent[rank][k],
+                            "{} {workload:?} P={p} rank {rank} stage {k} sent",
+                            method.name()
+                        );
+                        assert_eq!(
+                            stage.recv_bytes,
+                            expect.recv[rank][k],
+                            "{} {workload:?} P={p} rank {rank} stage {k} recv",
+                            method.name()
+                        );
+                    }
+                }
+                // Dense closed forms: every half is fully non-blank, so
+                // Eq (4) degenerates to 8 + 16·A/2^(k+1), Eq (6) to
+                // 4 + 2·2 + 16·A/2^(k+1) and Eq (8) to their union.
+                if workload == Workload::Dense {
+                    let area = 32u64 * 24;
+                    for stages in &expect.sent {
+                        for (k, &bytes) in stages.iter().enumerate() {
+                            let half = 16 * area / 2u64.pow(k as u32 + 1);
+                            let expect_bytes = match method {
+                                Method::Bs => half,
+                                Method::Bsbr | Method::Bslc => 8 + half,
+                                Method::Bsbrc => 16 + half,
+                                _ => unreachable!(),
+                            };
+                            assert_eq!(bytes, expect_bytes, "{} stage {k}", method.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The modeled `T_comm` accumulated by the runtime equals the oracle's
+/// per-stage sum of `T_s + bytes · T_c` (Equation (1)'s message model).
+#[test]
+fn modeled_comm_seconds_match_traffic_oracle() {
+    for method in Method::paper_methods() {
+        let case = ConformanceCase {
+            cost: CostKind::Sp2,
+            depth: shuffled_depth(8, 6),
+            ..ConformanceCase::new(method, 8, Workload::Sparse, 21)
+        };
+        let expect = expected_traffic(method, &case.images(), &case.depth).unwrap();
+        let modeled = expect.comm_seconds(CostKind::Sp2.model());
+        let out = run_case(&case);
+        for (rank, stats) in out.per_rank.iter().enumerate() {
+            let got = stats.as_ref().unwrap().comm_seconds;
+            assert!(
+                (got - modeled[rank]).abs() <= 1e-12 * modeled[rank].max(1.0),
+                "{} rank {rank}: modeled {got} vs oracle {}",
+                method.name(),
+                modeled[rank]
+            );
+        }
+    }
+}
+
+/// Lossy links + reliable delivery: the image is still exact, and the
+/// run is bit-reproducible under the virtual clock (retransmissions are
+/// schedule events like any other).
+#[test]
+fn reliable_transport_under_drops_stays_exact_and_deterministic() {
+    let faults: FaultConfig = "drop=0.05,corrupt=0.02,seed=17".parse().unwrap();
+    let case = ConformanceCase {
+        reliable: true,
+        faults: Some(faults),
+        depth: shuffled_depth(4, 7),
+        ..ConformanceCase::new(Method::Bsbrc, 4, Workload::Sparse, 31)
+    };
+    let a = run_case(&case);
+    let b = run_case(&case);
+    assert!(a.max_diff < TOLERANCE, "diff {}", a.max_diff);
+    assert_eq!(a.coverage, 1.0);
+    assert_eq!(a.image_hash, b.image_hash, "lossy run must be reproducible");
+    assert_eq!(a.schedule.unwrap().digest(), b.schedule.unwrap().digest());
+}
+
+/// Killing a rank degrades coverage in the documented way: survivors
+/// finish, the dead rank's pixels are missing, and the degraded image is
+/// still deterministic.
+#[test]
+fn killed_rank_degrades_coverage_deterministically() {
+    let faults: FaultConfig = "kill=1@0,seed=3".parse().unwrap();
+    let case = ConformanceCase {
+        reliable: true,
+        faults: Some(faults),
+        depth: DepthOrder::identity(4),
+        ..ConformanceCase::new(Method::Bsbrc, 4, Workload::Bands, 53)
+    };
+    let a = run_case(&case);
+    assert_eq!(a.dead_ranks, vec![1]);
+    assert!(a.coverage < 1.0, "coverage {}", a.coverage);
+    assert!(a.image.is_some(), "rank 0 survived, image must gather");
+    assert!(a.per_rank[1].is_none(), "killed rank reports no stats");
+    let b = run_case(&case);
+    assert_eq!(a.image_hash, b.image_hash, "degraded image must replay");
+    assert_eq!(a.coverage, b.coverage);
+}
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/conformance_corpus")
+}
+
+/// Every checked-in regression entry replays to the exact image hash
+/// and the exact schedule-decision digest it was recorded with.
+#[test]
+fn corpus_entries_replay_exactly() {
+    let dir = corpus_dir();
+    let mut checked = 0usize;
+    for file in std::fs::read_dir(&dir).expect("tests/conformance_corpus must exist") {
+        let path = file.unwrap().path();
+        if path.extension().is_none_or(|e| e != "txt") {
+            continue;
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        for entry in parse_corpus(&contents).unwrap_or_else(|e| panic!("{path:?}: {e}")) {
+            entry
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 4,
+        "corpus unexpectedly small ({checked} entries)"
+    );
+}
+
+/// Long-running randomized schedule fuzz (nightly CI): fresh seeds, and
+/// any failure is persisted as a ready-to-commit corpus line.
+#[test]
+#[ignore = "long fuzz; run nightly with fresh SLSVR_FUZZ_BASE"]
+fn long_schedule_fuzz_persists_failures() {
+    let count: u64 = std::env::var("SLSVR_FUZZ_COUNT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let base: u64 = std::env::var("SLSVR_FUZZ_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let out_path = std::env::var("SLSVR_FUZZ_OUT")
+        .unwrap_or_else(|_| "target/conformance-failures.txt".to_owned());
+    let methods = Method::all();
+    let mut failures = Vec::new();
+    for i in 0..count {
+        let seed = base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+        let method = methods[(seed % methods.len() as u64) as usize];
+        let p = [2usize, 3, 4, 5, 8][(seed / 7 % 5) as usize];
+        let workload = Workload::all()[(seed / 11 % 3) as usize];
+        let case = ConformanceCase {
+            depth: shuffled_depth(p, (seed % 1000) as usize),
+            ..ConformanceCase::new(method, p, workload, seed)
+        };
+        let out = run_case(&case);
+        if out.max_diff >= TOLERANCE || out.coverage < 1.0 || !out.dead_ranks.is_empty() {
+            let entry = CorpusEntry::from_run(&case, None, &out);
+            failures.push((entry, out.max_diff, out.coverage));
+        }
+    }
+    if !failures.is_empty() {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&out_path)
+            .expect("open fuzz failure log");
+        for (entry, diff, coverage) in &failures {
+            writeln!(f, "# diff={diff} coverage={coverage}").unwrap();
+            writeln!(f, "{entry}").unwrap();
+        }
+        panic!(
+            "{} fuzz case(s) failed; corpus lines appended to {out_path}",
+            failures.len()
+        );
+    }
+}
+
+/// Regenerates the checked-in corpus (run manually with
+/// `cargo test --test conformance regenerate_corpus -- --ignored --nocapture`
+/// and paste the output into `tests/conformance_corpus/regressions.txt`).
+#[test]
+#[ignore = "generator, not a check"]
+fn regenerate_corpus() {
+    let cases: Vec<(ConformanceCase, Option<&str>)> = vec![
+        (
+            ConformanceCase {
+                depth: shuffled_depth(8, 3),
+                ..ConformanceCase::new(Method::Bsbrc, 8, Workload::Sparse, 42)
+            },
+            None,
+        ),
+        (
+            ConformanceCase {
+                depth: shuffled_depth(8, 3),
+                ..ConformanceCase::new(Method::Bslc, 8, Workload::Dense, 42)
+            },
+            None,
+        ),
+        (
+            ConformanceCase {
+                cost: CostKind::Sp2,
+                depth: shuffled_depth(4, 9),
+                ..ConformanceCase::new(Method::Bsbr, 4, Workload::Bands, 7)
+            },
+            None,
+        ),
+        (
+            ConformanceCase {
+                depth: shuffled_depth(6, 1),
+                ..ConformanceCase::new(Method::RadixK, 6, Workload::Sparse, 101)
+            },
+            None,
+        ),
+        (
+            ConformanceCase {
+                reliable: true,
+                faults: Some("drop=0.05,corrupt=0.02,seed=17".parse().unwrap()),
+                depth: shuffled_depth(4, 7),
+                ..ConformanceCase::new(Method::Bsbrc, 4, Workload::Sparse, 31)
+            },
+            Some("drop=0.05,corrupt=0.02,seed=17"),
+        ),
+        (
+            ConformanceCase {
+                reliable: true,
+                faults: Some("kill=1@0,seed=3".parse().unwrap()),
+                depth: DepthOrder::identity(4),
+                ..ConformanceCase::new(Method::Bsbrc, 4, Workload::Bands, 53)
+            },
+            Some("kill=1@0,seed=3"),
+        ),
+    ];
+    for (case, faults_spec) in &cases {
+        let out = run_case(case);
+        println!("{}", CorpusEntry::from_run(case, *faults_spec, &out));
+    }
+}
