@@ -1,6 +1,7 @@
 //! Benchmark harness support: workload construction shared between the
 //! Criterion benches and the table/figure reproduction binaries.
 
+pub mod json;
 pub mod workloads;
 
 pub use workloads::{

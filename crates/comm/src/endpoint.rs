@@ -371,6 +371,14 @@ impl Endpoint {
         self.stats
     }
 
+    /// Records the peak resident pixel-buffer bytes the compositing
+    /// layer held on this rank (scratch staging buffers). A watermark:
+    /// the lifetime maximum is what [`Endpoint::stats`] reports.
+    #[inline]
+    pub fn note_pixel_buffer_peak(&mut self, bytes: u64) {
+        self.stats.note_pixel_buffer_peak(bytes);
+    }
+
     /// Keeps the transport responsive after this rank's work is done:
     /// answers retransmissions (re-acking duplicates) until `done`
     /// reports the whole group finished.

@@ -46,9 +46,11 @@ pub fn run(
         let partner = topo.real(vpartner);
         let (keep, send) = splitter.split(stage, topo.keeps_low(stage));
 
+        let scratch = &mut run.scratch;
         let payload = run.comp.time(|| {
+            image.extract_rect_into(&send, &mut scratch.send);
             let mut w = MsgWriter::with_capacity(send.area() * vr_image::BYTES_PER_PIXEL);
-            w.put_pixels(&image.extract_rect(&send));
+            w.put_pixels(&scratch.send);
             w.freeze()
         });
         let mut stat = StageStat {
@@ -68,16 +70,18 @@ pub fn run(
 
         if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            let scratch = &mut run.scratch;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
-                let pixels = r.get_pixels(keep.area());
+                r.get_pixels_into(keep.area(), &mut scratch.recv);
                 stat.composite_ops = if topo.received_is_front(vpartner) {
-                    image.composite_rect_over(&keep, &pixels) as u64
+                    image.composite_rect_over(&keep, &scratch.recv) as u64
                 } else {
-                    image.composite_rect_under(&keep, &pixels) as u64
+                    image.composite_rect_under(&keep, &scratch.recv) as u64
                 };
             });
         }
+        run.scratch.note_watermark();
         run.stages.push(stat);
     }
 

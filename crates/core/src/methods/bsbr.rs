@@ -52,12 +52,14 @@ pub fn run(
         let send_bounds = local_bounds.intersect(&send);
         let keep_bounds = local_bounds.intersect(&keep);
 
+        let scratch = &mut run.scratch;
         let payload = run.comp.time(|| {
             let mut w =
                 MsgWriter::with_capacity(8 + send_bounds.area() * vr_image::BYTES_PER_PIXEL);
             w.put_rect(send_bounds);
             if !send_bounds.is_empty() {
-                w.put_pixels(&image.extract_rect(&send_bounds));
+                image.extract_rect_into(&send_bounds, &mut scratch.send);
+                w.put_pixels(&scratch.send);
             }
             w.freeze()
         });
@@ -78,6 +80,7 @@ pub fn run(
 
         let recv_rect = if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            let scratch = &mut run.scratch;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
                 let rect = r.get_rect();
@@ -87,11 +90,11 @@ pub fn run(
                         keep.contains_rect(&rect),
                         "received rect must lie in kept half"
                     );
-                    let pixels = r.get_pixels(rect.area());
+                    r.get_pixels_into(rect.area(), &mut scratch.recv);
                     stat.composite_ops = if topo.received_is_front(vpartner) {
-                        image.composite_rect_over(&rect, &pixels) as u64
+                        image.composite_rect_over(&rect, &scratch.recv) as u64
                     } else {
-                        image.composite_rect_under(&rect, &pixels) as u64
+                        image.composite_rect_under(&rect, &scratch.recv) as u64
                     };
                 }
                 rect
@@ -103,6 +106,7 @@ pub fn run(
         // New local bounding rectangle: what we kept plus what arrived
         // (algorithm line 21).
         local_bounds = keep_bounds.union(&recv_rect);
+        run.scratch.note_watermark();
         run.stages.push(stat);
     }
 

@@ -8,7 +8,7 @@
 //! codes + 16-byte pixels, Equation (8)).
 
 use vr_comm::Endpoint;
-use vr_image::{Image, MaskRle, Pixel};
+use vr_image::{kernel, Image, MaskRle, RunSet};
 use vr_volume::DepthOrder;
 
 use crate::error::{try_exchange, CompositeError};
@@ -44,6 +44,9 @@ pub fn run(
     let mut local_bounds = run.bound.time(|| image.bounding_rect());
 
     let mut splitter = RegionSplitter::new(image.full_rect());
+    // Reused across stages: the send-rect run table and its wire codes.
+    let mut send_set = RunSet::new();
+    let mut codes_buf: Vec<u16> = Vec::new();
     for stage in 0..topo.stages() {
         let vpartner = topo.partner(stage);
         let partner = topo.real(vpartner);
@@ -53,27 +56,46 @@ pub fn run(
         let send_bounds = local_bounds.intersect(&send);
         let keep_bounds = local_bounds.intersect(&keep);
 
-        // Lines 7–12: RLE over the sending bounding rectangle only.
+        // Lines 7–12: RLE over the sending bounding rectangle only: one
+        // branchless run scan per rect row (positions rect-relative, the
+        // same row-major order `encode_mask` walks, so the canonical
+        // codes are bit-identical). Runs are decomposed into row segments
+        // so the packed payload is built from bulk row-slice copies into
+        // the reusable scratch buffer.
+        let scratch = &mut run.scratch;
+        let send_set = &mut send_set;
+        let codes_buf = &mut codes_buf;
         let (payload, ncodes) = run.encode.time(|| {
             let mut w = MsgWriter::with_capacity(8 + 4 + send_bounds.area());
             w.put_rect(send_bounds);
             let mut ncodes = 0u64;
             if !send_bounds.is_empty() {
-                let rle = MaskRle::encode_mask(
-                    send_bounds.iter().map(|(x, y)| !image.get(x, y).is_blank()),
-                );
-                ncodes = rle.num_codes() as u64;
-                w.put_u32(rle.num_codes() as u32);
-                w.put_codes(rle.codes());
                 let row_w = send_bounds.width() as usize;
-                for (start, len) in rle.non_blank_runs() {
-                    for i in 0..len {
-                        let pos = start + i;
-                        let x = send_bounds.x0 + (pos % row_w) as u16;
+                send_set.clear();
+                for y in send_bounds.y0..send_bounds.y1 {
+                    let base = (y - send_bounds.y0) as usize * row_w;
+                    let row = image.row_span(send_bounds.x0, y, row_w);
+                    kernel::scan_runs_into(row, base, send_set);
+                }
+                send_set.encode_codes_into(send_bounds.area(), codes_buf);
+                ncodes = codes_buf.len() as u64;
+                w.put_u32(codes_buf.len() as u32);
+                w.put_codes(codes_buf);
+                scratch.send.clear();
+                scratch.send.reserve(send_set.non_blank_total());
+                for &(start, len) in send_set.runs() {
+                    let (mut pos, mut rem) = (start, len);
+                    while rem > 0 {
+                        let col = pos % row_w;
+                        let seg = rem.min(row_w - col);
+                        let x = send_bounds.x0 + col as u16;
                         let y = send_bounds.y0 + (pos / row_w) as u16;
-                        w.put_pixel(image.get(x, y));
+                        scratch.send.extend_from_slice(image.row_span(x, y, seg));
+                        pos += seg;
+                        rem -= seg;
                     }
                 }
+                w.put_pixels(&scratch.send);
             }
             (w.freeze(), ncodes)
         });
@@ -97,8 +119,13 @@ pub fn run(
         )?;
 
         // Lines 15–20: unpack and composite only the non-blank pixels.
+        // The payload is parsed in one bulk pass, then each run is merged
+        // row segment by row segment through the slice kernels — the same
+        // `over` arithmetic in the same left-to-right order as the scalar
+        // loop, so the output is bit-identical.
         let recv_rect = if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            let scratch = &mut run.scratch;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
                 let rect = r.get_rect();
@@ -107,23 +134,30 @@ pub fn run(
                     debug_assert!(keep.contains_rect(&rect));
                     let ncodes = r.get_u32() as usize;
                     let rle = MaskRle::from_codes(r.get_codes(ncodes));
+                    r.get_pixels_into(rle.non_blank_total(), &mut scratch.recv);
                     let front = topo.received_is_front(vpartner);
                     let row_w = rect.width() as usize;
                     let mut ops = 0u64;
+                    let mut src = 0usize;
                     for (start, len) in rle.non_blank_runs() {
-                        for i in 0..len {
-                            let pos = start + i;
-                            let x = rect.x0 + (pos % row_w) as u16;
+                        let (mut pos, mut rem) = (start, len);
+                        while rem > 0 {
+                            let col = pos % row_w;
+                            let seg = rem.min(row_w - col);
+                            let x = rect.x0 + col as u16;
                             let y = rect.y0 + (pos / row_w) as u16;
-                            let incoming: Pixel = r.get_pixel();
-                            let local = image.get_mut(x, y);
-                            *local = if front {
-                                incoming.over(*local)
+                            let incoming = &scratch.recv[src..src + seg];
+                            let local = image.row_span_mut(x, y, seg);
+                            if front {
+                                kernel::over_slice(incoming, local);
                             } else {
-                                local.over(incoming)
-                            };
-                            ops += 1;
+                                kernel::under_slice(local, incoming);
+                            }
+                            src += seg;
+                            pos += seg;
+                            rem -= seg;
                         }
+                        ops += len as u64;
                     }
                     stat.composite_ops = ops;
                 }
@@ -135,6 +169,7 @@ pub fn run(
         };
         // Line 21: merge rectangles for the next stage.
         local_bounds = keep_bounds.union(&recv_rect);
+        run.scratch.note_watermark();
         run.stages.push(stat);
     }
 
@@ -147,6 +182,7 @@ mod tests {
     use super::*;
     use crate::methods::Method;
     use vr_comm::{run_group, CostModel};
+    use vr_image::Pixel;
 
     #[test]
     fn bsbrc_matches_reference_pow2() {

@@ -12,9 +12,19 @@
 //! (Equation (5)), which iterates the *whole* sent half, blank pixels
 //! included. The paper's evaluation shows exactly this term dominating
 //! `T_comp(BSLC)` — the motivation for BSBRC.
+//!
+//! This implementation keeps the paper's cost accounting (the
+//! `encoded_pixels` counter still charges the full sent half per stage)
+//! but *executes* the encoding incrementally: the blank/non-blank run
+//! table is built once from the initial image (restricted to its
+//! bounding rectangle) and thereafter maintained structurally —
+//! [`MaskRle::split_parity`] derives each stage's sent-half codes and
+//! [`MaskRle::union`] folds in the received runs — so per-stage setup is
+//! `O(runs)` instead of `O(A/2^k)`, and the wire bytes are bit-identical
+//! to a dense rescan.
 
 use vr_comm::Endpoint;
-use vr_image::{Image, MaskRle, Pixel, StridedSeq};
+use vr_image::{kernel, Image, MaskRle, RunSet, StridedSeq};
 use vr_volume::DepthOrder;
 
 use crate::error::{try_exchange, CompositeError};
@@ -45,37 +55,58 @@ pub fn run(
     };
 
     let mut seq = StridedSeq::dense(image.area());
+    // The one pixel scan: the sequence's run table, built inside the
+    // image's bounding rectangle (everything outside is blank). From here
+    // on the table is maintained structurally, never rescanned. All the
+    // working tables and the wire-code buffer persist across stages, so
+    // the stage loop allocates nothing in steady state.
+    let mut mask = run.encode.time(|| sequence_mask(image));
+    let (mut even_buf, mut odd_buf) = (RunSet::new(), RunSet::new());
+    let mut recv_set = RunSet::new();
+    let mut codes_buf: Vec<u16> = Vec::new();
     for stage in 0..topo.stages() {
         let vpartner = topo.partner(stage);
         let partner = topo.real(vpartner);
         let (even, odd) = seq.split();
-        let (keep, send) = if topo.keeps_low(stage) {
-            (even, odd)
+        run.encode
+            .time(|| mask.split_parity_into(&mut even_buf, &mut odd_buf));
+        let (keep, send, keep_mask, send_mask) = if topo.keeps_low(stage) {
+            (even, odd, &even_buf, &odd_buf)
         } else {
-            (odd, even)
+            (odd, even, &odd_buf, &even_buf)
         };
 
-        // Encode the interleaved sent half: blank/non-blank mask RLE plus
-        // packed non-blank pixels.
-        let (payload, ncodes) = run.encode.time(|| {
+        // Encode the interleaved sent half: the run codes come straight
+        // from the parity split (bit-identical to a dense rescan); only
+        // the non-blank pixels are gathered, into the reusable scratch
+        // buffer, so the wire write is one bulk copy.
+        let scratch = &mut run.scratch;
+        let payload = run.encode.time(|| {
+            send_mask.encode_codes_into(send.count, &mut codes_buf);
+            let total = send_mask.non_blank_total();
             let pixels = image.pixels();
-            let rle = MaskRle::encode_mask(send.iter().map(|i| !pixels[i].is_blank()));
-            let mut w = MsgWriter::with_capacity(
-                4 + rle.wire_bytes() + rle.non_blank_total() * vr_image::BYTES_PER_PIXEL,
-            );
-            w.put_u32(rle.num_codes() as u32);
-            w.put_codes(rle.codes());
-            for (start, len) in rle.non_blank_runs() {
-                for i in 0..len {
-                    w.put_pixel(pixels[send.index(start + i)]);
+            scratch.send.clear();
+            scratch.send.reserve(total);
+            for &(start, len) in send_mask.runs() {
+                let mut idx = send.index(start);
+                for _ in 0..len {
+                    scratch.send.push(pixels[idx]);
+                    idx += send.stride;
                 }
             }
-            (w.freeze(), rle.num_codes() as u64)
+            let mut w = MsgWriter::with_capacity(
+                4 + codes_buf.len() * vr_image::BYTES_PER_RUN_CODE
+                    + total * vr_image::BYTES_PER_PIXEL,
+            );
+            w.put_u32(codes_buf.len() as u32);
+            w.put_codes(&codes_buf);
+            w.put_pixels(&scratch.send);
+            w.freeze()
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
             encoded_pixels: send.count as u64,
-            run_codes: ncodes,
+            run_codes: codes_buf.len() as u64,
             ..Default::default()
         };
 
@@ -95,28 +126,45 @@ pub fn run(
         // contributes nothing.
         if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            let scratch = &mut run.scratch;
+            let recv = &mut recv_set;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
                 let ncodes = r.get_u32() as usize;
                 let rle = MaskRle::from_codes(r.get_codes(ncodes));
+                recv.assign_from_runs(rle.non_blank_runs());
+                // One bulk parse of the pixel payload; the scatter below
+                // reads it sequentially, so arithmetic order is unchanged.
+                r.get_pixels_into(recv.non_blank_total(), &mut scratch.recv);
                 let front = topo.received_is_front(vpartner);
                 let mut ops = 0u64;
-                for (start, len) in rle.non_blank_runs() {
-                    for i in 0..len {
-                        let incoming: Pixel = r.get_pixel();
-                        let idx = keep.index(start + i);
-                        let local = &mut image.pixels_mut()[idx];
+                let mut src = 0usize;
+                let pixels = image.pixels_mut();
+                for &(start, len) in recv.runs() {
+                    let mut idx = keep.index(start);
+                    for _ in 0..len {
+                        let incoming = scratch.recv[src];
+                        src += 1;
+                        let local = &mut pixels[idx];
                         *local = if front {
                             incoming.over(*local)
                         } else {
                             local.over(incoming)
                         };
-                        ops += 1;
+                        idx += keep.stride;
                     }
+                    ops += len as u64;
                 }
                 stat.composite_ops = ops;
             });
+            // `over` never blanks a non-blank pixel, so the merged half's
+            // exact run table is the union — no rescan.
+            run.encode
+                .time(|| keep_mask.union_into(&recv_set, &mut mask));
+        } else {
+            mask.assign(keep_mask);
         }
+        run.scratch.note_watermark();
 
         seq = keep;
         run.stages.push(stat);
@@ -125,12 +173,32 @@ pub fn run(
     Ok(run.finish(ep, OwnedPiece::Seq(seq)))
 }
 
+/// The blank/non-blank run table of the image's full pixel sequence,
+/// scanned only inside its bounding rectangle (`O(1)` to obtain when the
+/// bounds hint is armed; positions outside are blank by definition), so
+/// a sparse image pays `O(bounds.area())` instead of `O(A)`.
+fn sequence_mask(image: &Image) -> RunSet {
+    let b = image.bounding_rect();
+    let w = image.width() as usize;
+    let pixels = image.pixels();
+    // `RunSet::push` (inside the scanner) coalesces runs touching across
+    // the row seam.
+    let mut table = RunSet::new();
+    for y in b.y0..b.y1 {
+        let start = y as usize * w + b.x0 as usize;
+        let end = y as usize * w + b.x1 as usize;
+        kernel::scan_runs_into(&pixels[start..end], start, &mut table);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::testutil::{check_against_reference, test_images};
     use super::*;
     use crate::methods::Method;
     use vr_comm::{run_group, CostModel};
+    use vr_image::Pixel;
 
     #[test]
     fn bslc_matches_reference_pow2() {

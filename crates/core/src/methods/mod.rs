@@ -24,6 +24,7 @@ use vr_volume::DepthOrder;
 use crate::error::CompositeError;
 use crate::stats::{MethodStats, StageStat};
 use crate::timer::Stopwatch;
+use crate::wire::ScratchPool;
 
 /// Which compositing method to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -209,6 +210,11 @@ pub(crate) struct Run {
     /// Peers found dead so far (fed by the `try_*` helpers in
     /// [`crate::error`]).
     pub dead: BTreeSet<usize>,
+    /// Reusable send/recv staging buffers shared by every stage of the
+    /// schedule (the zero-copy wire path); also tracks the peak resident
+    /// staging footprint reported through
+    /// `TrafficStats::peak_pixel_buffer_bytes`.
+    pub scratch: ScratchPool,
     comm_start: f64,
 }
 
@@ -222,11 +228,13 @@ impl Run {
             bound_pixels: 0,
             pre_encoded_pixels: 0,
             dead: BTreeSet::new(),
+            scratch: ScratchPool::new(),
             comm_start: ep.stats().modeled_comm_seconds,
         }
     }
 
-    pub fn finish(self, ep: &Endpoint, piece: OwnedPiece) -> CompositeResult {
+    pub fn finish(self, ep: &mut Endpoint, piece: OwnedPiece) -> CompositeResult {
+        ep.note_pixel_buffer_peak(self.scratch.peak_bytes());
         let stats = MethodStats {
             comp_seconds: self.comp.seconds() + self.bound.seconds() + self.encode.seconds(),
             bound_seconds: self.bound.seconds(),

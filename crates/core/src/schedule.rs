@@ -210,8 +210,16 @@ pub fn fold_into_pow2(
                 let rect = r.get_rect();
                 stat.recv_rect_empty = rect.is_empty();
                 if !rect.is_empty() {
+                    // The merged bounds are the union of ours and the
+                    // arriving (tight) rectangle: `over` on non-negative
+                    // premultiplied pixels never blanks a non-blank pixel,
+                    // so no rescan is needed to keep the fast path armed.
+                    let prior = image.bounds_hint();
                     let pixels = r.get_pixels(rect.area());
                     stat.composite_ops = image.composite_rect_under(&rect, &pixels) as u64;
+                    if let Some(h) = prior {
+                        image.assert_bounds(h.union(&rect));
+                    }
                 }
             });
         } else {

@@ -11,6 +11,12 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use vr_image::{Pixel, Rect};
 
+/// Pixels staged per bulk copy in [`MsgWriter::put_pixels`] (1 KiB of
+/// stack).
+const PIXEL_CHUNK: usize = 64;
+/// Run codes staged per bulk copy in [`MsgWriter::put_codes`].
+const CODE_CHUNK: usize = 256;
+
 /// Incrementally builds a message payload.
 #[derive(Debug, Default)]
 pub struct MsgWriter {
@@ -42,18 +48,35 @@ impl MsgWriter {
         self.buf.put_u32_le(v);
     }
 
-    /// Appends run codes (2 bytes each).
+    /// Appends run codes (2 bytes each), staged through a stack buffer
+    /// so the payload lands in bulk `put_slice` calls.
     pub fn put_codes(&mut self, codes: &[u16]) {
-        for &c in codes {
-            self.buf.put_u16_le(c);
+        self.buf.reserve(codes.len() * 2);
+        let mut staged = [0u8; 2 * CODE_CHUNK];
+        for chunk in codes.chunks(CODE_CHUNK) {
+            for (slot, &c) in staged.chunks_exact_mut(2).zip(chunk) {
+                slot.copy_from_slice(&c.to_le_bytes());
+            }
+            self.buf.put_slice(&staged[..chunk.len() * 2]);
         }
     }
 
-    /// Appends pixels (16 bytes each).
+    /// Appends pixels (16 bytes each) as contiguous byte-slice copies:
+    /// pixels are serialized through a fixed stack buffer in chunks, so
+    /// the cost is one `memcpy` per chunk rather than a `Vec` push per
+    /// pixel. Byte layout is unchanged (`Pixel::to_le_bytes` each).
     pub fn put_pixels(&mut self, pixels: &[Pixel]) {
         self.buf.reserve(pixels.len() * vr_image::BYTES_PER_PIXEL);
-        for p in pixels {
-            self.buf.put_slice(&p.to_le_bytes());
+        let mut staged = [0u8; vr_image::BYTES_PER_PIXEL * PIXEL_CHUNK];
+        for chunk in pixels.chunks(PIXEL_CHUNK) {
+            for (slot, p) in staged
+                .chunks_exact_mut(vr_image::BYTES_PER_PIXEL)
+                .zip(chunk)
+            {
+                slot.copy_from_slice(&p.to_le_bytes());
+            }
+            self.buf
+                .put_slice(&staged[..chunk.len() * vr_image::BYTES_PER_PIXEL]);
         }
     }
 
@@ -109,16 +132,38 @@ impl MsgReader {
 
     /// Reads `n` run codes.
     pub fn get_codes(&mut self, n: usize) -> Vec<u16> {
-        (0..n).map(|_| self.buf.get_u16_le()).collect()
+        let chunk = self.buf.chunk();
+        assert!(chunk.len() >= n * 2, "short read: {n} codes", n = n);
+        let out = chunk[..n * 2]
+            .chunks_exact(2)
+            .map(|b| u16::from_le_bytes([b[0], b[1]]))
+            .collect();
+        self.buf.advance(n * 2);
+        out
     }
 
     /// Reads `n` pixels.
     pub fn get_pixels(&mut self, n: usize) -> Vec<Pixel> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.get_pixel());
-        }
+        let mut out = Vec::new();
+        self.get_pixels_into(n, &mut out);
         out
+    }
+
+    /// Reads `n` pixels into a reusable buffer (cleared first), parsing
+    /// the payload as one contiguous byte slice — the zero-allocation
+    /// receive path for [`ScratchPool`] buffers.
+    pub fn get_pixels_into(&mut self, n: usize, out: &mut Vec<Pixel>) {
+        out.clear();
+        out.reserve(n);
+        let bytes = n * vr_image::BYTES_PER_PIXEL;
+        let chunk = self.buf.chunk();
+        assert!(chunk.len() >= bytes, "short read: {n} pixels");
+        out.extend(
+            chunk[..bytes]
+                .chunks_exact(vr_image::BYTES_PER_PIXEL)
+                .map(|raw| Pixel::from_le_bytes(raw.try_into().unwrap())),
+        );
+        self.buf.advance(bytes);
     }
 
     /// Reads a single pixel.
@@ -138,6 +183,51 @@ impl MsgReader {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.remaining()
+    }
+}
+
+/// Reusable per-rank staging buffers for the compositing schedule.
+///
+/// Every binary-swap stage packs an outgoing pixel payload and unpacks
+/// an incoming one. Allocating fresh `Vec`s per stage costs an allocator
+/// round-trip *per stage per rank*; the pool instead owns one send and
+/// one receive buffer that grow to the high-water mark of the schedule
+/// and are reused (`clear()`, never shrink) across stages.
+///
+/// The pool also records that high-water mark: `peak_bytes()` is the
+/// peak resident staging footprint, surfaced per rank through
+/// `TrafficStats::peak_pixel_buffer_bytes` so the absence of full-image
+/// allocations is observable in reports.
+///
+/// Stale-data safety: both fill paths (`Image::extract_rect_into`,
+/// `MsgReader::get_pixels_into`) clear before writing and the consumer
+/// only reads the freshly written prefix, so a buffer can never leak
+/// pixels from an earlier stage.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    /// Packing buffer for outgoing pixel payloads.
+    pub send: Vec<Pixel>,
+    /// Staging buffer for incoming pixel payloads.
+    pub recv: Vec<Pixel>,
+    peak: u64,
+}
+
+impl ScratchPool {
+    /// An empty pool; buffers grow on first use.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Records the current resident footprint. Call once per stage,
+    /// after the buffers are filled.
+    pub fn note_watermark(&mut self) {
+        let resident = (self.send.capacity() + self.recv.capacity()) * vr_image::BYTES_PER_PIXEL;
+        self.peak = self.peak.max(resident as u64);
+    }
+
+    /// Peak resident staging bytes observed so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak
     }
 }
 
@@ -177,5 +267,48 @@ mod tests {
     fn over_read_panics() {
         let mut r = MsgReader::new(Bytes::from_static(&[1, 2]));
         let _ = r.get_u32();
+    }
+
+    #[test]
+    fn bulk_pixel_path_crosses_chunk_boundaries() {
+        // More pixels than one staging chunk, with values that exercise
+        // every byte of the encoding.
+        let px: Vec<Pixel> = (0..PIXEL_CHUNK * 2 + 7)
+            .map(|i| Pixel::from_straight(i as f32 * 0.01, 0.5, 1.0 - i as f32 * 0.001, 0.75))
+            .collect();
+        let codes: Vec<u16> = (0..CODE_CHUNK * 2 + 3).map(|i| i as u16).collect();
+        let mut w = MsgWriter::new();
+        w.put_codes(&codes);
+        w.put_pixels(&px);
+        assert_eq!(w.len(), codes.len() * 2 + px.len() * 16);
+        let mut r = MsgReader::new(w.freeze());
+        assert_eq!(r.get_codes(codes.len()), codes);
+        assert_eq!(r.get_pixels(px.len()), px);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn get_pixels_into_clears_stale_contents() {
+        let fresh = [Pixel::gray(0.25, 0.5), Pixel::gray(0.75, 1.0)];
+        let mut w = MsgWriter::new();
+        w.put_pixels(&fresh);
+        let mut buf = vec![Pixel::gray(9.0, 9.0); 100]; // stale junk
+        let mut r = MsgReader::new(w.freeze());
+        r.get_pixels_into(2, &mut buf);
+        assert_eq!(buf, fresh.to_vec(), "stale pixels must not survive");
+    }
+
+    #[test]
+    fn scratch_pool_tracks_peak_watermark() {
+        let mut pool = ScratchPool::new();
+        assert_eq!(pool.peak_bytes(), 0);
+        pool.send.resize(100, Pixel::BLANK);
+        pool.note_watermark();
+        let after_send = pool.peak_bytes();
+        assert!(after_send >= 1600);
+        pool.send.clear(); // reuse: capacity (and the peak) remain
+        pool.recv.resize(50, Pixel::BLANK);
+        pool.note_watermark();
+        assert!(pool.peak_bytes() >= after_send + 800);
     }
 }

@@ -1,5 +1,6 @@
 //! Row-major pixel image buffers.
 
+use crate::kernel;
 use crate::pixel::Pixel;
 use crate::rect::Rect;
 
@@ -8,11 +9,29 @@ use crate::rect::Rect;
 /// Subimages in the sort-last system are full-size images whose pixels are
 /// mostly blank; the compositing methods never copy more than the active
 /// region thanks to bounding rectangles and run-length encoding.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The image maintains an incremental *bounds hint*: the exact tight
+/// bounding rectangle of its non-blank pixels, kept up to date through
+/// [`Image::set`] during local rendering and invalidated by raw mutable
+/// access. When the hint is live, [`Image::bounding_rect`] is `O(1)` and
+/// [`Image::bounding_rect_in`] scans only the hinted region — the
+/// BSBR/BSLC/BSBRC stage setup becomes `O(runs)` instead of `O(W×H)`.
+#[derive(Clone, Debug)]
 pub struct Image {
     width: u16,
     height: u16,
     pixels: Vec<Pixel>,
+    /// `Some(r)` ⇒ `r` is *exactly* the tight bounding rectangle of the
+    /// non-blank pixels. `None` ⇒ unknown; fall back to scanning.
+    bounds_hint: Option<Rect>,
+}
+
+/// Equality is over the pixel grid only; the bounds hint is a cache and
+/// two images differing only in hint state compare equal.
+impl PartialEq for Image {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.height == other.height && self.pixels == other.pixels
+    }
 }
 
 impl Image {
@@ -22,21 +41,28 @@ impl Image {
             width,
             height,
             pixels: vec![Pixel::BLANK; width as usize * height as usize],
+            bounds_hint: Some(Rect::EMPTY),
         }
     }
 
     /// Creates an image by evaluating `f(x, y)` for every pixel.
     pub fn from_fn(width: u16, height: u16, mut f: impl FnMut(u16, u16) -> Pixel) -> Self {
         let mut pixels = Vec::with_capacity(width as usize * height as usize);
+        let mut bounds = Rect::EMPTY;
         for y in 0..height {
             for x in 0..width {
-                pixels.push(f(x, y));
+                let p = f(x, y);
+                if !p.is_blank() {
+                    bounds.include(x, y);
+                }
+                pixels.push(p);
             }
         }
         Image {
             width,
             height,
             pixels,
+            bounds_hint: Some(bounds),
         }
     }
 
@@ -47,6 +73,7 @@ impl Image {
             width,
             height,
             pixels,
+            bounds_hint: None,
         }
     }
 
@@ -87,17 +114,28 @@ impl Image {
         self.pixels[self.index(x, y)]
     }
 
-    /// Mutable pixel access.
+    /// Mutable pixel access. Invalidates the bounds hint (the write is
+    /// not observable).
     #[inline]
     pub fn get_mut(&mut self, x: u16, y: u16) -> &mut Pixel {
         let i = self.index(x, y);
+        self.bounds_hint = None;
         &mut self.pixels[i]
     }
 
-    /// Sets a pixel.
+    /// Sets a pixel, keeping the bounds hint exact: a non-blank write
+    /// grows the hint; blanking a previously non-blank pixel may shrink
+    /// the true bounds, so the hint is dropped.
     #[inline]
     pub fn set(&mut self, x: u16, y: u16, p: Pixel) {
         let i = self.index(x, y);
+        if !p.is_blank() {
+            if let Some(h) = &mut self.bounds_hint {
+                h.include(x, y);
+            }
+        } else if !self.pixels[i].is_blank() {
+            self.bounds_hint = None;
+        }
         self.pixels[i] = p;
     }
 
@@ -107,10 +145,48 @@ impl Image {
         &self.pixels
     }
 
-    /// Flat mutable pixel slice (row-major).
+    /// Flat mutable pixel slice (row-major). Invalidates the bounds hint.
     #[inline]
     pub fn pixels_mut(&mut self) -> &mut [Pixel] {
+        self.bounds_hint = None;
         &mut self.pixels
+    }
+
+    /// One row's span of `len` pixels starting at `(x, y)`.
+    #[inline]
+    pub fn row_span(&self, x: u16, y: u16, len: usize) -> &[Pixel] {
+        let i = self.index(x, y);
+        debug_assert!(x as usize + len <= self.width as usize);
+        &self.pixels[i..i + len]
+    }
+
+    /// Mutable row span. Invalidates the bounds hint.
+    #[inline]
+    pub fn row_span_mut(&mut self, x: u16, y: u16, len: usize) -> &mut [Pixel] {
+        let i = self.index(x, y);
+        debug_assert!(x as usize + len <= self.width as usize);
+        self.bounds_hint = None;
+        &mut self.pixels[i..i + len]
+    }
+
+    /// The current bounds hint, when live (exact tight bounds).
+    #[inline]
+    pub fn bounds_hint(&self) -> Option<Rect> {
+        self.bounds_hint
+    }
+
+    /// Asserts a known-exact bounding rectangle, re-arming the `O(1)`
+    /// [`Image::bounding_rect`] fast path after a merge whose output
+    /// bounds the caller derived incrementally (union of the inputs).
+    ///
+    /// Debug builds verify the claim against a full scan.
+    pub fn assert_bounds(&mut self, bounds: Rect) {
+        debug_assert_eq!(
+            bounds,
+            self.scan_bounds(&self.full_rect()),
+            "asserted bounds hint must match the scanned tight bounds"
+        );
+        self.bounds_hint = Some(bounds);
     }
 
     /// Number of non-blank pixels (the paper's `A_opaque` for a region
@@ -126,14 +202,41 @@ impl Image {
             .count()
     }
 
-    /// Bounding rectangle of all non-blank pixels — the `O(A)` scan that
-    /// the paper charges as `T_bound` in the first BSBR/BSBRC stage.
+    /// Bounding rectangle of all non-blank pixels — `O(1)` when the
+    /// incremental hint is live, otherwise the `O(A)` scan the paper
+    /// charges as `T_bound` in the first BSBR/BSBRC stage.
     pub fn bounding_rect(&self) -> Rect {
-        self.bounding_rect_in(&self.full_rect())
+        match self.bounds_hint {
+            Some(h) => h,
+            None => self.scan_bounds(&self.full_rect()),
+        }
     }
 
     /// Bounding rectangle of the non-blank pixels inside `within`.
+    ///
+    /// With a live hint the scan is restricted to `hint ∩ within` (and
+    /// skipped entirely when the hint lies inside `within`).
     pub fn bounding_rect_in(&self, within: &Rect) -> Rect {
+        if within.is_empty() {
+            return Rect::EMPTY;
+        }
+        match self.bounds_hint {
+            Some(h) => {
+                if within.contains_rect(&h) {
+                    return h;
+                }
+                let clipped = h.intersect(within);
+                if clipped.is_empty() {
+                    return Rect::EMPTY;
+                }
+                self.scan_bounds(&clipped)
+            }
+            None => self.scan_bounds(within),
+        }
+    }
+
+    /// The row-scan bounds search over `within`.
+    fn scan_bounds(&self, within: &Rect) -> Rect {
         if within.is_empty() {
             return Rect::EMPTY;
         }
@@ -155,17 +258,26 @@ impl Image {
     /// Copies the pixels of `rect` into a dense row-major buffer (BSBR's
     /// "pack pixels in the rectangle into a sending buffer").
     pub fn extract_rect(&self, rect: &Rect) -> Vec<Pixel> {
-        let mut out = Vec::with_capacity(rect.area());
+        let mut out = Vec::new();
+        self.extract_rect_into(rect, &mut out);
+        out
+    }
+
+    /// Like [`Image::extract_rect`], but reuses `out`'s allocation —
+    /// the zero-allocation packing path for scratch buffers.
+    pub fn extract_rect_into(&self, rect: &Rect, out: &mut Vec<Pixel>) {
+        out.clear();
+        out.reserve(rect.area());
         for y in rect.y0..rect.y1 {
             let start = self.index(rect.x0, y);
             out.extend_from_slice(&self.pixels[start..start + rect.width() as usize]);
         }
-        out
     }
 
     /// Overwrites the pixels of `rect` from a dense row-major buffer.
     pub fn write_rect(&mut self, rect: &Rect, data: &[Pixel]) {
         assert_eq!(data.len(), rect.area());
+        self.bounds_hint = None;
         for (row_idx, y) in (rect.y0..rect.y1).enumerate() {
             let dst = self.index(rect.x0, y);
             let src = row_idx * rect.width() as usize;
@@ -179,48 +291,42 @@ impl Image {
     /// operations applied (the paper's computation count `T_o × A_rec`).
     pub fn composite_rect_over(&mut self, rect: &Rect, front: &[Pixel]) -> usize {
         assert_eq!(front.len(), rect.area());
-        let mut ops = 0;
+        self.bounds_hint = None;
+        let w = rect.width() as usize;
         for (row_idx, y) in (rect.y0..rect.y1).enumerate() {
             let dst = self.index(rect.x0, y);
-            let src = row_idx * rect.width() as usize;
-            for i in 0..rect.width() as usize {
-                self.pixels[dst + i] = front[src + i].over(self.pixels[dst + i]);
-                ops += 1;
-            }
+            kernel::over_slice(&front[row_idx * w..][..w], &mut self.pixels[dst..dst + w]);
         }
-        ops
+        rect.area()
     }
 
     /// Composites `front` (a dense buffer for `rect`) **under** `self`,
     /// i.e. the local image stays in front.
     pub fn composite_rect_under(&mut self, rect: &Rect, back: &[Pixel]) -> usize {
         assert_eq!(back.len(), rect.area());
-        let mut ops = 0;
+        self.bounds_hint = None;
+        let w = rect.width() as usize;
         for (row_idx, y) in (rect.y0..rect.y1).enumerate() {
             let dst = self.index(rect.x0, y);
-            let src = row_idx * rect.width() as usize;
-            for i in 0..rect.width() as usize {
-                self.pixels[dst + i] = self.pixels[dst + i].over(back[src + i]);
-                ops += 1;
-            }
+            kernel::under_slice(&mut self.pixels[dst..dst + w], &back[row_idx * w..][..w]);
         }
-        ops
+        rect.area()
     }
 
     /// Composites a whole `front` image over `self` (both full size) —
     /// the sequential reference path and the plain BS exchange step.
     pub fn composite_image_over(&mut self, front: &Image, region: &Rect) -> usize {
         assert_eq!((self.width, self.height), (front.width, front.height));
-        let mut ops = 0;
+        self.bounds_hint = None;
+        let w = region.width() as usize;
         for y in region.y0..region.y1 {
             let start = self.index(region.x0, y);
-            let end = start + region.width() as usize;
-            for i in start..end {
-                self.pixels[i] = front.pixels[i].over(self.pixels[i]);
-                ops += 1;
-            }
+            kernel::over_slice(
+                &front.pixels[start..start + w],
+                &mut self.pixels[start..start + w],
+            );
         }
-        ops
+        region.area()
     }
 
     /// Maximum per-channel absolute difference over all pixels.
@@ -275,10 +381,76 @@ mod tests {
     }
 
     #[test]
+    fn hint_tracks_set_and_survives_clone() {
+        let mut img = Image::blank(20, 10);
+        assert_eq!(img.bounds_hint(), Some(Rect::EMPTY));
+        img.set(3, 2, Pixel::gray(1.0, 1.0));
+        img.set(15, 7, Pixel::gray(1.0, 1.0));
+        assert_eq!(img.bounds_hint(), Some(Rect::new(3, 2, 16, 8)));
+        let cloned = img.clone();
+        assert_eq!(cloned.bounds_hint(), img.bounds_hint());
+        // Blank writes over blank pixels keep the hint...
+        img.set(0, 0, Pixel::BLANK);
+        assert!(img.bounds_hint().is_some());
+        // ...but blanking a non-blank pixel drops it, and the scan takes
+        // over with the correct (shrunk) answer.
+        img.set(15, 7, Pixel::BLANK);
+        assert_eq!(img.bounds_hint(), None);
+        assert_eq!(img.bounding_rect(), Rect::new(3, 2, 4, 3));
+    }
+
+    #[test]
+    fn hint_matches_scan_for_from_fn() {
+        let img = checker(13, 7);
+        let hinted = img.bounding_rect();
+        let mut unhinted = Image::from_pixels(13, 7, img.pixels().to_vec());
+        assert_eq!(unhinted.bounds_hint(), None);
+        assert_eq!(unhinted.bounding_rect(), hinted);
+        // Raw mutable access invalidates.
+        let img2 = {
+            let mut i = checker(13, 7);
+            i.pixels_mut();
+            i
+        };
+        assert_eq!(img2.bounds_hint(), None);
+        unhinted.get_mut(0, 0);
+        assert_eq!(unhinted.bounds_hint(), None);
+    }
+
+    #[test]
+    fn hinted_bounding_rect_in_matches_scan() {
+        let img = checker(16, 16); // hint live, covers whole checker
+        let plain = Image::from_pixels(16, 16, img.pixels().to_vec());
+        for r in [
+            Rect::new(0, 0, 8, 16),
+            Rect::new(8, 0, 16, 16),
+            Rect::new(3, 5, 11, 9),
+            Rect::new(0, 0, 16, 16),
+            Rect::EMPTY,
+        ] {
+            assert_eq!(img.bounding_rect_in(&r), plain.bounding_rect_in(&r));
+        }
+    }
+
+    #[test]
+    fn assert_bounds_rearms_fast_path() {
+        let mut img = checker(8, 8);
+        let bounds = img.bounding_rect();
+        img.pixels_mut(); // invalidate
+        assert_eq!(img.bounds_hint(), None);
+        img.assert_bounds(bounds);
+        assert_eq!(img.bounds_hint(), Some(bounds));
+        assert_eq!(img.bounding_rect(), bounds);
+    }
+
+    #[test]
     fn extract_write_round_trip() {
         let img = checker(12, 9);
         let r = Rect::new(2, 1, 9, 6);
         let buf = img.extract_rect(&r);
+        let mut reused = vec![Pixel::gray(9.0, 9.0); 3]; // stale contents
+        img.extract_rect_into(&r, &mut reused);
+        assert_eq!(buf, reused, "reused buffer must match fresh extraction");
         let mut dst = Image::blank(12, 9);
         dst.write_rect(&r, &buf);
         for (x, y) in r.iter() {
@@ -322,6 +494,16 @@ mod tests {
         let buf = front.extract_rect(&front.full_rect());
         b.composite_rect_over(&front.full_rect(), &buf);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_spans_address_rows() {
+        let img = checker(6, 4);
+        assert_eq!(img.row_span(1, 2, 4), &img.pixels()[13..17]);
+        let mut m = checker(6, 4);
+        m.row_span_mut(0, 0, 6).fill(Pixel::BLANK);
+        assert_eq!(m.bounds_hint(), None);
+        assert_eq!(m.non_blank_count_in(&Rect::new(0, 0, 6, 1)), 0);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Bulk span compositing kernels.
+//!
+//! The binary-swap decode loops composite contiguous spans of payload
+//! pixels against contiguous spans of a local image row. Doing that one
+//! [`Pixel::over`] call at a time through a cursor defeats
+//! auto-vectorization; these kernels expose the same arithmetic over
+//! flat slices so rustc unrolls and vectorizes the component math
+//! (`Pixel` is `#[repr(C)]`, four `f32`s — SoA-friendly in row order).
+//!
+//! Bit-exactness contract: each element is computed by the *same*
+//! [`Pixel::over`] expression, in the same left-to-right order, as the
+//! scalar loops these kernels replaced. Conformance tests pin the
+//! composited images to reference hashes, so any arithmetic reassociation
+//! here would be caught immediately.
+
+use crate::pixel::Pixel;
+use crate::rle::RunSet;
+
+/// Appends the non-blank runs of one contiguous pixel span to `table`,
+/// positions offset by `base`.
+///
+/// The classification is exactly `!Pixel::is_blank` (`== 0.0` compares,
+/// so `-0.0` still counts blank and NaN non-blank), but evaluated
+/// branchlessly 16 pixels at a time into a bitmask — the compare loop
+/// auto-vectorizes — and runs are then peeled off the mask with bit
+/// scans. Runs touching a chunk (or caller-side row) seam coalesce via
+/// [`RunSet::push`].
+pub fn scan_runs_into(span: &[Pixel], base: usize, table: &mut RunSet) {
+    const CHUNK: usize = 16;
+    let mut x = 0usize;
+    while x < span.len() {
+        let lim = (span.len() - x).min(CHUNK);
+        let mut bits: u32 = 0;
+        for (i, p) in span[x..x + lim].iter().enumerate() {
+            let nb = (p.a != 0.0) | (p.r != 0.0) | (p.g != 0.0) | (p.b != 0.0);
+            bits |= (nb as u32) << i;
+        }
+        while bits != 0 {
+            let s = bits.trailing_zeros() as usize;
+            let len = (!(bits >> s)).trailing_zeros() as usize;
+            table.push(base + x + s, len);
+            bits &= !(((1u32 << len) - 1) << s);
+        }
+        x += lim;
+    }
+}
+
+/// `back[i] = front[i] over back[i]` for every element.
+///
+/// The received-subimage-is-in-front direction of a binary-swap merge.
+#[inline]
+pub fn over_slice(front: &[Pixel], back: &mut [Pixel]) {
+    assert_eq!(front.len(), back.len());
+    for (b, f) in back.iter_mut().zip(front) {
+        *b = f.over(*b);
+    }
+}
+
+/// `local[i] = local[i] over back[i]` for every element.
+///
+/// The local-subimage-stays-in-front direction of a binary-swap merge.
+#[inline]
+pub fn under_slice(local: &mut [Pixel], back: &[Pixel]) {
+    assert_eq!(local.len(), back.len());
+    for (l, b) in local.iter_mut().zip(back) {
+        *l = l.over(*b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn px(i: usize) -> Pixel {
+        Pixel::from_straight(
+            (i % 7) as f32 / 7.0,
+            (i % 5) as f32 / 5.0,
+            (i % 3) as f32 / 3.0,
+            (i % 11) as f32 / 11.0,
+        )
+    }
+
+    #[test]
+    fn over_slice_matches_scalar_loop() {
+        let front: Vec<Pixel> = (0..33).map(px).collect();
+        let mut back: Vec<Pixel> = (0..33).map(|i| px(i + 13)).collect();
+        let expect: Vec<Pixel> = front.iter().zip(&back).map(|(f, b)| f.over(*b)).collect();
+        over_slice(&front, &mut back);
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn under_slice_matches_scalar_loop() {
+        let back: Vec<Pixel> = (0..33).map(px).collect();
+        let mut local: Vec<Pixel> = (0..33).map(|i| px(i + 29)).collect();
+        let expect: Vec<Pixel> = local.iter().zip(&back).map(|(l, b)| l.over(*b)).collect();
+        under_slice(&mut local, &back);
+        assert_eq!(local, expect);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let front = vec![Pixel::BLANK; 3];
+        let mut back = vec![Pixel::BLANK; 4];
+        over_slice(&front, &mut back);
+    }
+
+    #[test]
+    fn scan_runs_matches_is_blank_scan() {
+        for (seed, density) in [(1u32, 0), (2, 15), (3, 55), (4, 100), (5, 97)] {
+            let span: Vec<Pixel> = (0..777u32)
+                .map(|i| {
+                    if i.wrapping_mul(2_654_435_761).wrapping_add(seed * 97) % 100 < density {
+                        px(i as usize + 1)
+                    } else {
+                        Pixel::BLANK
+                    }
+                })
+                .collect();
+            let mut table = RunSet::new();
+            scan_runs_into(&span, 5, &mut table);
+            let mut expect = RunSet::new();
+            let mut i = 0usize;
+            while i < span.len() {
+                if span[i].is_blank() {
+                    i += 1;
+                    continue;
+                }
+                let s = i;
+                while i < span.len() && !span[i].is_blank() {
+                    i += 1;
+                }
+                expect.push(5 + s, i - s);
+            }
+            assert_eq!(table, expect, "seed {seed} density {density}");
+        }
+    }
+
+    #[test]
+    fn scan_runs_classifies_negative_zero_blank_and_nan_non_blank() {
+        // `is_blank` uses `== 0.0`: -0.0 is blank, NaN is not. The
+        // branchless classifier must agree exactly.
+        let neg_zero = Pixel {
+            r: -0.0,
+            g: 0.0,
+            b: -0.0,
+            a: 0.0,
+        };
+        let nan = Pixel {
+            r: 0.0,
+            g: f32::NAN,
+            b: 0.0,
+            a: 0.0,
+        };
+        assert!(neg_zero.is_blank());
+        assert!(!nan.is_blank());
+        let span = [neg_zero, nan, neg_zero];
+        let mut table = RunSet::new();
+        scan_runs_into(&span, 0, &mut table);
+        assert_eq!(table.runs(), &[(1, 1)]);
+    }
+
+    #[test]
+    fn scan_runs_coalesces_across_chunk_seams() {
+        // A run spanning the 16-pixel chunk boundary must come out as one
+        // interval.
+        let mut span = vec![Pixel::BLANK; 40];
+        for p in &mut span[12..24] {
+            *p = px(3);
+        }
+        let mut table = RunSet::new();
+        scan_runs_into(&span, 100, &mut table);
+        assert_eq!(table.runs(), &[(112, 12)]);
+    }
+}

@@ -13,16 +13,19 @@
 pub mod checksum;
 pub mod image;
 pub mod interleave;
+pub mod kernel;
 pub mod pgm;
 pub mod pixel;
 pub mod png;
 pub mod rect;
 pub mod rle;
+pub mod run_image;
 pub mod stats;
 
 pub use crate::image::Image;
 pub use crate::interleave::StridedSeq;
 pub use crate::pixel::{Pixel, BYTES_PER_PIXEL};
 pub use crate::rect::Rect;
-pub use crate::rle::{MaskRle, ValueRle, BYTES_PER_RUN_CODE};
+pub use crate::rle::{MaskRle, RunSet, ValueRle, BYTES_PER_RUN_CODE};
+pub use crate::run_image::RunImage;
 pub use crate::stats::{sparsity_profile, SparsityProfile};

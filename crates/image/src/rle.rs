@@ -86,6 +86,38 @@ impl MaskRle {
         MaskRle { codes }
     }
 
+    /// Builds the encoding directly from sorted, disjoint, coalesced
+    /// non-blank intervals `(start, len)` — `O(runs)`, without touching
+    /// any pixel. Produces exactly the codes [`MaskRle::encode_mask`]
+    /// would for the same mask (adjacent intervals must be pre-merged
+    /// and zero-length intervals omitted, or the result is a valid but
+    /// non-canonical encoding).
+    pub fn from_runs(runs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut codes: Vec<u16> = Vec::new();
+        // Emits one logical run, splitting at u16::MAX with zero-length
+        // runs of the opposite class (same scheme as `encode_mask`).
+        let push = |codes: &mut Vec<u16>, mut r: usize| loop {
+            let chunk = r.min(u16::MAX as usize);
+            codes.push(chunk as u16);
+            r -= chunk;
+            if r == 0 {
+                break;
+            }
+            codes.push(0);
+        };
+        let mut pos = 0usize;
+        for (start, len) in runs {
+            assert!(start >= pos, "runs must be sorted and disjoint");
+            if len == 0 {
+                continue;
+            }
+            push(&mut codes, start - pos); // blank gap (possibly zero-length)
+            push(&mut codes, len);
+            pos = start + len;
+        }
+        MaskRle { codes }
+    }
+
     /// The raw alternating run lengths (blank first).
     pub fn codes(&self) -> &[u16] {
         &self.codes
@@ -123,6 +155,30 @@ impl MaskRle {
             idx: 0,
             pos: 0,
         }
+    }
+
+    /// Splits the mask over position parity: the first result covers the
+    /// even positions (renumbered `p / 2`), the second the odd positions
+    /// (renumbered `(p - 1) / 2`) — exactly how [`crate::StridedSeq::split`]
+    /// renumbers a sequence. `O(runs)`, no pixel is touched; both outputs
+    /// are canonical.
+    pub fn split_parity(&self) -> (MaskRle, MaskRle) {
+        let (mut even, mut odd) = (RunSet::new(), RunSet::new());
+        RunSet::from_rle(self).split_parity_into(&mut even, &mut odd);
+        (even.to_rle(), odd.to_rle())
+    }
+
+    /// The union of two masks over the same position space: non-blank
+    /// wherever either is. `O(runs)`; the result is canonical.
+    ///
+    /// This is the incremental-maintenance primitive: compositing with
+    /// `over` never blanks a non-blank pixel (for non-negative
+    /// premultiplied components), so the merged image's exact mask is the
+    /// union of the two operand masks — no rescan required.
+    pub fn union(&self, other: &MaskRle) -> MaskRle {
+        let mut out = RunSet::new();
+        RunSet::from_rle(self).union_into(&RunSet::from_rle(other), &mut out);
+        out.to_rle()
     }
 
     /// Expands back into a boolean mask of length `len` (`true` =
@@ -164,6 +220,157 @@ impl Iterator for NonBlankRuns<'_> {
             }
         }
         None
+    }
+}
+
+/// The working form of a blank/non-blank run table: explicit non-blank
+/// intervals `(start, len)` — sorted, disjoint, coalesced, lengths > 0.
+///
+/// [`MaskRle`] is the canonical *wire* form (2-byte alternating codes);
+/// `RunSet` is the in-memory form that incremental maintenance operates
+/// on. All structural operations come as `*_into` variants writing into
+/// caller-owned buffers, so a steady-state compositing loop that keeps
+/// its `RunSet`s across stages performs no allocation at all.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSet {
+    runs: Vec<(usize, usize)>,
+}
+
+impl RunSet {
+    /// An empty (all-blank) run table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes the canonical wire form. Runs that [`MaskRle`] split at
+    /// `u16::MAX` re-coalesce into single intervals.
+    pub fn from_rle(rle: &MaskRle) -> Self {
+        let mut out = Self::new();
+        out.assign_from_runs(rle.non_blank_runs());
+        out
+    }
+
+    /// Re-encodes into the canonical wire form (identical codes to
+    /// [`MaskRle::from_runs`]).
+    pub fn to_rle(&self) -> MaskRle {
+        MaskRle::from_runs(self.runs.iter().copied())
+    }
+
+    /// Emits the wire codes for this table over a mask of `domain`
+    /// elements into a reusable buffer (cleared first) — byte-for-byte
+    /// what [`MaskRle::encode_mask`] produces for the same mask, without
+    /// constructing a `MaskRle` or touching any pixel.
+    ///
+    /// The `domain` length matters only for a trailing blank gap longer
+    /// than `u16::MAX`: `encode_mask` emits the gap's split codes and
+    /// then trims just the *final* chunk, leaving `[65535, 0, …]`
+    /// residue on the wire. That residue decodes to nothing, but the
+    /// byte counts are pinned by the conformance corpus, so it is
+    /// replicated here exactly.
+    pub fn encode_codes_into(&self, domain: usize, codes: &mut Vec<u16>) {
+        codes.clear();
+        let push = |codes: &mut Vec<u16>, mut r: usize| loop {
+            let chunk = r.min(u16::MAX as usize);
+            codes.push(chunk as u16);
+            r -= chunk;
+            if r == 0 {
+                break;
+            }
+            codes.push(0);
+        };
+        let mut pos = 0usize;
+        for &(start, len) in &self.runs {
+            push(codes, start - pos);
+            push(codes, len);
+            pos = start + len;
+        }
+        if domain > pos {
+            push(codes, domain - pos);
+            codes.pop();
+        }
+    }
+
+    /// The intervals in order.
+    pub fn runs(&self) -> &[(usize, usize)] {
+        &self.runs
+    }
+
+    /// Total number of non-blank pixels described.
+    pub fn non_blank_total(&self) -> usize {
+        self.runs.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Empties the table (all-blank).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+
+    /// Replaces the contents with `other`'s, reusing this buffer.
+    pub fn assign(&mut self, other: &RunSet) {
+        self.runs.clear();
+        self.runs.extend_from_slice(&other.runs);
+    }
+
+    /// Replaces the contents with sorted, possibly adjacent/overlapping
+    /// intervals (coalesced on the way in; zero-length intervals skipped).
+    pub fn assign_from_runs(&mut self, runs: impl IntoIterator<Item = (usize, usize)>) {
+        self.runs.clear();
+        for (start, len) in runs {
+            self.push(start, len);
+        }
+    }
+
+    /// Appends one interval, coalescing with the last when adjacent or
+    /// overlapping. `start` must not precede the last interval's start.
+    pub fn push(&mut self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            debug_assert!(start >= last.0, "runs must be pushed in order");
+            let last_end = last.0 + last.1;
+            if last_end >= start {
+                last.1 = (start + len).max(last_end) - last.0;
+                return;
+            }
+        }
+        self.runs.push((start, len));
+    }
+
+    /// Splits over position parity into two caller-owned tables (cleared
+    /// first): `even` covers even positions renumbered `p / 2`, `odd` the
+    /// odd positions renumbered `(p - 1) / 2` — matching how
+    /// [`crate::StridedSeq::split`] renumbers a sequence. `O(runs)`; a
+    /// one-position gap of the removed parity fuses its neighbours.
+    pub fn split_parity_into(&self, even: &mut RunSet, odd: &mut RunSet) {
+        even.clear();
+        odd.clear();
+        for &(start, len) in &self.runs {
+            let end = start + len;
+            even.push(start.div_ceil(2), end.div_ceil(2) - start.div_ceil(2));
+            odd.push(start / 2, end / 2 - start / 2);
+        }
+    }
+
+    /// Writes the union of `self` and `other` into `out` (cleared first):
+    /// non-blank wherever either is. `O(runs)`.
+    pub fn union_into(&self, other: &RunSet, out: &mut RunSet) {
+        out.clear();
+        let (mut a, mut b) = (self.runs.iter().peekable(), other.runs.iter().peekable());
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x.0 <= y.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let &(s, l) = if take_a {
+                a.next().unwrap()
+            } else {
+                b.next().unwrap()
+            };
+            out.push(s, l);
+        }
     }
 }
 
@@ -296,6 +503,142 @@ mod tests {
 
     fn px(v: f32) -> Pixel {
         Pixel::gray(v, if v == 0.0 { 0.0 } else { 1.0 })
+    }
+
+    #[test]
+    fn from_runs_matches_encode_mask() {
+        // Sparse mask with a leading non-blank run, interior gaps and a
+        // trailing blank tail.
+        let mut mask = vec![false; 1000];
+        let runs = [(0usize, 3usize), (10, 1), (500, 200)];
+        for &(s, l) in &runs {
+            for m in &mut mask[s..s + l] {
+                *m = true;
+            }
+        }
+        let canonical = MaskRle::encode_mask(mask.iter().copied());
+        assert_eq!(MaskRle::from_runs(runs), canonical);
+        // Long runs split identically.
+        let long = [(5usize, u16::MAX as usize + 7)];
+        let mut mask = vec![false; u16::MAX as usize + 20];
+        for m in &mut mask[5..5 + u16::MAX as usize + 7] {
+            *m = true;
+        }
+        assert_eq!(
+            MaskRle::from_runs(long),
+            MaskRle::encode_mask(mask.iter().copied())
+        );
+        // Empty input encodes the all-blank sequence.
+        assert_eq!(MaskRle::from_runs([]), MaskRle::encode_mask([]));
+    }
+
+    #[test]
+    fn encode_codes_into_matches_encode_mask_with_long_trailing_gap() {
+        // `encode_mask` emits a trailing blank gap and then trims only
+        // its final chunk, so a gap longer than u16::MAX leaves
+        // `[65535, 0, …]` residue on the wire. The run-domain encoder
+        // must replicate those bytes exactly — the conformance corpus
+        // pins per-stage byte counts.
+        let domain = 140_000usize;
+        let cases: [&[(usize, usize)]; 5] = [
+            &[],
+            &[(5, 3)],
+            &[(0, 2), (100, 66_000)],
+            &[(0, 2), (100, 200)],
+            &[(0, domain)],
+        ];
+        for runs in cases {
+            let mut mask = vec![false; domain];
+            for &(s, l) in runs {
+                for m in &mut mask[s..s + l] {
+                    *m = true;
+                }
+            }
+            let expect = MaskRle::encode_mask(mask.iter().copied());
+            let mut set = RunSet::new();
+            set.assign_from_runs(runs.iter().copied());
+            let mut codes = Vec::new();
+            set.encode_codes_into(domain, &mut codes);
+            assert_eq!(codes, expect.codes(), "runs {runs:?}");
+        }
+    }
+
+    /// Pseudo-random boolean mask for the structural-op tests.
+    fn noise_mask(n: usize, seed: usize, density_pct: usize) -> Vec<bool> {
+        (0..n)
+            .map(|i| i.wrapping_mul(2_654_435_761).wrapping_add(seed * 97) % 100 < density_pct)
+            .collect()
+    }
+
+    #[test]
+    fn split_parity_matches_dense_split() {
+        for (seed, density) in [(1, 0), (2, 15), (3, 50), (4, 100), (5, 97)] {
+            let mask = noise_mask(777, seed, density);
+            let rle = MaskRle::encode_mask(mask.iter().copied());
+            let (even, odd) = rle.split_parity();
+            let expect_even: Vec<bool> = mask.iter().copied().step_by(2).collect();
+            let expect_odd: Vec<bool> = mask.iter().copied().skip(1).step_by(2).collect();
+            assert_eq!(
+                even,
+                MaskRle::encode_mask(expect_even.iter().copied()),
+                "even half, seed {seed}"
+            );
+            assert_eq!(
+                odd,
+                MaskRle::encode_mask(expect_odd.iter().copied()),
+                "odd half, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_parity_fuses_across_removed_gaps() {
+        // Runs [2,5) and [6,9): position 5 is blank but odd, so the even
+        // half must see ONE fused run.
+        let rle = MaskRle::from_runs([(2, 3), (6, 3)]);
+        let (even, odd) = rle.split_parity();
+        assert_eq!(even.non_blank_runs().collect::<Vec<_>>(), vec![(1, 4)]);
+        assert_eq!(
+            odd.non_blank_runs().collect::<Vec<_>>(),
+            vec![(1, 1), (3, 1)]
+        );
+    }
+
+    #[test]
+    fn union_matches_dense_or() {
+        for (sa, sb, da, db) in [
+            (1, 2, 20, 20),
+            (3, 4, 0, 40),
+            (5, 6, 100, 3),
+            (7, 8, 55, 55),
+        ] {
+            let a = noise_mask(555, sa, da);
+            let b = noise_mask(555, sb, db);
+            let ra = MaskRle::encode_mask(a.iter().copied());
+            let rb = MaskRle::encode_mask(b.iter().copied());
+            let expect: Vec<bool> = a.iter().zip(&b).map(|(x, y)| *x || *y).collect();
+            assert_eq!(
+                ra.union(&rb),
+                MaskRle::encode_mask(expect.iter().copied()),
+                "seeds {sa}/{sb}"
+            );
+            assert_eq!(ra.union(&rb), rb.union(&ra), "union must commute");
+        }
+        // Identity and annihilator cases.
+        let r = MaskRle::from_runs([(3, 4), (10, 2)]);
+        assert_eq!(r.union(&MaskRle::default()), r);
+        assert_eq!(MaskRle::default().union(&r), r);
+    }
+
+    #[test]
+    fn union_handles_long_run_splits() {
+        // A run split at u16::MAX arrives as adjacent iterator items; the
+        // union must re-coalesce them canonically.
+        let n = u16::MAX as usize + 100;
+        let a = MaskRle::from_runs([(0, n)]);
+        let b = MaskRle::from_runs([(50, 10)]);
+        assert_eq!(a.union(&b), a);
+        assert_eq!(b.union(&a), a);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use vr_image::rle::ValueRle;
-use vr_image::{Image, MaskRle, Pixel, Rect, StridedSeq};
+use vr_image::{Image, MaskRle, Pixel, Rect, RunImage, StridedSeq};
 
 fn arb_pixel() -> impl Strategy<Value = Pixel> {
     (0.0f32..=1.0, 0.0f32..=1.0).prop_map(|(v, a)| Pixel::gray(v * a, a))
@@ -63,6 +63,27 @@ proptest! {
         ).decode();
         let expect: Vec<Pixel> = front.iter().zip(&back).map(|(f, b)| f.over(*b)).collect();
         prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_image_round_trips(pixels in proptest::collection::vec(arb_sparse_pixel(), 0..600)) {
+        let run = RunImage::encode(&pixels);
+        prop_assert_eq!(run.decode(), pixels);
+    }
+
+    #[test]
+    fn run_domain_over_matches_pixel_domain(
+        pair in proptest::collection::vec((arb_sparse_pixel(), arb_sparse_pixel()), 0..600)
+    ) {
+        // The compressed-domain merge kernel must agree bit-for-bit with
+        // the dense pixel-wise `over` on arbitrary sparse images.
+        let front: Vec<Pixel> = pair.iter().map(|(f, _)| *f).collect();
+        let back: Vec<Pixel> = pair.iter().map(|(_, b)| *b).collect();
+        let merged = RunImage::encode(&front).over(&RunImage::encode(&back));
+        let expect: Vec<Pixel> = front.iter().zip(&back).map(|(f, b)| f.over(*b)).collect();
+        prop_assert_eq!(merged.decode(), expect);
+        // And the merged run table must be canonical (same as re-encoding).
+        prop_assert_eq!(merged.mask(), RunImage::encode(&merged.decode()).mask());
     }
 
     #[test]

@@ -8,8 +8,11 @@ use vr_volume::Vec3;
 pub struct RenderParams {
     /// Distance between ray samples, in voxels.
     pub step: f32,
-    /// Front-to-back accumulation stops once opacity exceeds this
-    /// (Levoy's early ray termination).
+    /// Front-to-back accumulation stops once opacity reaches this
+    /// (Levoy's early ray termination). The default of `1.0` is
+    /// paper-faithful — every ray integrates its full chord, as in the
+    /// original system; set below 1 (e.g. 0.98) to trade a bounded
+    /// opacity error for rendering speed.
     pub early_termination_alpha: f32,
     /// Ambient shading term.
     pub ambient: f32,
@@ -26,7 +29,7 @@ impl Default for RenderParams {
     fn default() -> Self {
         RenderParams {
             step: 1.0,
-            early_termination_alpha: 0.98,
+            early_termination_alpha: 1.0,
             ambient: 0.35,
             diffuse: 0.65,
             light_dir: Vec3::new(-0.4, -0.6, 0.7).normalized(),

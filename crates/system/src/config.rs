@@ -29,6 +29,10 @@ pub struct ExperimentConfig {
     pub volume_dims: Option<[usize; 3]>,
     /// Ray sampling step in voxels.
     pub step: f32,
+    /// Early-ray-termination opacity threshold passed to the renderer.
+    /// `1.0` (the default) is paper-faithful: rays integrate their full
+    /// chord; lower values stop saturated rays early.
+    pub early_termination_alpha: f32,
     /// Perspective projection: `Some(distance)` places the eye that many
     /// volume-diagonals in front of the center (smaller = stronger
     /// perspective); `None` keeps the paper's orthogonal projection.
@@ -112,6 +116,7 @@ impl Default for ExperimentConfig {
             cost: CostModel::sp2(),
             volume_dims: None,
             step: 1.0,
+            early_termination_alpha: 1.0,
             perspective_distance: None,
             balanced_partition: false,
             ghost_voxels: 0,

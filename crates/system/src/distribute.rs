@@ -53,6 +53,7 @@ pub fn run_distributed(config: &ExperimentConfig) -> DistributedOutcome {
     );
     let params = RenderParams {
         step: config.step,
+        early_termination_alpha: config.early_termination_alpha,
         ..Default::default()
     };
     let p = config.processors;

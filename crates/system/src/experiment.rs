@@ -155,6 +155,7 @@ impl Experiment {
         };
         let params = RenderParams {
             step: config.step,
+            early_termination_alpha: config.early_termination_alpha,
             ..Default::default()
         };
 

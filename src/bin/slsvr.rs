@@ -51,7 +51,7 @@ slsvr — sort-last-sparse parallel volume rendering
 USAGE:
   slsvr render  [--dataset NAME] [--size N] [--procs P] [--method M]
                 [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
-                [--perspective DIST] [--balanced]
+                [--perspective DIST] [--balanced] [--early-term A]
                 [--distributed] [--ghost N] [--out FILE.pgm]
                 [--faults SPEC] [--reliable] [--recv-deadline MS]
                 [--ack-timeout MS] [--max-retries N] [--schedule-seed S]
@@ -154,6 +154,7 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
         method: parse_method(flags.get("--method").unwrap_or("bsbrc"))?,
         rot_x_deg: flags.parse("--rot-x", 20.0f32)?,
         rot_y_deg: flags.parse("--rot-y", 30.0f32)?,
+        early_termination_alpha: flags.parse("--early-term", 1.0f32)?,
         ghost_voxels: flags.parse("--ghost", 0usize)?,
         balanced_partition: flags.has("--balanced"),
         ..Default::default()
@@ -210,7 +211,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
     let config = config_from_flags(&flags)?;
     let out_path = flags.get("--out").unwrap_or("render.pgm");
 
-    let (image, comp_ms, comm_ms, m_max) = if flags.has("--distributed") {
+    let (image, comp_ms, comm_ms, m_max, peak_buf) = if flags.has("--distributed") {
         let out = run_distributed(&config);
         let comp = out
             .per_rank
@@ -230,7 +231,13 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
             .map(|s| s.recv_bytes())
             .max()
             .unwrap_or(0);
-        (out.image, comp, comm, m_max)
+        let peak = out
+            .traffic
+            .iter()
+            .map(|t| t.peak_pixel_buffer_bytes)
+            .max()
+            .unwrap_or(0);
+        (out.image, comp, comm, m_max, peak)
     } else {
         let exp = Experiment::prepare(&config);
         let out = exp.run(config.method);
@@ -249,25 +256,34 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
                 out.psnr_vs(&exp.reference()),
             );
         }
+        let peak = out
+            .traffic
+            .iter()
+            .map(|t| t.peak_pixel_buffer_bytes)
+            .max()
+            .unwrap_or(0);
         (
             out.image,
             out.aggregate.t_comp_ms(),
             out.aggregate.t_comm_ms(),
             out.aggregate.m_max,
+            peak,
         )
     };
 
     slsvr::image::pgm::save_pgm(&image, out_path)
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     println!(
-        "{} · {}² · P={} · {}: T_comp {:.2} ms, T_comm {:.2} ms, M_max {} B",
+        "{} · {}² · P={} · {}: T_comp {:.2} ms, T_comm {:.2} ms, M_max {} B, \
+         peak pixel buffers {} B/rank",
         config.dataset.name(),
         config.image_size,
         config.processors,
         config.method.name(),
         comp_ms,
         comm_ms,
-        m_max
+        m_max,
+        peak_buf
     );
     println!("wrote {out_path}");
     Ok(())
@@ -285,19 +301,26 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         config.processors
     );
     println!(
-        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>5}",
-        "method", "comp(ms)", "comm(ms)", "total(ms)", "M_max(B)", "ok"
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>10} {:>5}",
+        "method", "comp(ms)", "comm(ms)", "total(ms)", "M_max(B)", "peak(KB)", "ok"
     );
     for method in Method::all() {
         let out = exp.run(method);
         let ok = out.image.max_abs_diff(&reference) < 2e-4;
+        let peak = out
+            .traffic
+            .iter()
+            .map(|t| t.peak_pixel_buffer_bytes)
+            .max()
+            .unwrap_or(0);
         println!(
-            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>12} {:>5}",
+            "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>12} {:>10.1} {:>5}",
             method.name(),
             out.aggregate.t_comp_ms(),
             out.aggregate.t_comm_ms(),
             out.aggregate.t_total_ms(),
             out.aggregate.m_max,
+            peak as f64 / 1024.0,
             if ok { "✓" } else { "✗" }
         );
     }
