@@ -1,0 +1,530 @@
+//! Persisted rendering-performance trajectory.
+//!
+//! Benchmarks the rendering phase — the macrocell empty-space-skipping +
+//! tile-culling fast path against the naive ray integrator — on every
+//! sample dataset, and records the results as JSON so the repository
+//! carries its rendering-phase performance history and CI can gate
+//! regressions:
+//!
+//! * `anchor` — a small fixed naive render, ns per pixel. Pure CPU work,
+//!   used to normalize timing between machines of different speed;
+//! * `rendering` — per dataset: naive ns, accelerated ns (grid built
+//!   once, excluded and reported separately as `build_ns` — the
+//!   structure is reused across frames), speedup, and a bit-identity
+//!   flag that must always hold.
+//!
+//! Timing uses thread-CPU clocks, min over reps (scheduling noise is
+//! strictly one-sided). Usage mirrors `bench_compositing`:
+//!
+//! ```text
+//! bench_rendering [--quick] [--reps N] [--cell N] [--tile N]
+//!                 [--out FILE] [--merge FILE --label before|after]
+//!                 [--check FILE]
+//! ```
+//!
+//! `--cell` / `--tile` override the macrocell and screen-tile sizes;
+//! `--cell 0` disables acceleration entirely, which is how the `before`
+//! (seed renderer) runs of the trajectory file were recorded.
+//!
+//! `--merge` inserts this run into the long-lived `BENCH_rendering.json`
+//! (replacing any prior run with the same label + grid). `--check` loads
+//! that file and fails (exit 1) when any dataset loses bit-identity,
+//! when a sparse dataset's speedup drops below the floor, when the
+//! speedup falls more than `SPEEDUP_SLACK` below the checked-in `after`
+//! baseline, or when the accelerated timing grossly regresses in
+//! anchor-normalized absolute terms (`ABS_SLACK`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use slsvr_core::Stopwatch;
+use vr_bench::json::{obj, parse, Json};
+use vr_image::checksum::fnv1a;
+use vr_render::{render_block, render_block_accel, Camera, RenderAccel, RenderParams};
+use vr_volume::{
+    random_blobs, Dataset, DatasetKind, MacrocellGrid, Subvolume, TransferFunction, Volume,
+    DEFAULT_CELL_SIZE,
+};
+
+/// Speedup-gate slack: the current run's naive/accel speedup may fall to
+/// `baseline_speedup / SPEEDUP_SLACK` before CI fails. Speedups come from
+/// interleaved reps of the same run, so they stay stable even when the
+/// host's absolute throughput swings between runs.
+const SPEEDUP_SLACK: f64 = 1.5;
+/// Catastrophic-regression slack for anchor-calibrated absolute timing.
+/// Shared CI hosts throttle by 1.5×+ between runs, so only a gross
+/// slowdown is treated as a code regression.
+const ABS_SLACK: f64 = 2.0;
+/// Ignore absolute timings faster than this (too noisy to gate).
+const TIMING_FLOOR_NS: f64 = 50_000.0;
+/// Sparse (high-transparency) datasets must keep at least this speedup.
+const MIN_SPARSE_SPEEDUP: f64 = 2.0;
+
+struct Grid {
+    name: &'static str,
+    image_size: u16,
+    dims: [usize; 3],
+    reps: usize,
+}
+
+// Quick dims must stay large enough relative to the default macrocell
+// size for skipping to be meaningful: at 64³ the interpolation margins
+// swallow most of a sparse volume's empty cells.
+const QUICK: Grid = Grid {
+    name: "quick",
+    image_size: 192,
+    dims: [96, 96, 48],
+    reps: 3,
+};
+
+const FULL: Grid = Grid {
+    name: "full",
+    image_size: 384,
+    dims: [128, 128, 64],
+    reps: 3,
+};
+
+/// Datasets with a `sparse` tag: volumetrically sparse classifications
+/// (most ray chords classify to zero opacity) are where empty-space
+/// skipping must pay off, and they carry the speedup floor. The rest are
+/// controls that only have to stay within the regression slack — note
+/// that `Engine_high` is *image-space* sparse (the paper's sense, which
+/// drives the compositing methods) but not chord-sparse: its visible
+/// material is cylinder bores aligned with the view direction, so rays
+/// that hit anything stay inside active cells for most of their chord.
+const DATASETS: [(DatasetKind, bool); 4] = [
+    (DatasetKind::EngineLow, false),
+    (DatasetKind::EngineHigh, false),
+    (DatasetKind::Head, false),
+    (DatasetKind::Cube, true),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let grid = if flag("--quick") { QUICK } else { FULL };
+    let reps = value("--reps")
+        .map(|s| s.parse().expect("--reps takes an integer"))
+        .unwrap_or(grid.reps);
+    let cell = value("--cell")
+        .map(|s| s.parse().expect("--cell takes an integer"))
+        .unwrap_or(DEFAULT_CELL_SIZE);
+    let tile = value("--tile")
+        .map(|s| s.parse().expect("--tile takes an integer"))
+        .unwrap_or(vr_render::DEFAULT_TILE_SIZE);
+
+    let entries = run_benches(&grid, reps, cell, tile);
+    print_table(&entries);
+
+    let run = obj([
+        ("grid", Json::Str(grid.name.into())),
+        ("entries", Json::Arr(entries.clone())),
+    ]);
+
+    if let Some(path) = value("--out") {
+        let doc = obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("grid", Json::Str(grid.name.into())),
+            ("entries", Json::Arr(entries.clone())),
+        ]);
+        std::fs::write(&path, doc.pretty()).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = value("--merge") {
+        let label = value("--label").expect("--merge requires --label before|after");
+        assert!(
+            label == "before" || label == "after",
+            "--label must be 'before' or 'after'"
+        );
+        merge_run(&path, &label, grid.name, run);
+        eprintln!("merged run '{label}' ({}) into {path}", grid.name);
+    }
+
+    if let Some(path) = value("--check") {
+        match check_against(&path, grid.name, &entries) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("PASS  {l}");
+                }
+                println!("bench check passed vs {path} (grid {})", grid.name);
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("FAIL  {f}");
+                }
+                eprintln!("bench check FAILED vs {path} (grid {})", grid.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+const SCHEMA: &str = "slsvr-bench-rendering/v1";
+
+// ---------------------------------------------------------------------------
+// Benches
+// ---------------------------------------------------------------------------
+
+/// Noise-robust estimator for repeated time measurements: the minimum.
+/// Scheduling and cache pollution only ever push a sample *up*, so the
+/// smallest rep is the closest observation of the true cost.
+fn min_sample(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::MAX, f64::min)
+}
+
+fn whole(dims: [usize; 3]) -> Subvolume {
+    Subvolume {
+        rank: 0,
+        origin: [0, 0, 0],
+        dims,
+    }
+}
+
+/// One named render workload: a volume plus its classification.
+struct Workload {
+    name: &'static str,
+    sparse: bool,
+    volume: Volume,
+    transfer: TransferFunction,
+}
+
+fn run_benches(grid: &Grid, reps: usize, cell: usize, tile: usize) -> Vec<Json> {
+    let mut entries = Vec::new();
+    entries.push(bench_anchor(reps));
+    for (kind, sparse) in DATASETS {
+        let ds = Dataset::with_dims(kind, grid.dims);
+        let w = Workload {
+            name: kind.name(),
+            sparse,
+            volume: ds.volume,
+            transfer: ds.transfer,
+        };
+        entries.push(bench_dataset(grid, &w, reps, cell, tile));
+    }
+    // A volumetrically sparse workload: a few isolated blobs whose window
+    // classifies most of every ray chord to zero opacity. This is the
+    // regime empty-space skipping targets, and it carries the speedup
+    // floor together with Cube.
+    let blobs = Workload {
+        name: "Blobs_sparse",
+        sparse: true,
+        volume: random_blobs(grid.dims, 3, 0.12, 0x5EED),
+        transfer: TransferFunction::window(60.0, 255.0, 0.9),
+    };
+    entries.push(bench_dataset(grid, &blobs, reps, cell, tile));
+    entries
+}
+
+/// Machine-speed anchor: a fixed small naive render, independent of the
+/// grid's workload sizes. Identical work on every machine, so the ratio
+/// current/baseline measures host speed, not code changes.
+fn bench_anchor(reps: usize) -> Json {
+    let dims = [32, 32, 16];
+    let ds = Dataset::with_dims(DatasetKind::EngineLow, dims);
+    let cam = Camera::orbit(dims, 64, 64, 20.0, 30.0);
+    let params = RenderParams::default();
+    let mut samples = Vec::with_capacity(reps.max(3));
+    for _ in 0..reps.max(3) {
+        let mut sw = Stopwatch::new();
+        let img = sw.time(|| render_block(&ds.volume, &whole(dims), &ds.transfer, &cam, &params));
+        std::hint::black_box(img.non_blank_count());
+        samples.push(sw.seconds() * 1e9 / (64.0 * 64.0));
+    }
+    obj([
+        ("bench", Json::Str("anchor".into())),
+        ("pixels", Json::Num(64.0 * 64.0)),
+        ("ns_per_px", Json::Num(min_sample(samples))),
+    ])
+}
+
+/// Naive vs accelerated whole-volume render of one workload.
+fn bench_dataset(grid: &Grid, w: &Workload, reps: usize, cell: usize, tile: usize) -> Json {
+    let cam = Camera::orbit(grid.dims, grid.image_size, grid.image_size, 20.0, 30.0);
+    let params = RenderParams::default();
+    let block = whole(grid.dims);
+
+    // The macrocell grid is built once per subvolume and reused across
+    // frames, so its cost is reported separately, not folded into the
+    // per-frame render time. `--cell 0` disables acceleration entirely
+    // (both timing sets then measure the naive renderer — the "before"
+    // state of the trajectory file).
+    let mut build_sw = Stopwatch::new();
+    let accel = (cell >= 1).then(|| {
+        build_sw.time(|| {
+            RenderAccel::new(
+                Arc::new(MacrocellGrid::build(&w.volume, cell)),
+                &w.transfer,
+                &params,
+            )
+        })
+    });
+
+    // Naive and accelerated reps are interleaved so slow drift in host
+    // speed (frequency scaling, noisy neighbours) hits both measurement
+    // sets alike instead of biasing whichever ran second.
+    let mut naive_ns = Vec::with_capacity(reps);
+    let mut accel_ns = Vec::with_capacity(reps);
+    let mut naive_hash = 0u64;
+    let mut accel_hash = 0u64;
+    for _ in 0..reps {
+        let mut sw = Stopwatch::new();
+        let img = sw.time(|| render_block(&w.volume, &block, &w.transfer, &cam, &params));
+        naive_hash = fnv1a(&img);
+        std::hint::black_box(img.non_blank_count());
+        naive_ns.push(sw.seconds() * 1e9);
+
+        let mut sw = Stopwatch::new();
+        let img = sw.time(|| {
+            render_block_accel(
+                &w.volume,
+                &block,
+                &w.transfer,
+                &cam,
+                &params,
+                accel.as_ref(),
+                tile,
+            )
+        });
+        accel_hash = fnv1a(&img);
+        std::hint::black_box(img.non_blank_count());
+        accel_ns.push(sw.seconds() * 1e9);
+    }
+
+    let naive = min_sample(naive_ns);
+    let fast = min_sample(accel_ns);
+    obj([
+        ("bench", Json::Str("rendering".into())),
+        ("dataset", Json::Str(w.name.into())),
+        ("sparse", Json::Bool(w.sparse)),
+        (
+            "pixels",
+            Json::Num(grid.image_size as f64 * grid.image_size as f64),
+        ),
+        ("naive_ns", Json::Num(naive)),
+        ("accel_ns", Json::Num(fast)),
+        ("build_ns", Json::Num(build_sw.seconds() * 1e9)),
+        ("speedup", Json::Num(naive / fast.max(1.0))),
+        (
+            "active_fraction",
+            Json::Num(accel.as_ref().map_or(1.0, |a| a.active_fraction())),
+        ),
+        ("identical", Json::Bool(naive_hash == accel_hash)),
+    ])
+}
+
+fn print_table(entries: &[Json]) {
+    println!(
+        "{:<10} {:<12} {:>6} {:>12} {:>12} {:>10} {:>8} {:>7} {:>9}",
+        "bench",
+        "dataset",
+        "sparse",
+        "naive_ms",
+        "accel_ms",
+        "build_ms",
+        "speedup",
+        "active",
+        "identical"
+    );
+    for e in entries {
+        let bench = e.get("bench").and_then(Json::as_str).unwrap_or("?");
+        match bench {
+            "rendering" => {
+                let f = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "{:<10} {:<12} {:>6} {:>12.3} {:>12.3} {:>10.3} {:>8.2} {:>6.1}% {:>9}",
+                    bench,
+                    e.get("dataset").and_then(Json::as_str).unwrap_or("?"),
+                    if e.get("sparse") == Some(&Json::Bool(true)) {
+                        "yes"
+                    } else {
+                        "no"
+                    },
+                    f("naive_ns") / 1e6,
+                    f("accel_ns") / 1e6,
+                    f("build_ns") / 1e6,
+                    f("speedup"),
+                    f("active_fraction") * 100.0,
+                    if e.get("identical") == Some(&Json::Bool(true)) {
+                        "yes"
+                    } else {
+                        "NO"
+                    },
+                );
+            }
+            _ => {
+                println!(
+                    "{:<10} {:<12} {:>6} {:>9.3} ns/px",
+                    bench,
+                    "-",
+                    "-",
+                    e.get("ns_per_px").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence and the regression gate
+// ---------------------------------------------------------------------------
+
+/// Inserts `run` into the trajectory file, replacing a prior run with the
+/// same `(label, grid)`.
+fn merge_run(path: &str, label: &str, grid: &str, run: Json) {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text)
+            .expect("existing trajectory file must be valid JSON")
+            .get("runs")
+            .and_then(Json::as_arr)
+            .map(|r| r.to_vec())
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    runs.retain(|r| {
+        !(r.get("label").and_then(Json::as_str) == Some(label)
+            && r.get("grid").and_then(Json::as_str) == Some(grid))
+    });
+    let mut tagged = match run {
+        Json::Obj(m) => m,
+        _ => unreachable!(),
+    };
+    tagged.insert("label".into(), Json::Str(label.into()));
+    runs.push(Json::Obj(tagged));
+    let doc = obj([
+        ("schema", Json::Str(SCHEMA.into())),
+        ("runs", Json::Arr(runs)),
+    ]);
+    std::fs::write(path, doc.pretty()).expect("write trajectory file");
+}
+
+/// Key identifying one bench entry within a run.
+fn entry_key(e: &Json) -> (String, String) {
+    (
+        e.get("bench").and_then(Json::as_str).unwrap_or("").into(),
+        e.get("dataset").and_then(Json::as_str).unwrap_or("").into(),
+    )
+}
+
+/// Compares `current` against the checked-in `after` baseline.
+///
+/// The primary gate is the naive/accel *speedup*: both sides of the
+/// ratio come from interleaved reps of the same run, so it is invariant
+/// to host speed and to the between-run throttle swings that make
+/// absolute thread-CPU time untrustworthy on shared CI machines. A
+/// secondary absolute check (anchor-calibrated, with wide slack) only
+/// catches gross slowdowns. Bit-identity and the sparse speedup floor
+/// are properties of the current run alone and are enforced
+/// unconditionally.
+fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<String>> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = parse(&text).expect("baseline must be valid JSON");
+    let baseline = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .and_then(|runs| {
+            runs.iter().find(|r| {
+                r.get("label").and_then(Json::as_str) == Some("after")
+                    && r.get("grid").and_then(Json::as_str) == Some(grid)
+            })
+        })
+        .and_then(|r| r.get("entries"))
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline {path} has no 'after' run for grid {grid}"));
+
+    let base: BTreeMap<_, _> = baseline.iter().map(|e| (entry_key(e), e)).collect();
+    let anchor = |entries: &[Json]| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.get("bench").and_then(Json::as_str) == Some("anchor"))
+            .and_then(|e| e.get("ns_per_px"))
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0)
+    };
+    // Machine-speed ratio: >1 means this machine is slower than the one
+    // that recorded the baseline and the limits scale up accordingly.
+    // Floored at 1 — the anchor is a small render whose ns/px can read
+    // fast while the big renders read slow (cache footprint, throttle
+    // phase), so a quick anchor must never *shrink* the limits.
+    let calib = (anchor(current) / anchor(baseline)).max(1.0);
+
+    let mut passes = Vec::new();
+    let mut failures = Vec::new();
+    for e in current {
+        if e.get("bench").and_then(Json::as_str) != Some("rendering") {
+            continue;
+        }
+        let key = entry_key(e);
+        let label = format!("{}/{}", key.0, key.1);
+
+        if e.get("identical") != Some(&Json::Bool(true)) {
+            failures.push(format!(
+                "{label}: accelerated image is NOT bit-identical to naive"
+            ));
+        } else {
+            passes.push(format!("{label}: bit-identical"));
+        }
+
+        let speedup = e.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+        if e.get("sparse") == Some(&Json::Bool(true)) {
+            if speedup < MIN_SPARSE_SPEEDUP {
+                failures.push(format!(
+                    "{label}: sparse speedup {speedup:.2} < floor {MIN_SPARSE_SPEEDUP}"
+                ));
+            } else {
+                passes.push(format!(
+                    "{label}: sparse speedup {speedup:.2} >= {MIN_SPARSE_SPEEDUP}"
+                ));
+            }
+        }
+
+        let Some(b) = base.get(&key) else {
+            continue; // new entry; nothing to compare
+        };
+
+        // Primary gate: the speedup ratio must not collapse.
+        if let Some(base_speedup) = b.get("speedup").and_then(Json::as_f64) {
+            let need = base_speedup / SPEEDUP_SLACK;
+            if speedup < need {
+                failures.push(format!(
+                    "{label}: speedup {speedup:.2} < {need:.2} (baseline {base_speedup:.2} / slack {SPEEDUP_SLACK})"
+                ));
+            } else {
+                passes.push(format!(
+                    "{label}: speedup {speedup:.2} >= {need:.2} (baseline {base_speedup:.2})"
+                ));
+            }
+        }
+
+        // Secondary gate: gross absolute regression, anchor-calibrated.
+        let (cur, old) = (
+            e.get("accel_ns").and_then(Json::as_f64),
+            b.get("accel_ns").and_then(Json::as_f64),
+        );
+        if let (Some(cur), Some(old)) = (cur, old) {
+            if old >= TIMING_FLOOR_NS {
+                let limit = old * calib * ABS_SLACK;
+                if cur > limit {
+                    failures.push(format!(
+                        "{label}: accel_ns {cur:.0} > limit {limit:.0} (baseline {old:.0}, calib {calib:.2})"
+                    ));
+                } else {
+                    passes.push(format!("{label}: accel_ns {cur:.0} <= {limit:.0}"));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(passes)
+    } else {
+        Err(failures)
+    }
+}

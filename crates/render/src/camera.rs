@@ -170,12 +170,33 @@ impl Camera {
     /// bounding rectangle of its eight projected corners, clamped to the
     /// image and padded by one pixel.
     pub fn footprint(&self, origin: [usize; 3], dims: [usize; 3]) -> vr_image::Rect {
-        // A perspective eye inside the box sees it on every pixel.
+        let corner = |i: usize| {
+            Vec3::new(
+                (origin[0] + if i & 1 != 0 { dims[0] } else { 0 }) as f32,
+                (origin[1] + if i & 2 != 0 { dims[1] } else { 0 }) as f32,
+                (origin[2] + if i & 4 != 0 { dims[2] } else { 0 }) as f32,
+            )
+        };
         if let Projection::Perspective { eye } = self.projection {
+            // An eye inside the box sees it on every pixel.
             let inside = (0..3).all(|a| {
                 eye.get(a) >= origin[a] as f32 && eye.get(a) <= (origin[a] + dims[a]) as f32
             });
             if inside {
+                return vr_image::Rect::of_size(self.width, self.height);
+            }
+            // Corner projection is only conservative for points in front
+            // of the eye. A box entirely behind the eye plane is invisible
+            // (perspective rays never sample negative depth); one that
+            // straddles the plane projects to an unbounded region, so the
+            // whole frame is the only safe answer.
+            let behind = (0..8)
+                .filter(|&i| (corner(i) - eye).dot(self.view_dir) <= 0.0)
+                .count();
+            if behind == 8 {
+                return vr_image::Rect::EMPTY;
+            }
+            if behind > 0 {
                 return vr_image::Rect::of_size(self.width, self.height);
             }
         }
@@ -184,12 +205,7 @@ impl Camera {
         let mut max_x = f32::NEG_INFINITY;
         let mut max_y = f32::NEG_INFINITY;
         for i in 0..8 {
-            let corner = Vec3::new(
-                (origin[0] + if i & 1 != 0 { dims[0] } else { 0 }) as f32,
-                (origin[1] + if i & 2 != 0 { dims[1] } else { 0 }) as f32,
-                (origin[2] + if i & 4 != 0 { dims[2] } else { 0 }) as f32,
-            );
-            let (px, py) = self.project(corner);
+            let (px, py) = self.project(corner(i));
             min_x = min_x.min(px);
             min_y = min_y.min(py);
             max_x = max_x.max(px);

@@ -13,14 +13,16 @@
 //!   paper's future-work item, useful for cross-checking image coverage
 //!   and for workloads with very sparse volumes.
 
+pub mod accel;
 pub mod camera;
 pub mod local;
 pub mod params;
 pub mod raycast;
 pub mod splat;
 
+pub use accel::{RenderAccel, TfLut, TileMask, DEFAULT_TILE_SIZE};
 pub use camera::{Camera, Projection};
-pub use local::{render_local_block, render_local_block_clipped};
+pub use local::{render_local_block, render_local_block_clipped, render_local_block_clipped_accel};
 pub use params::RenderParams;
-pub use raycast::render_block;
+pub use raycast::{render_block, render_block_accel, render_block_into};
 pub use splat::splat_block;

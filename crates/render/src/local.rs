@@ -12,9 +12,10 @@
 //! thin film at block seams, which shrinks if the partitioner adds
 //! ghost voxels.
 
-use vr_image::{Image, Pixel};
-use vr_volume::{Subvolume, TransferFunction, Vec3, Volume};
+use vr_image::Image;
+use vr_volume::{Subvolume, TransferFunction, Volume};
 
+use crate::accel::{render_clipped_into, RenderAccel};
 use crate::camera::Camera;
 use crate::params::RenderParams;
 use crate::raycast;
@@ -50,92 +51,30 @@ pub fn render_local_block_clipped(
     camera: &Camera,
     params: &RenderParams,
 ) -> Image {
-    assert_eq!(
-        local.dims(),
-        placement.dims,
-        "local volume must match the placement dims"
-    );
-    for axis in 0..3 {
-        assert!(
-            clip.origin[axis] >= placement.origin[axis]
-                && clip.origin[axis] + clip.dims[axis]
-                    <= placement.origin[axis] + placement.dims[axis],
-            "clip box must lie inside the placement box"
-        );
-    }
-    let origin = Vec3::new(
-        placement.origin[0] as f32,
-        placement.origin[1] as f32,
-        placement.origin[2] as f32,
-    );
-    let lo = Vec3::new(
-        clip.origin[0] as f32,
-        clip.origin[1] as f32,
-        clip.origin[2] as f32,
-    );
-    let hi = lo
-        + Vec3::new(
-            clip.dims[0] as f32,
-            clip.dims[1] as f32,
-            clip.dims[2] as f32,
-        );
-
-    let mut image = Image::blank(camera.width, camera.height);
-    let footprint = camera.footprint(clip.origin, clip.dims);
-    for y in footprint.y0..footprint.y1 {
-        for x in footprint.x0..footprint.x1 {
-            if let Some((t0, t1)) = camera.ray_box(x, y, lo, hi) {
-                let p = integrate_local(local, origin, transfer, camera, params, x, y, t0, t1);
-                if p.a > 0.0 || p.r > 0.0 {
-                    image.set(x, y, p);
-                }
-            }
-        }
-    }
-    image
+    render_local_block_clipped_accel(local, placement, clip, transfer, camera, params, None, 0)
 }
 
+/// Like [`render_local_block_clipped`] with macrocell skipping and tile
+/// culling. The acceleration grid must be built over `local` (the ghost-
+/// expanded data each rank holds), so empty-space skipping works without
+/// any global state — the paper's distributed-memory setting. Output is
+/// bit-identical to [`render_local_block_clipped`].
 #[allow(clippy::too_many_arguments)]
-fn integrate_local(
+pub fn render_local_block_clipped_accel(
     local: &Volume,
-    origin: Vec3,
+    placement: &Subvolume,
+    clip: &Subvolume,
     transfer: &TransferFunction,
     camera: &Camera,
     params: &RenderParams,
-    x: u16,
-    y: u16,
-    t0: f32,
-    t1: f32,
-) -> Pixel {
-    let (ray_origin, dir) = camera.ray(x, y);
-    let mut color = 0.0f32;
-    let mut alpha = 0.0f32;
-    let mut t = t0 + params.step * 0.5;
-    while t < t1 {
-        let global = ray_origin + dir * t;
-        let pos = global - origin; // block-local coordinates
-        let density = local.sample(pos);
-        let (intensity, alpha_unit) = transfer.classify(density);
-        let a = params.step_opacity(alpha_unit);
-        if a > params.opacity_cutoff {
-            let g = local.gradient(pos);
-            let len = g.length();
-            let lambert = if len > 1e-6 {
-                (g.dot(params.light_dir) / len).abs()
-            } else {
-                0.0
-            };
-            let shaded = (intensity * (params.ambient + params.diffuse * lambert)).clamp(0.0, 1.0);
-            let w = (1.0 - alpha) * a;
-            color += w * shaded;
-            alpha += w;
-            if alpha >= params.early_termination_alpha {
-                break;
-            }
-        }
-        t += params.step;
-    }
-    Pixel::gray(color.clamp(0.0, 1.0), alpha.clamp(0.0, 1.0))
+    accel: Option<&RenderAccel>,
+    tile: usize,
+) -> Image {
+    let mut image = Image::blank(camera.width, camera.height);
+    render_clipped_into(
+        local, placement, clip, transfer, camera, params, accel, tile, &mut image,
+    );
+    image
 }
 
 /// Compares shared-volume and local-block rendering (exposed for tests

@@ -23,6 +23,16 @@ pub struct RenderParams {
     /// Minimum per-sample opacity for a sample to contribute — skips
     /// fully transparent space cheaply.
     pub opacity_cutoff: f32,
+    /// Per-channel `[r, g, b]` tint applied to each sample's shaded
+    /// contribution. The default `[1, 1, 1]` reproduces the paper's
+    /// gray-level images bit-exactly (multiplying by `1.0` is an
+    /// identity); other tints exercise color channels independently.
+    #[serde(default = "default_tint")]
+    pub tint: [f32; 3],
+}
+
+fn default_tint() -> [f32; 3] {
+    [1.0; 3]
 }
 
 impl Default for RenderParams {
@@ -34,6 +44,7 @@ impl Default for RenderParams {
             diffuse: 0.65,
             light_dir: Vec3::new(-0.4, -0.6, 0.7).normalized(),
             opacity_cutoff: 1e-4,
+            tint: default_tint(),
         }
     }
 }
@@ -82,6 +93,12 @@ mod tests {
         let h = half.step_opacity(a);
         let two = h + (1.0 - h) * h;
         assert!((two - a).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tint_defaults_to_identity() {
+        assert_eq!(RenderParams::default().tint, [1.0, 1.0, 1.0]);
+        assert_eq!(RenderParams::fast().tint, [1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Front-to-back ray casting of one subvolume block.
 
-use vr_image::{Image, Pixel};
+use vr_image::Image;
 use vr_volume::{Subvolume, TransferFunction, Vec3, Volume};
 
+use crate::accel::{render_clipped_into, RenderAccel};
 use crate::camera::Camera;
 use crate::params::RenderParams;
 
@@ -35,69 +36,52 @@ pub fn render_block_into(
     params: &RenderParams,
     image: &mut Image,
 ) {
-    let lo = Vec3::new(
-        block.origin[0] as f32,
-        block.origin[1] as f32,
-        block.origin[2] as f32,
-    );
-    let hi = Vec3::new(
-        (block.origin[0] + block.dims[0]) as f32,
-        (block.origin[1] + block.dims[1]) as f32,
-        (block.origin[2] + block.dims[2]) as f32,
-    );
-    let footprint = camera.footprint(block.origin, block.dims);
-
-    for y in footprint.y0..footprint.y1 {
-        for x in footprint.x0..footprint.x1 {
-            if let Some((t0, t1)) = camera.ray_box(x, y, lo, hi) {
-                let p = integrate_ray(volume, transfer, camera, params, x, y, t0, t1);
-                if p.a > 0.0 || p.r > 0.0 {
-                    image.set(x, y, p);
-                }
-            }
-        }
-    }
+    render_block_into_accel(volume, block, transfer, camera, params, None, 0, image);
 }
 
-/// Integrates one ray over `[t0, t1]` front-to-back.
-#[allow(clippy::too_many_arguments)]
-fn integrate_ray(
+/// Like [`render_block`] with macrocell skipping and tile culling; the
+/// output is bit-identical to the naive path (`accel = None, tile = 0`).
+pub fn render_block_accel(
     volume: &Volume,
+    block: &Subvolume,
     transfer: &TransferFunction,
     camera: &Camera,
     params: &RenderParams,
-    x: u16,
-    y: u16,
-    t0: f32,
-    t1: f32,
-) -> Pixel {
-    let (origin, dir) = camera.ray(x, y);
-    let mut color = 0.0f32;
-    let mut alpha = 0.0f32;
-    // Start half a step in so samples sit inside the slab.
-    let mut t = t0 + params.step * 0.5;
-    while t < t1 {
-        let pos = origin + dir * t;
-        let density = volume.sample(pos);
-        let (intensity, alpha_unit) = transfer.classify(density);
-        let a = params.step_opacity(alpha_unit);
-        if a > params.opacity_cutoff {
-            let shaded = shade(volume, pos, intensity, params);
-            let w = (1.0 - alpha) * a;
-            color += w * shaded;
-            alpha += w;
-            if alpha >= params.early_termination_alpha {
-                break;
-            }
-        }
-        t += params.step;
-    }
-    Pixel::gray(color.clamp(0.0, 1.0), alpha.clamp(0.0, 1.0))
+    accel: Option<&RenderAccel>,
+    tile: usize,
+) -> Image {
+    let mut image = Image::blank(camera.width, camera.height);
+    render_block_into_accel(
+        volume, block, transfer, camera, params, accel, tile, &mut image,
+    );
+    image
+}
+
+/// Accelerated variant of [`render_block_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn render_block_into_accel(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    accel: Option<&RenderAccel>,
+    tile: usize,
+    image: &mut Image,
+) {
+    let placement = Subvolume {
+        rank: block.rank,
+        origin: [0, 0, 0],
+        dims: volume.dims(),
+    };
+    render_clipped_into(
+        volume, &placement, block, transfer, camera, params, accel, tile, image,
+    );
 }
 
 /// Gray-level gradient shading: ambient + Lambertian diffuse.
 #[inline]
-fn shade(volume: &Volume, pos: Vec3, intensity: f32, params: &RenderParams) -> f32 {
+pub(crate) fn shade(volume: &Volume, pos: Vec3, intensity: f32, params: &RenderParams) -> f32 {
     let g = volume.gradient(pos);
     let len = g.length();
     let lambert = if len > 1e-6 {

@@ -1,8 +1,16 @@
-//! Property-based tests for camera geometry and renderer invariants.
+//! Property-based tests for camera geometry and renderer invariants,
+//! plus differential tests pinning the accelerated render path (macrocell
+//! skipping + tile culling) bit-identical to the naive integrator.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
-use vr_render::{render_block, Camera, Projection, RenderParams};
-use vr_volume::{kd_partition, Subvolume, TransferFunction, Volume};
+use vr_image::checksum::fnv1a;
+use vr_render::{
+    render_block, render_block_accel, render_local_block_clipped, render_local_block_clipped_accel,
+    Camera, Projection, RenderAccel, RenderParams,
+};
+use vr_volume::{kd_partition, MacrocellGrid, Subvolume, TransferFunction, Volume};
 
 const DIMS: [usize; 3] = [24, 24, 16];
 
@@ -21,6 +29,54 @@ fn ball() -> Volume {
 
 fn arb_rot() -> impl Strategy<Value = (f32, f32)> {
     (-180.0f32..180.0, -180.0f32..180.0)
+}
+
+/// A deterministic pseudo-random volume: roughly `density/256` of the
+/// voxels are non-zero with hash-derived values, the rest empty — the
+/// sparse regime empty-space skipping targets.
+fn noise_volume(dims: [usize; 3], seed: u32, density: u8) -> Volume {
+    Volume::from_fn(dims, |x, y, z| {
+        let mut h = seed
+            ^ (x as u32).wrapping_mul(0x9E37_79B9)
+            ^ (y as u32).wrapping_mul(0x85EB_CA6B)
+            ^ (z as u32).wrapping_mul(0xC2B2_AE35);
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x7FEB_352D);
+        h ^= h >> 15;
+        if ((h & 0xFF) as u8) < density {
+            (h >> 8) as u8
+        } else {
+            0
+        }
+    })
+}
+
+/// A family of sub-boxes of `dims`, including a degenerate 1-voxel-thin
+/// slab at the far face.
+fn clip_box(dims: [usize; 3], which: u8) -> Subvolume {
+    let d = dims;
+    match which % 4 {
+        0 => Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims: d,
+        },
+        1 => Subvolume {
+            rank: 0,
+            origin: [0, 0, 0],
+            dims: [d[0].div_ceil(2), d[1], d[2]],
+        },
+        2 => Subvolume {
+            rank: 0,
+            origin: [0, 0, d[2] - 1],
+            dims: [d[0], d[1], 1],
+        },
+        _ => Subvolume {
+            rank: 0,
+            origin: [d[0] / 2, d[1] / 2, 0],
+            dims: [d[0] - d[0] / 2, d[1] - d[1] / 2, d[2]],
+        },
+    }
 }
 
 proptest! {
@@ -102,4 +158,173 @@ proptest! {
         prop_assert!((qx - (px as f32 + 0.5)).abs() < 1e-2);
         prop_assert!((qy - (py as f32 + 0.5)).abs() < 1e-2);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant: for any volume, transfer function, view,
+    /// macrocell size, tile size and sub-block (including a 1-voxel-thin
+    /// slab), the accelerated renderer is **bit-identical** to the naive
+    /// one.
+    #[test]
+    fn accelerated_render_is_bit_identical_to_naive(
+        seed in any::<u32>(),
+        density in 8u8..96,
+        cell in 1usize..12,
+        tile in prop_oneof![Just(0usize), 1usize..48],
+        which in 0u8..4,
+        (rx, ry) in arb_rot(),
+        lo in 40.0f32..160.0,
+        w in 10.0f32..90.0,
+        ert in prop_oneof![Just(1.0f32), Just(0.9f32)],
+    ) {
+        let dims = [17, 13, 9];
+        let v = noise_volume(dims, seed, density);
+        let tf = TransferFunction::window(lo, lo + w, 0.8);
+        let cam = Camera::orbit(dims, 40, 40, rx, ry);
+        let params = RenderParams {
+            step: 1.3,
+            early_termination_alpha: ert,
+            ..RenderParams::fast()
+        };
+        let block = clip_box(dims, which);
+        let naive = render_block(&v, &block, &tf, &cam, &params);
+        let accel = RenderAccel::new(Arc::new(MacrocellGrid::build(&v, cell)), &tf, &params);
+        let fast = render_block_accel(&v, &block, &tf, &cam, &params, Some(&accel), tile);
+        prop_assert_eq!(
+            fnv1a(&naive), fnv1a(&fast),
+            "diverged: seed={} cell={} tile={} which={} rot=({},{})",
+            seed, cell, tile, which, rx, ry
+        );
+        prop_assert_eq!(naive.bounding_rect(), fast.bounding_rect());
+    }
+
+    /// Degenerate 1-voxel-thin *whole volumes* (a flat slab along any
+    /// axis) must also render identically, for any macrocell size.
+    #[test]
+    fn thin_volumes_render_identically(
+        seed in any::<u32>(),
+        axis in 0usize..3,
+        cell in 1usize..10,
+        tile in prop_oneof![Just(0usize), 1usize..32],
+        (rx, ry) in arb_rot(),
+    ) {
+        let mut dims = [11, 9, 7];
+        dims[axis] = 1;
+        let v = noise_volume(dims, seed, 128);
+        let tf = TransferFunction::window(30.0, 150.0, 0.9);
+        let cam = Camera::orbit(dims, 32, 32, rx, ry);
+        let params = RenderParams::fast();
+        let block = Subvolume { rank: 0, origin: [0, 0, 0], dims };
+        let naive = render_block(&v, &block, &tf, &cam, &params);
+        let accel = RenderAccel::new(Arc::new(MacrocellGrid::build(&v, cell)), &tf, &params);
+        let fast = render_block_accel(&v, &block, &tf, &cam, &params, Some(&accel), tile);
+        prop_assert_eq!(fnv1a(&naive), fnv1a(&fast), "axis={} cell={}", axis, cell);
+    }
+
+    /// The distributed-memory path: a locally held block placed at a
+    /// non-zero origin with a clip interior, grid built over local data
+    /// only — still bit-identical.
+    #[test]
+    fn accelerated_local_clipped_render_matches_naive(
+        seed in any::<u32>(),
+        cell in 1usize..10,
+        tile in prop_oneof![Just(0usize), 1usize..40],
+        (rx, ry) in arb_rot(),
+    ) {
+        let gdims = [20, 16, 12];
+        let ldims = [9, 8, 6];
+        let local = noise_volume(ldims, seed, 64);
+        let placement = Subvolume { rank: 0, origin: [5, 4, 3], dims: ldims };
+        let clip = Subvolume { rank: 0, origin: [6, 4, 3], dims: [7, 8, 5] };
+        let cam = Camera::orbit(gdims, 36, 36, rx, ry);
+        let tf = TransferFunction::window(60.0, 140.0, 0.9);
+        let params = RenderParams::fast();
+        let naive = render_local_block_clipped(&local, &placement, &clip, &tf, &cam, &params);
+        let accel = RenderAccel::new(Arc::new(MacrocellGrid::build(&local, cell)), &tf, &params);
+        let fast = render_local_block_clipped_accel(
+            &local, &placement, &clip, &tf, &cam, &params, Some(&accel), tile,
+        );
+        prop_assert_eq!(fnv1a(&naive), fnv1a(&fast), "cell={} tile={}", cell, tile);
+    }
+
+    /// Footprints are always clamped inside the image, for both
+    /// projections and any partition block — no border overflow.
+    #[test]
+    fn footprint_is_always_clamped_to_the_image((rx, ry) in arb_rot(), p in 1usize..6) {
+        for cam in [
+            Camera::orbit(DIMS, 40, 40, rx, ry),
+            Camera::orbit_perspective(DIMS, 40, 40, rx, ry, 0.8),
+        ] {
+            let part = kd_partition(DIMS, p);
+            for block in part.subvolumes() {
+                let fp = cam.footprint(block.origin, block.dims);
+                prop_assert!(fp.x1 <= 40 && fp.y1 <= 40, "footprint {fp:?} overflows");
+            }
+        }
+    }
+}
+
+#[test]
+fn block_behind_perspective_eye_is_empty_and_blank() {
+    // Every corner of the box sits behind the eye plane: the footprint
+    // must be empty and the render blank — on both paths, no panics.
+    let dims = [16, 16, 16];
+    let v = Volume::from_fn(dims, |_, _, _| 200);
+    let mut cam = Camera::orbit(dims, 32, 32, 0.0, 0.0);
+    cam.projection = Projection::Perspective {
+        eye: vr_volume::Vec3::new(8.0, 8.0, 40.0),
+    };
+    let block = Subvolume {
+        rank: 0,
+        origin: [0, 0, 0],
+        dims,
+    };
+    let fp = cam.footprint(block.origin, block.dims);
+    assert!(fp.is_empty(), "behind-eye footprint must be empty: {fp:?}");
+    let tf = TransferFunction::window(100.0, 255.0, 1.0);
+    let params = RenderParams::fast();
+    let img = render_block(&v, &block, &tf, &cam, &params);
+    assert_eq!(img.non_blank_count(), 0);
+    let accel = RenderAccel::new(Arc::new(MacrocellGrid::build(&v, 8)), &tf, &params);
+    let fast = render_block_accel(&v, &block, &tf, &cam, &params, Some(&accel), 16);
+    assert_eq!(fast.non_blank_count(), 0);
+    assert_eq!(fnv1a(&img), fnv1a(&fast));
+}
+
+#[test]
+fn pure_blue_tint_pixels_are_recorded_as_non_blank() {
+    // Regression for the blank-pixel predicate: a pure-blue tint yields
+    // pixels with r == g == 0 that must still be stored (the old
+    // `a > 0 || r > 0` shortcut is replaced by `!p.is_blank()`).
+    let dims = [16, 16, 16];
+    let v = Volume::from_fn(dims, |_, _, _| 180);
+    let tf = TransferFunction::window(100.0, 255.0, 0.9);
+    let cam = Camera::orbit(dims, 32, 32, 15.0, 25.0);
+    let params = RenderParams {
+        tint: [0.0, 0.0, 1.0],
+        ..RenderParams::fast()
+    };
+    let block = Subvolume {
+        rank: 0,
+        origin: [0, 0, 0],
+        dims,
+    };
+    let img = render_block(&v, &block, &tf, &cam, &params);
+    assert!(
+        img.non_blank_count() > 0,
+        "blue-tinted cube must be visible"
+    );
+    assert!(img.pixels().iter().any(|p| p.b > 0.0));
+    for p in img.pixels() {
+        if !p.is_blank() {
+            assert_eq!(p.r, 0.0);
+            assert_eq!(p.g, 0.0);
+        }
+    }
+    // The accelerated path agrees bit-for-bit under the tint as well.
+    let accel = RenderAccel::new(Arc::new(MacrocellGrid::build(&v, 4)), &tf, &params);
+    let fast = render_block_accel(&v, &block, &tf, &cam, &params, Some(&accel), 8);
+    assert_eq!(fnv1a(&img), fnv1a(&fast));
 }

@@ -66,6 +66,26 @@ pub struct ExperimentConfig {
     /// become simulated time and message-delivery order is a seeded
     /// permutation, so the whole run is bit-reproducible.
     pub schedule_seed: Option<u64>,
+    /// Macrocell edge length (voxels) for render-phase empty-space
+    /// skipping; `0` disables the acceleration structure entirely. The
+    /// accelerated path is bit-identical to the naive integrator, so
+    /// this knob only trades build cost against skip granularity.
+    #[serde(default = "default_macrocell")]
+    pub macrocell: usize,
+    /// Screen-tile edge length (pixels) for tile culling inside each
+    /// block footprint; `0` casts every footprint pixel. Only effective
+    /// when `macrocell >= 1` (the tile mask is derived from active
+    /// macrocells).
+    #[serde(default = "default_tile")]
+    pub tile: usize,
+}
+
+fn default_macrocell() -> usize {
+    vr_volume::DEFAULT_CELL_SIZE
+}
+
+fn default_tile() -> usize {
+    vr_render::DEFAULT_TILE_SIZE
 }
 
 /// Source of the reported computation time.
@@ -125,6 +145,8 @@ impl Default for ExperimentConfig {
             reliability: ReliabilityConfig::default(),
             recv_deadline: None,
             schedule_seed: None,
+            macrocell: default_macrocell(),
+            tile: default_tile(),
         }
     }
 }
@@ -191,5 +213,13 @@ mod tests {
         let c = ExperimentConfig::small_test(DatasetKind::Head, 4, Method::Bs);
         assert_eq!(c.resolved_dims(), [32, 32, 16]);
         assert_eq!(c.processors, 4);
+    }
+
+    #[test]
+    fn acceleration_is_on_by_default() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.macrocell, vr_volume::DEFAULT_CELL_SIZE);
+        assert_eq!(c.tile, vr_render::DEFAULT_TILE_SIZE);
+        assert!(c.macrocell >= 1 && c.tile >= 1);
     }
 }

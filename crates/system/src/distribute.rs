@@ -16,9 +16,9 @@ use bytes::Bytes;
 use slsvr_core::{composite, gather_image, MethodStats};
 use vr_comm::{broadcast, run_group, scatter, TrafficStats};
 use vr_image::Image;
-use vr_render::{render_local_block_clipped, Camera, RenderParams};
+use vr_render::{render_local_block_clipped_accel, Camera, RenderAccel, RenderParams};
 use vr_volume::io::{decode_block, encode_block};
-use vr_volume::{kd_partition, Dataset, DepthOrder};
+use vr_volume::{kd_partition, Dataset, DepthOrder, MacrocellGrid};
 
 use crate::config::ExperimentConfig;
 
@@ -104,9 +104,28 @@ pub fn run_distributed(config: &ExperimentConfig) -> DistributedOutcome {
         // partitioner so rays never integrate ghost-owned space twice.
         let (placement, local) = decode_block(&my_block).expect("valid block message");
         let interior = kd_partition(dims, p).subvolumes()[ep.rank()];
+        // Each rank builds its own macrocell grid over the block it
+        // holds — the per-subvolume acceleration structure of the
+        // distributed-memory setting, built from local data only. The
+        // build is part of the rendering phase and is timed with it.
         let start = std::time::Instant::now();
-        let mut image =
-            render_local_block_clipped(&local, &placement, &interior, &transfer, &camera, &params);
+        let accel = (config.macrocell >= 1).then(|| {
+            RenderAccel::new(
+                std::sync::Arc::new(MacrocellGrid::build(&local, config.macrocell)),
+                &transfer,
+                &params,
+            )
+        });
+        let mut image = render_local_block_clipped_accel(
+            &local,
+            &placement,
+            &interior,
+            &transfer,
+            &camera,
+            &params,
+            accel.as_ref(),
+            config.tile,
+        );
         let render_seconds = start.elapsed().as_secs_f64();
 
         // ---- Phase 3: compositing + gather --------------------------
@@ -224,6 +243,26 @@ mod tests {
         let out = run_distributed(&config(5, Method::Bsbrc));
         assert!(out.image.non_blank_count() > 0);
         assert_eq!(out.per_rank.len(), 5);
+    }
+
+    #[test]
+    fn acceleration_does_not_change_distributed_output() {
+        // Per-rank macrocell grids are built from local data only; the
+        // image and the wire traffic must both be bit-identical to the
+        // naive render (acceleration never touches the network).
+        let mut accel = config(4, Method::Bsbrc);
+        accel.ghost_voxels = 2;
+        let mut naive = accel;
+        naive.macrocell = 0;
+        naive.tile = 0;
+        let a = run_distributed(&accel);
+        let b = run_distributed(&naive);
+        assert_eq!(
+            vr_image::checksum::fnv1a(&a.image),
+            vr_image::checksum::fnv1a(&b.image),
+            "accelerated distributed image diverged from naive"
+        );
+        assert_eq!(a.partition_bytes, b.partition_bytes);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use slsvr_core::{
 };
 use vr_comm::{run_group_with, TrafficStats};
 use vr_image::Image;
-use vr_render::{render_block, Camera, Projection, RenderParams};
+use vr_render::{render_block_accel, Camera, Projection, RenderAccel, RenderParams};
 use vr_volume::{kd_partition, kd_partition_weighted, Dataset, DepthOrder};
 
 use crate::config::ExperimentConfig;
@@ -159,6 +159,17 @@ impl Experiment {
             ..Default::default()
         };
 
+        // The shared-volume mode builds one macrocell grid over the whole
+        // dataset (cached on the dataset, so animation frames reuse it)
+        // and shares a single read-only accelerator across render threads.
+        let accel = (config.macrocell >= 1).then(|| {
+            RenderAccel::new(
+                dataset.macrocell_grid(config.macrocell),
+                &dataset.transfer,
+                &params,
+            )
+        });
+
         // Rendering phase: embarrassingly parallel, one thread per rank
         // (no communication — the property that makes sort-last scale).
         let mut subimages: Vec<Option<(Image, f64)>> =
@@ -166,10 +177,18 @@ impl Experiment {
         std::thread::scope(|scope| {
             for (slot, block) in subimages.iter_mut().zip(partition.subvolumes()) {
                 let dataset = Arc::clone(&dataset);
+                let accel = accel.as_ref();
                 scope.spawn(move || {
                     let start = std::time::Instant::now();
-                    let img =
-                        render_block(&dataset.volume, block, &dataset.transfer, &camera, &params);
+                    let img = render_block_accel(
+                        &dataset.volume,
+                        block,
+                        &dataset.transfer,
+                        &camera,
+                        &params,
+                        accel,
+                        config.tile,
+                    );
                     *slot = Some((img, start.elapsed().as_secs_f64()));
                 });
             }
@@ -497,6 +516,29 @@ mod tests {
             balanced <= plain * 1.1,
             "balancing should not worsen workload spread: {balanced:.2} vs {plain:.2}"
         );
+    }
+
+    #[test]
+    fn acceleration_knobs_do_not_change_subimages() {
+        // The accelerated render path must be bit-identical to the naive
+        // one at the system level, for every knob combination.
+        let mut base = ExperimentConfig::small_test(DatasetKind::Cube, 4, Method::Bsbrc);
+        base.macrocell = 0;
+        base.tile = 0;
+        let naive = Experiment::prepare(&base);
+        for (macrocell, tile) in [(4, 0), (8, 8), (8, 32), (16, 16)] {
+            let mut cfg = base;
+            cfg.macrocell = macrocell;
+            cfg.tile = tile;
+            let accel = Experiment::prepare(&cfg);
+            for (rank, (a, b)) in naive.subimages().iter().zip(accel.subimages()).enumerate() {
+                assert_eq!(
+                    vr_image::checksum::fnv1a(a),
+                    vr_image::checksum::fnv1a(b),
+                    "rank {rank} subimage changed under macrocell={macrocell} tile={tile}"
+                );
+            }
+        }
     }
 
     #[test]

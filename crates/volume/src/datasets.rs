@@ -12,8 +12,11 @@
 //! runs and platforms without carrying data files.
 
 use crate::grid::Volume;
+use crate::macrocell::MacrocellGrid;
 use crate::transfer::TransferFunction;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Which test sample to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,6 +80,10 @@ pub struct Dataset {
     pub volume: Volume,
     /// Classification used during rendering.
     pub transfer: TransferFunction,
+    /// Macrocell grids built over `volume`, keyed by cell size. Shared
+    /// across clones so animation frames reuse the build; cleared lazily
+    /// never — mutate `volume` only before the first render.
+    grids: Arc<Mutex<HashMap<usize, Arc<MacrocellGrid>>>>,
 }
 
 impl Dataset {
@@ -97,7 +104,20 @@ impl Dataset {
             kind,
             volume,
             transfer: kind.transfer(),
+            grids: Arc::default(),
         }
+    }
+
+    /// The macrocell grid for `cell`-voxel cells, built on first use and
+    /// cached for the dataset's lifetime (clones share the cache, so an
+    /// animation pays the build cost once, not per frame).
+    pub fn macrocell_grid(&self, cell: usize) -> Arc<MacrocellGrid> {
+        let mut grids = self.grids.lock().unwrap();
+        Arc::clone(
+            grids
+                .entry(cell)
+                .or_insert_with(|| Arc::new(MacrocellGrid::build(&self.volume, cell))),
+        )
     }
 }
 
@@ -352,6 +372,18 @@ mod tests {
     fn random_blobs_deterministic_per_seed() {
         assert_eq!(random_blobs(DIMS, 5, 0.2, 7), random_blobs(DIMS, 5, 0.2, 7));
         assert_ne!(random_blobs(DIMS, 5, 0.2, 7), random_blobs(DIMS, 5, 0.2, 8));
+    }
+
+    #[test]
+    fn macrocell_grid_is_cached_and_shared_across_clones() {
+        let ds = Dataset::with_dims(DatasetKind::Cube, DIMS);
+        let g1 = ds.macrocell_grid(8);
+        let clone = ds.clone();
+        let g2 = clone.macrocell_grid(8);
+        assert!(Arc::ptr_eq(&g1, &g2), "clone rebuilt the grid");
+        let g4 = ds.macrocell_grid(4);
+        assert!(!Arc::ptr_eq(&g1, &g4));
+        assert_eq!(g4.cell_size(), 4);
     }
 
     #[test]

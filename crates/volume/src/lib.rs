@@ -21,6 +21,7 @@ pub mod balance;
 pub mod datasets;
 pub mod grid;
 pub mod io;
+pub mod macrocell;
 pub mod partition;
 pub mod transfer;
 pub mod vec3;
@@ -28,6 +29,7 @@ pub mod vec3;
 pub use balance::{block_weight, kd_partition_weighted};
 pub use datasets::{random_blobs, Dataset, DatasetKind};
 pub use grid::Volume;
+pub use macrocell::{MacrocellGrid, DEFAULT_CELL_SIZE};
 pub use partition::{kd_partition, DepthOrder, Partition, Subvolume};
 pub use transfer::TransferFunction;
 pub use vec3::Vec3;

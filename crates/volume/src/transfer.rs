@@ -63,6 +63,29 @@ impl TransferFunction {
         (o0 + (o1 - o0) * t) * self.opacity_scale
     }
 
+    /// The sorted control points `(density, opacity)`.
+    pub fn points(&self) -> &[(f32, f32)] {
+        &self.points
+    }
+
+    /// Exact maximum of [`opacity`](Self::opacity) over the density
+    /// interval `[lo, hi]`.
+    ///
+    /// The opacity map is piecewise linear, so its maximum over a closed
+    /// interval is attained at an interval endpoint or at a control point
+    /// inside the interval — no sampling or tolerance involved. This is
+    /// what lets macrocell classification *prove* a cell transparent.
+    pub fn max_opacity_in(&self, lo: f32, hi: f32) -> f32 {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut max = self.opacity(lo).max(self.opacity(hi));
+        for &(d, _) in &self.points {
+            if d > lo && d < hi {
+                max = max.max(self.opacity(d));
+            }
+        }
+        max
+    }
+
     /// Gray intensity for a density sample (before shading).
     pub fn intensity(&self, density: f32) -> f32 {
         (density / 255.0 * self.intensity_scale).clamp(0.0, 1.0)
@@ -181,5 +204,53 @@ mod tests {
     #[should_panic]
     fn empty_points_rejected() {
         let _ = TransferFunction::new(vec![], 1.0, 1.0);
+    }
+
+    #[test]
+    fn max_opacity_in_matches_dense_scan() {
+        // Non-monotone TF with non-integer control points: the interval
+        // max must dominate a dense scan of actual opacity evaluations.
+        let tf = TransferFunction::new(
+            vec![(10.5, 0.0), (50.25, 0.9), (90.0, 0.1), (200.0, 0.6)],
+            1.0,
+            0.8,
+        );
+        for (lo, hi) in [
+            (0.0, 255.0),
+            (0.0, 10.5),
+            (10.5, 50.25),
+            (40.0, 60.0),
+            (51.0, 89.0),
+            (95.0, 95.0),
+            (201.0, 255.0),
+        ] {
+            let bound = tf.max_opacity_in(lo, hi);
+            let mut scanned: f32 = 0.0;
+            let steps = 1000;
+            for k in 0..=steps {
+                let d = lo + (hi - lo) * k as f32 / steps as f32;
+                scanned = scanned.max(tf.opacity(d));
+            }
+            assert!(
+                bound >= scanned,
+                "interval [{lo},{hi}]: bound {bound} < scanned {scanned}"
+            );
+            // And it is attained up to the scan resolution (tight, not
+            // just an upper bound).
+            assert!(bound <= scanned + 2e-3);
+        }
+    }
+
+    #[test]
+    fn max_opacity_in_zero_iff_window_below_lo() {
+        let tf = TransferFunction::window(100.0, 200.0, 0.8);
+        assert_eq!(tf.max_opacity_in(0.0, 100.0), 0.0);
+        assert!(tf.max_opacity_in(0.0, 101.0) > 0.0);
+    }
+
+    #[test]
+    fn points_accessor_is_sorted() {
+        let tf = TransferFunction::new(vec![(200.0, 0.5), (10.0, 0.1)], 1.0, 1.0);
+        assert_eq!(tf.points(), &[(10.0, 0.1), (200.0, 0.5)]);
     }
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! slsvr render  [--dataset NAME] [--size N] [--procs P] [--method M]
 //!               [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
+//!               [--macrocell N] [--tile N]
 //!               [--distributed] [--ghost N] [--out FILE.pgm]
 //! slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
 //! slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
@@ -52,6 +53,7 @@ USAGE:
   slsvr render  [--dataset NAME] [--size N] [--procs P] [--method M]
                 [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced] [--early-term A]
+                [--macrocell N] [--tile N]
                 [--distributed] [--ghost N] [--out FILE.pgm]
                 [--faults SPEC] [--reliable] [--recv-deadline MS]
                 [--ack-timeout MS] [--max-retries N] [--schedule-seed S]
@@ -62,6 +64,11 @@ USAGE:
 
 DATASETS: engine_low | engine_high | head | cube
 METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe | radixk
+
+RENDER:   --macrocell N sets the empty-space-skipping cell edge in voxels
+          (default 8, 0 = off); --tile N sets the screen-tile culling edge
+          in pixels (default 32, 0 = off). Both knobs are bit-exact: the
+          accelerated image is identical to the naive one.
 
 FAULTS:   --faults drop=0.01,corrupt=0.001,dup=0.001,delay=0.01,delay_ms=2,seed=42,kill=3@17
           (every key optional; --reliable turns on framing + ack/retransmit
@@ -159,6 +166,8 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
         balanced_partition: flags.has("--balanced"),
         ..Default::default()
     };
+    config.macrocell = flags.parse("--macrocell", config.macrocell)?;
+    config.tile = flags.parse("--tile", config.tile)?;
     if let Some(d) = flags.get("--perspective") {
         config.perspective_distance = Some(
             d.parse()
