@@ -1,0 +1,438 @@
+//! Persisted serving-performance trajectory.
+//!
+//! Drives the `vr-serve` frame service with the open-loop load generator
+//! and records what the service did — latency percentiles, throughput,
+//! cache hit rate, and the disposition of every request — as JSON, so
+//! the repository carries its serving-behaviour history and CI can gate
+//! the serving layer's structural invariants:
+//!
+//! * `steady` — the interactive regime the cache targets: a few sessions
+//!   revisiting a small pose set with millisecond think time. The frame
+//!   cache must carry the load (hits observed, hit rate above a floor)
+//!   and nothing may be rejected or shed.
+//! * `overload` — offered load far beyond one worker with a tiny queue
+//!   and the cache off. Admission control must answer `Overloaded`
+//!   (never queue without bound: peak depth stays within the knob) while
+//!   still rendering something.
+//! * `shed` — a zero deadline makes every queued job stale by the time a
+//!   worker picks it up; all queued work must be shed, none rendered.
+//!
+//! The gates are *structural* — counts and invariants of the run itself,
+//! never absolute latency — so they hold on throttled shared CI hosts.
+//! Percentiles and throughput are recorded for trend reading, not gated.
+//!
+//! Usage mirrors `bench_rendering`:
+//!
+//! ```text
+//! bench_serving [--quick] [--sessions N] [--requests N] [--poses N]
+//!               [--out FILE] [--merge FILE --label before|after]
+//!               [--check FILE]
+//! ```
+
+use std::time::Duration;
+
+use vr_bench::json::{obj, parse, Json};
+use vr_serve::{run_load, FrameService, LoadConfig, LoadReport, ServeConfig};
+use vr_system::ExperimentConfig;
+use vr_volume::DatasetKind;
+
+use slsvr_core::Method;
+
+const SCHEMA: &str = "slsvr-bench-serving/v1";
+
+/// Steady-phase cache-hit-rate floor. The steady workload revisits 3
+/// poses dozens of times, so the true rate sits near 0.9; the floor only
+/// fails when caching is broken or the host is slow beyond recognition.
+const MIN_STEADY_HIT_RATE: f64 = 0.25;
+
+struct Grid {
+    name: &'static str,
+    sessions: usize,
+    requests: usize,
+}
+
+const QUICK: Grid = Grid {
+    name: "quick",
+    sessions: 2,
+    requests: 24,
+};
+
+const FULL: Grid = Grid {
+    name: "full",
+    sessions: 3,
+    requests: 40,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let num = |name: &str| {
+        value(name).map(|s| {
+            s.parse::<usize>()
+                .unwrap_or_else(|_| panic!("{name} takes an integer"))
+        })
+    };
+
+    let grid = if flag("--quick") { QUICK } else { FULL };
+    let sessions = num("--sessions").unwrap_or(grid.sessions);
+    let requests = num("--requests").unwrap_or(grid.requests);
+    let poses = num("--poses").unwrap_or(3);
+
+    let entries = run_benches(sessions, requests, poses);
+    print_table(&entries);
+
+    let run = obj([
+        ("grid", Json::Str(grid.name.into())),
+        ("entries", Json::Arr(entries.clone())),
+    ]);
+
+    if let Some(path) = value("--out") {
+        let doc = obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("grid", Json::Str(grid.name.into())),
+            ("entries", Json::Arr(entries.clone())),
+        ]);
+        std::fs::write(&path, doc.pretty()).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = value("--merge") {
+        let label = value("--label").expect("--merge requires --label before|after");
+        assert!(
+            label == "before" || label == "after",
+            "--label must be 'before' or 'after'"
+        );
+        merge_run(&path, &label, grid.name, run);
+        eprintln!("merged run '{label}' ({}) into {path}", grid.name);
+    }
+
+    if let Some(path) = value("--check") {
+        match check(&path, grid.name, &entries) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("PASS  {l}");
+                }
+                println!("bench check passed vs {path} (grid {})", grid.name);
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("FAIL  {f}");
+                }
+                eprintln!("bench check FAILED vs {path} (grid {})", grid.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------------
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig::small_test(DatasetKind::EngineHigh, 4, Method::Bsbrc)
+}
+
+fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
+    vec![
+        run_phase(
+            "steady",
+            ServeConfig::default(),
+            LoadConfig {
+                sessions,
+                requests_per_session: requests,
+                poses,
+                inter_arrival: Duration::from_millis(5),
+                seed: 0x5EED,
+            },
+        ),
+        run_phase(
+            "overload",
+            ServeConfig {
+                workers: 1,
+                queue_depth: 4,
+                cache_frames: 0,
+                coalesce: false,
+                deadline: None,
+            },
+            LoadConfig {
+                sessions: sessions.max(4),
+                requests_per_session: requests,
+                poses: requests, // sweep: no revisits to soften the load
+                inter_arrival: Duration::ZERO,
+                seed: 0xBEEF,
+            },
+        ),
+        run_phase(
+            "shed",
+            ServeConfig {
+                workers: 1,
+                queue_depth: 8,
+                cache_frames: 0,
+                coalesce: false,
+                deadline: Some(Duration::ZERO),
+            },
+            LoadConfig {
+                sessions: 2,
+                requests_per_session: 4,
+                poses: 4,
+                inter_arrival: Duration::ZERO,
+                seed: 0xD0D0,
+            },
+        ),
+    ]
+}
+
+fn run_phase(phase: &str, serve: ServeConfig, load: LoadConfig) -> Json {
+    let service = FrameService::start(serve);
+    let report = run_load(&service, base_config(), &load);
+    drop(service); // joins the workers; stats already snapshot in `report`
+    entry(phase, &serve, &load, &report)
+}
+
+fn entry(phase: &str, serve: &ServeConfig, load: &LoadConfig, r: &LoadReport) -> Json {
+    let s = &r.service;
+    obj([
+        ("bench", Json::Str("serving".into())),
+        ("phase", Json::Str(phase.into())),
+        // Knobs, so a run is self-describing.
+        ("sessions", Json::Num(load.sessions as f64)),
+        (
+            "requests_per_session",
+            Json::Num(load.requests_per_session as f64),
+        ),
+        ("poses", Json::Num(load.poses as f64)),
+        (
+            "inter_arrival_ms",
+            Json::Num(load.inter_arrival.as_secs_f64() * 1e3),
+        ),
+        ("workers", Json::Num(serve.workers as f64)),
+        ("queue_depth", Json::Num(serve.queue_depth as f64)),
+        ("cache_frames", Json::Num(serve.cache_frames as f64)),
+        ("coalesce", Json::Bool(serve.coalesce)),
+        (
+            "deadline_ms",
+            Json::Num(serve.deadline.map_or(-1.0, |d| d.as_secs_f64() * 1e3)),
+        ),
+        // Dispositions (these partition `submitted`).
+        ("submitted", Json::Num(r.submitted as f64)),
+        ("fresh", Json::Num(r.ok_fresh as f64)),
+        ("cached", Json::Num(r.ok_cached as f64)),
+        ("coalesced", Json::Num(r.ok_coalesced as f64)),
+        ("shed", Json::Num(r.shed as f64)),
+        ("overloaded", Json::Num(r.overloaded as f64)),
+        // Latency/throughput — recorded for trend reading, never gated.
+        ("p50_ms", Json::Num(r.percentile_ms(50.0))),
+        ("p95_ms", Json::Num(r.percentile_ms(95.0))),
+        ("p99_ms", Json::Num(r.percentile_ms(99.0))),
+        ("throughput_rps", Json::Num(r.throughput_rps())),
+        ("hit_rate", Json::Num(r.hit_rate())),
+        ("wall_seconds", Json::Num(r.wall_seconds)),
+        // Service-side counters.
+        ("rendered_frames", Json::Num(s.rendered_frames as f64)),
+        ("peak_queue_depth", Json::Num(s.peak_queue_depth as f64)),
+        ("cache_hits", Json::Num(s.cache.hits as f64)),
+        ("cache_misses", Json::Num(s.cache.misses as f64)),
+        ("cache_evictions", Json::Num(s.cache.evictions as f64)),
+    ])
+}
+
+fn print_table(entries: &[Json]) {
+    println!(
+        "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "phase",
+        "subm",
+        "fresh",
+        "cached",
+        "coalesce",
+        "shed",
+        "over",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "rps",
+        "hitrate"
+    );
+    for e in entries {
+        let f = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>8.1} {:>7.1}%",
+            e.get("phase").and_then(Json::as_str).unwrap_or("?"),
+            f("submitted"),
+            f("fresh"),
+            f("cached"),
+            f("coalesced"),
+            f("shed"),
+            f("overloaded"),
+            f("p50_ms"),
+            f("p95_ms"),
+            f("p99_ms"),
+            f("throughput_rps"),
+            f("hit_rate") * 100.0,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence and the structural gate
+// ---------------------------------------------------------------------------
+
+/// Inserts `run` into the trajectory file, replacing a prior run with the
+/// same `(label, grid)`.
+fn merge_run(path: &str, label: &str, grid: &str, run: Json) {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text)
+            .expect("existing trajectory file must be valid JSON")
+            .get("runs")
+            .and_then(Json::as_arr)
+            .map(|r| r.to_vec())
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    runs.retain(|r| {
+        !(r.get("label").and_then(Json::as_str) == Some(label)
+            && r.get("grid").and_then(Json::as_str) == Some(grid))
+    });
+    let mut tagged = match run {
+        Json::Obj(m) => m,
+        _ => unreachable!(),
+    };
+    tagged.insert("label".into(), Json::Str(label.into()));
+    runs.push(Json::Obj(tagged));
+    let doc = obj([
+        ("schema", Json::Str(SCHEMA.into())),
+        ("runs", Json::Arr(runs)),
+    ]);
+    std::fs::write(path, doc.pretty()).expect("write trajectory file");
+}
+
+/// Gates the current run's structural invariants and confirms the
+/// checked-in trajectory file carries an `after` baseline for this grid
+/// with the same phase set.
+///
+/// Unlike the compositing/rendering gates there is no timing comparison
+/// at all: serving latency on a shared CI host measures the host, not
+/// the code. What must hold anywhere are the counting invariants —
+/// every request answered exactly once, backpressure bounded by the
+/// queue knob, the cache carrying a steady revisit load, overload
+/// answered explicitly, and stale work shed.
+fn check(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<String>> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = parse(&text).expect("baseline must be valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(SCHEMA),
+        "baseline schema mismatch"
+    );
+    let baseline = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .and_then(|runs| {
+            runs.iter().find(|r| {
+                r.get("label").and_then(Json::as_str) == Some("after")
+                    && r.get("grid").and_then(Json::as_str) == Some(grid)
+            })
+        })
+        .and_then(|r| r.get("entries"))
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline {path} has no 'after' run for grid {grid}"));
+
+    let mut passes = Vec::new();
+    let mut failures = Vec::new();
+    let mut check_one = |ok: bool, label: String| {
+        if ok {
+            passes.push(label);
+        } else {
+            failures.push(label);
+        }
+    };
+
+    for e in current {
+        let phase = e.get("phase").and_then(Json::as_str).unwrap_or("?");
+        let n = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+
+        check_one(
+            baseline
+                .iter()
+                .any(|b| b.get("phase").and_then(Json::as_str) == Some(phase)),
+            format!("{phase}: baseline has this phase"),
+        );
+
+        // Every request answered exactly once, in every phase.
+        let answered = n("fresh") + n("cached") + n("coalesced") + n("shed") + n("overloaded");
+        check_one(
+            answered == n("submitted") && n("submitted") > 0.0,
+            format!(
+                "{phase}: answered {answered} == submitted {}",
+                n("submitted")
+            ),
+        );
+        // Backpressure is bounded by the knob, in every phase.
+        check_one(
+            n("peak_queue_depth") <= n("queue_depth"),
+            format!(
+                "{phase}: peak queue {} <= depth {}",
+                n("peak_queue_depth"),
+                n("queue_depth")
+            ),
+        );
+
+        match phase {
+            "steady" => {
+                check_one(
+                    n("cached") > 0.0 && n("hit_rate") >= MIN_STEADY_HIT_RATE,
+                    format!(
+                        "steady: hit rate {:.2} >= {MIN_STEADY_HIT_RATE} with {} cached",
+                        n("hit_rate"),
+                        n("cached")
+                    ),
+                );
+                check_one(
+                    n("overloaded") == 0.0 && n("shed") == 0.0,
+                    format!(
+                        "steady: no rejects ({}) or sheds ({}) at interactive load",
+                        n("overloaded"),
+                        n("shed")
+                    ),
+                );
+            }
+            "overload" => {
+                check_one(
+                    n("overloaded") > 0.0,
+                    format!("overload: {} explicit rejections", n("overloaded")),
+                );
+                check_one(
+                    n("fresh") >= 1.0,
+                    format!("overload: still rendered {} frames", n("fresh")),
+                );
+                check_one(
+                    n("cached") == 0.0,
+                    format!("overload: cache disabled ({} hits)", n("cached")),
+                );
+            }
+            "shed" => {
+                check_one(
+                    n("shed") > 0.0,
+                    format!("shed: {} stale jobs shed", n("shed")),
+                );
+                check_one(
+                    n("fresh") == 0.0,
+                    format!("shed: zero deadline renders nothing ({})", n("fresh")),
+                );
+            }
+            other => check_one(false, format!("unknown phase '{other}' in current run")),
+        }
+    }
+    if failures.is_empty() {
+        Ok(passes)
+    } else {
+        Err(failures)
+    }
+}

@@ -1,0 +1,58 @@
+//! # vr-serve — the concurrent frame-serving layer
+//!
+//! Turns the one-shot batch runtime (`vr-system`) into a long-lived,
+//! multi-session frame service — the interactive-exploration scenario
+//! the paper motivates ("users interactively explore the volume data in
+//! real time"), grown into a serving architecture:
+//!
+//! * **Session manager** — [`FrameService::open_session`] keeps one
+//!   [`Dataset`](vr_volume::Dataset) (and its lazily built, `Arc`-cached
+//!   macrocell grids) resident per `(dataset, dims)` across frames and
+//!   sessions, instead of rebuilding the simulator per request.
+//! * **Admission control** — a bounded queue ([`ServeConfig::queue_depth`]):
+//!   beyond capacity requests get an explicit
+//!   [`FrameResponse::Overloaded`], never unbounded memory. Queued jobs
+//!   whose [`deadline`](ServeConfig::deadline) expires are shed.
+//! * **Request coalescing** — a burst of camera moves from one session
+//!   collapses to the newest frame ("latest wins"); superseded requests
+//!   are answered from the fresh result ([`ServeSource::Coalesced`]).
+//! * **LRU frame cache** — keyed by a digest of the *complete*
+//!   experiment configuration ([`cache::frame_key`]); repeated views are
+//!   served without re-rendering, with hit/miss/evict counters.
+//! * **Worker pool** — [`ServeConfig::workers`] std threads drain the
+//!   queue; each renders through the exact batch path
+//!   (`Experiment::prepare_with_dataset` + `Experiment::run`), so a
+//!   served frame is **bit-identical** to the same config run as a
+//!   one-shot experiment.
+//!
+//! Concurrency is std threads + channels + mutex/condvar, matching the
+//! workspace's existing style (no async runtime).
+//!
+//! ```no_run
+//! use vr_serve::{FrameService, FrameResponse, ServeConfig};
+//! use vr_system::ExperimentConfig;
+//!
+//! let service = FrameService::start(ServeConfig::default());
+//! let session = service.open_session(ExperimentConfig::default());
+//! match session.request_blocking(*session.base()) {
+//!     FrameResponse::Frame(reply) => {
+//!         println!("frame in {:.1} ms ({:?})", reply.wait_seconds * 1e3, reply.source);
+//!         println!("metrics: {}", reply.frame.record.to_json());
+//!     }
+//!     FrameResponse::Overloaded { queue_depth } => eprintln!("busy ({queue_depth} queued)"),
+//!     FrameResponse::Shed { .. } => eprintln!("deadline missed"),
+//! }
+//! ```
+
+pub mod cache;
+pub mod loadgen;
+pub mod metrics;
+mod queue;
+pub mod service;
+
+pub use cache::{frame_key, CacheCounters, LruCache};
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use metrics::ServiceStats;
+pub use service::{
+    FrameReply, FrameResponse, FrameService, RenderedFrame, ServeConfig, ServeSource, SessionHandle,
+};

@@ -1,0 +1,274 @@
+//! Open-loop load generation against a [`FrameService`].
+//!
+//! Each simulated user session fires requests on its own fixed arrival
+//! schedule — *open loop*: arrivals do not wait for completions, so an
+//! overloaded service sees the true offered rate and must shed, not
+//! silently serialize. Cameras are drawn from a small pose set with a
+//! seeded splitmix64 walk, so repeated views exercise the frame cache
+//! deterministically (same seed → same request sequence).
+
+use std::time::{Duration, Instant};
+
+use vr_system::ExperimentConfig;
+
+use crate::metrics::ServiceStats;
+use crate::service::{FrameResponse, FrameService, ServeSource};
+
+/// Load-generator knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Concurrent user sessions.
+    pub sessions: usize,
+    /// Requests each session submits.
+    pub requests_per_session: usize,
+    /// Distinct camera poses cycled through (small = heavy revisiting,
+    /// the cache-friendly interactive regime; one pose per request =
+    /// a worst-case all-miss sweep).
+    pub poses: usize,
+    /// Open-loop inter-arrival gap within a session.
+    pub inter_arrival: Duration,
+    /// Seed for the pose walk.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 2,
+            requests_per_session: 20,
+            poses: 4,
+            inter_arrival: Duration::from_millis(5),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// What the load run observed, aggregated over sessions.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Replies carrying an image, by source.
+    pub ok_fresh: u64,
+    /// Cache-served replies.
+    pub ok_cached: u64,
+    /// Coalesced (superseded, answered with the newest frame) replies.
+    pub ok_coalesced: u64,
+    /// Deadline sheds.
+    pub shed: u64,
+    /// Admission rejections.
+    pub overloaded: u64,
+    /// Per-request latencies in milliseconds (successful replies only),
+    /// sorted ascending.
+    pub latencies_ms: Vec<f64>,
+    /// Wall time of the whole run, seconds.
+    pub wall_seconds: f64,
+    /// Service counters snapshot taken after the run drained.
+    pub service: ServiceStats,
+}
+
+impl LoadReport {
+    /// The `p`-th latency percentile in ms (`p` in [0, 100]); 0 when no
+    /// request succeeded.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (self.latencies_ms.len() - 1) as f64).round() as usize;
+        self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
+    }
+
+    /// Image-carrying replies per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        let ok = self.ok_fresh + self.ok_cached + self.ok_coalesced;
+        if self.wall_seconds > 0.0 {
+            ok as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of image-carrying replies served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let ok = self.ok_fresh + self.ok_cached + self.ok_coalesced;
+        if ok == 0 {
+            0.0
+        } else {
+            self.ok_cached as f64 / ok as f64
+        }
+    }
+}
+
+/// splitmix64 — the workspace's standard tiny deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The camera pose a request uses: poses are evenly spread over a 180°
+/// y-sweep (plus a small x tilt per pose) from the base view.
+pub fn pose_angles(base: &ExperimentConfig, pose: usize, poses: usize) -> (f32, f32) {
+    let t = if poses > 1 {
+        pose as f32 / (poses - 1) as f32
+    } else {
+        0.0
+    };
+    (base.rot_x_deg + t * 10.0, base.rot_y_deg + t * 180.0)
+}
+
+/// Drives `load` against `service` with every session on `base`'s
+/// dataset, and returns the aggregated report.
+pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfig) -> LoadReport {
+    let start = Instant::now();
+    let mut session_reports: Vec<(Vec<f64>, [u64; 6])> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..load.sessions)
+            .map(|s| {
+                let session = service.open_session(base);
+                scope.spawn(move || {
+                    let mut rng = load.seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    let session_start = Instant::now();
+                    let mut pending = Vec::with_capacity(load.requests_per_session);
+                    for i in 0..load.requests_per_session {
+                        // Open loop: fire at the schedule, not at the
+                        // completion of the previous request.
+                        let due = load.inter_arrival * i as u32;
+                        let elapsed = session_start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                        let pose = (splitmix64(&mut rng) % load.poses.max(1) as u64) as usize;
+                        let (rx, ry) = pose_angles(&session.base().clone(), pose, load.poses);
+                        pending.push(session.request_view(rx, ry));
+                    }
+                    // Drain: every request is answered exactly once; the
+                    // reply carries its own submit→reply latency so the
+                    // drain order cannot skew the measurement.
+                    let mut latencies = Vec::new();
+                    let mut counts = [0u64; 6]; // fresh, cached, coalesced, shed, over, submitted
+                    counts[5] = load.requests_per_session as u64;
+                    for rx in pending {
+                        match rx.recv().expect("service answers every request") {
+                            FrameResponse::Frame(reply) => {
+                                match reply.source {
+                                    ServeSource::Fresh => counts[0] += 1,
+                                    ServeSource::Cache => counts[1] += 1,
+                                    ServeSource::Coalesced => counts[2] += 1,
+                                }
+                                latencies.push(reply.wait_seconds * 1e3);
+                            }
+                            FrameResponse::Shed { .. } => counts[3] += 1,
+                            FrameResponse::Overloaded { .. } => counts[4] += 1,
+                        }
+                    }
+                    (latencies, counts)
+                })
+            })
+            .collect();
+        for h in handles {
+            session_reports.push(h.join().expect("session thread"));
+        }
+    });
+
+    let mut report = LoadReport {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        ..Default::default()
+    };
+    for (lat, counts) in session_reports {
+        report.latencies_ms.extend(lat);
+        report.ok_fresh += counts[0];
+        report.ok_cached += counts[1];
+        report.ok_coalesced += counts[2];
+        report.shed += counts[3];
+        report.overloaded += counts[4];
+        report.submitted += counts[5];
+    }
+    report
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    report.service = service.stats();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use slsvr_core::Method;
+    use vr_volume::DatasetKind;
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::Bsbrc)
+    }
+
+    #[test]
+    fn every_request_is_answered() {
+        let service = FrameService::start(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let load = LoadConfig {
+            sessions: 2,
+            requests_per_session: 8,
+            poses: 3,
+            inter_arrival: Duration::from_millis(1),
+            seed: 7,
+        };
+        let report = run_load(&service, base(), &load);
+        assert_eq!(report.submitted, 16);
+        assert_eq!(
+            report.ok_fresh
+                + report.ok_cached
+                + report.ok_coalesced
+                + report.shed
+                + report.overloaded,
+            16
+        );
+        assert!(report.wall_seconds > 0.0);
+        assert_eq!(
+            report.latencies_ms.len() as u64,
+            report.ok_fresh + report.ok_cached + report.ok_coalesced
+        );
+        // Sorted for percentile lookup.
+        assert!(report.latencies_ms.windows(2).all(|w| w[0] <= w[1]));
+        assert!(report.percentile_ms(99.0) >= report.percentile_ms(50.0));
+    }
+
+    #[test]
+    fn repeated_poses_hit_the_cache() {
+        let service = FrameService::start(ServeConfig {
+            workers: 2,
+            cache_frames: 16,
+            ..Default::default()
+        });
+        let load = LoadConfig {
+            sessions: 2,
+            requests_per_session: 12,
+            poses: 2,
+            inter_arrival: Duration::from_millis(4),
+            seed: 11,
+        };
+        let report = run_load(&service, base(), &load);
+        assert!(
+            report.ok_cached > 0,
+            "2 poses × 24 requests must revisit: {report:?}"
+        );
+        assert!(report.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn pose_walk_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a) % 4).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b) % 4).collect();
+        assert_eq!(xs, ys);
+        let base = base();
+        assert_eq!(pose_angles(&base, 0, 4).1, base.rot_y_deg);
+        assert_eq!(pose_angles(&base, 3, 4).1, base.rot_y_deg + 180.0);
+        assert_eq!(pose_angles(&base, 0, 1).0, base.rot_x_deg);
+    }
+}

@@ -1,0 +1,84 @@
+//! Service-level counters and the per-frame metrics record.
+
+use crate::cache::CacheCounters;
+
+/// Aggregate counters for one [`FrameService`](crate::FrameService).
+///
+/// Request dispositions partition `submitted`: every submitted request
+/// is eventually answered exactly once, as a fresh render, a cache hit,
+/// a coalesced reply (superseded by a newer camera from the same
+/// session and answered with that fresh result), a deadline shed, or an
+/// `Overloaded` rejection.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests submitted to the service.
+    pub submitted: u64,
+    /// Requests answered by a render performed for them.
+    pub completed_fresh: u64,
+    /// Requests answered from the LRU frame cache.
+    pub completed_cached: u64,
+    /// Requests superseded by a newer one from the same session and
+    /// answered with the newer frame ("latest wins").
+    pub completed_coalesced: u64,
+    /// Requests dropped because their deadline passed while queued.
+    pub shed_deadline: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Distinct `Experiment` runs performed by the worker pool.
+    pub rendered_frames: u64,
+    /// Deepest the request queue ever got.
+    pub peak_queue_depth: usize,
+    /// Frame-cache hit/miss/evict counters.
+    pub cache: CacheCounters,
+}
+
+impl ServiceStats {
+    /// Requests answered with an image (any source).
+    pub fn completed(&self) -> u64 {
+        self.completed_fresh + self.completed_cached + self.completed_coalesced
+    }
+
+    /// Requests answered at all (images plus sheds and rejections) —
+    /// equals `submitted` once the service has drained.
+    pub fn answered(&self) -> u64 {
+        self.completed() + self.shed_deadline + self.rejected_overload
+    }
+
+    /// Fraction of image-carrying replies served from the cache.
+    pub fn serve_hit_rate(&self) -> f64 {
+        let total = self.completed();
+        if total == 0 {
+            0.0
+        } else {
+            self.completed_cached as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispositions_partition_submissions() {
+        let s = ServiceStats {
+            submitted: 10,
+            completed_fresh: 3,
+            completed_cached: 4,
+            completed_coalesced: 1,
+            shed_deadline: 1,
+            rejected_overload: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.completed(), 8);
+        assert_eq!(s.answered(), 10);
+        assert!((s.serve_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = ServiceStats::default();
+        assert_eq!(s.serve_hit_rate(), 0.0);
+        assert_eq!(s.answered(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The bounded request queue: jobs, waiters, and the admission decision.
+//!
+//! Admission control is a pure function over the queue snapshot so its
+//! policy is unit-testable without threads:
+//!
+//! 1. **Coalesce** — if the session already has a job *queued* (not yet
+//!    running), the new request supersedes it: the job is re-aimed at
+//!    the newest camera and every earlier waiter is answered from that
+//!    fresh result ("latest wins"). A coalesced burst therefore occupies
+//!    exactly one queue slot per session.
+//! 2. **Reject** — otherwise, a full queue turns the request away with
+//!    an explicit `Overloaded` response. The queue never grows beyond
+//!    its configured depth, so memory under overload is bounded.
+//! 3. **Enqueue** — otherwise the request becomes a new job.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vr_system::ExperimentConfig;
+use vr_volume::Dataset;
+
+use crate::service::FrameResponse;
+
+/// One registered reply channel plus its submission timestamp.
+pub(crate) struct Waiter {
+    pub tx: mpsc::Sender<FrameResponse>,
+    pub submitted: Instant,
+    /// True once a newer request from the same session superseded this
+    /// waiter's original camera.
+    pub superseded: bool,
+}
+
+/// A unit of work for the pool: one frame to render, with every request
+/// currently riding on it.
+pub(crate) struct Job {
+    pub session: u64,
+    pub config: ExperimentConfig,
+    pub key: u64,
+    pub dataset: Arc<Dataset>,
+    pub deadline: Option<Instant>,
+    pub waiters: Vec<Waiter>,
+}
+
+/// The admission decision for one incoming request.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Ride on (and re-aim) the queued job at this index.
+    Coalesce(usize),
+    /// Queue full: answer `Overloaded` immediately.
+    Reject,
+    /// Append a new job.
+    Enqueue,
+}
+
+/// Decides how to admit a request from `session` given the queue state.
+pub(crate) fn admit(jobs: &VecDeque<Job>, session: u64, depth: usize, coalesce: bool) -> Admission {
+    if coalesce {
+        if let Some(idx) = jobs.iter().position(|j| j.session == session) {
+            return Admission::Coalesce(idx);
+        }
+    }
+    if jobs.len() >= depth {
+        Admission::Reject
+    } else {
+        Admission::Enqueue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::frame_key;
+    use slsvr_core::Method;
+    use vr_volume::DatasetKind;
+
+    fn job(session: u64) -> Job {
+        let config = ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::Bs);
+        Job {
+            session,
+            key: frame_key(&config),
+            config,
+            dataset: Arc::new(Dataset::with_dims(config.dataset, config.resolved_dims())),
+            deadline: None,
+            waiters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_queue_enqueues() {
+        let jobs = VecDeque::new();
+        assert_eq!(admit(&jobs, 1, 4, true), Admission::Enqueue);
+    }
+
+    #[test]
+    fn same_session_coalesces_instead_of_queueing() {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(job(7));
+        jobs.push_back(job(9));
+        assert_eq!(admit(&jobs, 9, 4, true), Admission::Coalesce(1));
+        // Coalescing wins even over a full queue: the burst still
+        // collapses into its existing slot.
+        assert_eq!(admit(&jobs, 7, 2, true), Admission::Coalesce(0));
+    }
+
+    #[test]
+    fn full_queue_rejects_new_sessions() {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(job(1));
+        jobs.push_back(job(2));
+        assert_eq!(admit(&jobs, 3, 2, true), Admission::Reject);
+        assert_eq!(admit(&jobs, 3, 3, true), Admission::Enqueue);
+    }
+
+    #[test]
+    fn coalescing_off_means_every_request_queues_or_rejects() {
+        let mut jobs = VecDeque::new();
+        jobs.push_back(job(5));
+        assert_eq!(admit(&jobs, 5, 4, false), Admission::Enqueue);
+        jobs.push_back(job(5));
+        assert_eq!(admit(&jobs, 5, 2, false), Admission::Reject);
+    }
+}

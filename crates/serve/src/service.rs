@@ -1,0 +1,645 @@
+//! The frame service: resident sessions, a bounded work queue, and a
+//! std-thread worker pool in front of the `vr-system` runtime.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vr_image::checksum::fnv1a;
+use vr_image::Image;
+use vr_system::{Experiment, ExperimentConfig, FrameRecord};
+use vr_volume::{Dataset, DatasetKind};
+
+use crate::cache::{frame_key, LruCache};
+use crate::metrics::ServiceStats;
+use crate::queue::{admit, Admission, Job, Waiter};
+
+/// Serving knobs. Defaults suit an interactive small-frame workload;
+/// every field maps to a `slsvr serve` / `bench_serving` flag.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads rendering frames concurrently (the pool's
+    /// concurrency limit; each worker still fans out one render thread
+    /// per simulated rank).
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet running) frame jobs. Beyond
+    /// this, requests get an explicit [`FrameResponse::Overloaded`] —
+    /// backpressure instead of unbounded memory.
+    pub queue_depth: usize,
+    /// LRU frame-cache capacity in frames; 0 disables caching.
+    pub cache_frames: usize,
+    /// Collapse a burst of requests from one session to the newest
+    /// camera ("latest wins"), answering superseded requests from the
+    /// fresh result.
+    pub coalesce: bool,
+    /// Drop queued jobs whose age exceeds this when they reach a worker
+    /// (`None` = never shed on age).
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 32,
+            cache_frames: 64,
+            coalesce: true,
+            deadline: None,
+        }
+    }
+}
+
+/// One rendered, cacheable frame with its machine-readable metrics.
+#[derive(Clone, Debug)]
+pub struct RenderedFrame {
+    /// The frame key this image was rendered under.
+    pub key: u64,
+    /// The composited image.
+    pub image: Image,
+    /// Bit-exact FNV-1a digest of `image` (the determinism witness: it
+    /// must equal the digest of the same config run through
+    /// `Experiment::run`).
+    pub image_hash: u64,
+    /// Per-frame metrics: phase timers, traffic maxima, memory
+    /// watermark (see [`FrameRecord`]).
+    pub record: FrameRecord,
+}
+
+/// Where a successful reply came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeSource {
+    /// Rendered for this request.
+    Fresh,
+    /// Served from the LRU frame cache.
+    Cache,
+    /// Superseded by a newer same-session request; answered with that
+    /// newer frame.
+    Coalesced,
+}
+
+/// A successful frame reply.
+#[derive(Clone, Debug)]
+pub struct FrameReply {
+    /// The frame (shared, not copied, between coalesced waiters and the
+    /// cache).
+    pub frame: Arc<RenderedFrame>,
+    /// How this request was satisfied.
+    pub source: ServeSource,
+    /// Seconds from this request's submission to its reply.
+    pub wait_seconds: f64,
+}
+
+/// Every request is answered with exactly one of these.
+#[derive(Clone, Debug)]
+pub enum FrameResponse {
+    /// An image (fresh, cached, or coalesced).
+    Frame(FrameReply),
+    /// Rejected at admission: the queue was at capacity.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+    },
+    /// Dropped because the job's deadline passed while it was queued.
+    Shed {
+        /// Seconds the request waited before being shed.
+        waited_seconds: f64,
+    },
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    cache: Mutex<LruCache<Arc<RenderedFrame>>>,
+    stats: Mutex<ServiceStats>,
+}
+
+/// Registry of resident datasets, keyed by kind and voxel dimensions so
+/// every session on the same data shares one build.
+type DatasetRegistry = HashMap<(DatasetKind, [usize; 3]), Arc<Dataset>>;
+
+/// A long-lived, multi-session frame service over the `vr-system`
+/// runtime. See the crate docs for the architecture.
+pub struct FrameService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_session: AtomicU64,
+    datasets: Mutex<DatasetRegistry>,
+}
+
+/// A client session bound to one resident dataset. Requests carry full
+/// `ExperimentConfig`s (camera, method, P, …) but must stay on the
+/// session's dataset and volume dimensions.
+pub struct SessionHandle {
+    shared: Arc<Shared>,
+    /// This session's id (the coalescing scope).
+    pub id: u64,
+    dataset: Arc<Dataset>,
+    base: ExperimentConfig,
+}
+
+impl FrameService {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServeConfig) -> FrameService {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.queue_depth >= 1, "queue depth must be at least 1");
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            cache: Mutex::new(LruCache::new(cfg.cache_frames)),
+            stats: Mutex::new(ServiceStats::default()),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vr-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        FrameService {
+            shared,
+            workers,
+            next_session: AtomicU64::new(1),
+            datasets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens a session on `base`'s dataset, building the volume on first
+    /// use and keeping it (plus its lazily built macrocell grids)
+    /// resident for every later session and frame on the same dataset.
+    pub fn open_session(&self, base: ExperimentConfig) -> SessionHandle {
+        let dims = base.resolved_dims();
+        let dataset = {
+            let mut map = self.datasets.lock().unwrap();
+            Arc::clone(
+                map.entry((base.dataset, dims))
+                    .or_insert_with(|| Arc::new(Dataset::with_dims(base.dataset, dims))),
+            )
+        };
+        SessionHandle {
+            shared: Arc::clone(&self.shared),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            dataset,
+            base,
+        }
+    }
+
+    /// A snapshot of the service counters (cache counters included).
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = *self.shared.stats.lock().unwrap();
+        stats.cache = self.shared.cache.lock().unwrap().counters();
+        stats
+    }
+
+    /// Currently queued (admitted, not yet running) jobs.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Stops admitting work, drains the queue, joins the workers and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.open = false;
+            self.shared.ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for FrameService {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl SessionHandle {
+    /// The configuration this session was opened with.
+    pub fn base(&self) -> &ExperimentConfig {
+        &self.base
+    }
+
+    /// Submits a frame request; the receiver yields exactly one
+    /// [`FrameResponse`]. Cache hits and admission rejections are
+    /// answered before this returns; everything else is answered by the
+    /// worker pool.
+    ///
+    /// Panics if `config` leaves the session's dataset or volume
+    /// dimensions (open another session for that).
+    pub fn request(&self, config: ExperimentConfig) -> mpsc::Receiver<FrameResponse> {
+        assert_eq!(
+            config.dataset, self.base.dataset,
+            "request must stay on the session's dataset"
+        );
+        assert_eq!(
+            config.resolved_dims(),
+            self.base.resolved_dims(),
+            "request must keep the session's volume dimensions"
+        );
+        let submitted = Instant::now();
+        let key = frame_key(&config);
+        let (tx, rx) = mpsc::channel();
+        let shared = &self.shared;
+        shared.stats.lock().unwrap().submitted += 1;
+
+        // Fast path: an identical frame is already cached.
+        if shared.cfg.cache_frames > 0 {
+            if let Some(frame) = shared.cache.lock().unwrap().get(key) {
+                shared.stats.lock().unwrap().completed_cached += 1;
+                let _ = tx.send(FrameResponse::Frame(FrameReply {
+                    frame,
+                    source: ServeSource::Cache,
+                    wait_seconds: submitted.elapsed().as_secs_f64(),
+                }));
+                return rx;
+            }
+        }
+
+        let mut q = shared.queue.lock().unwrap();
+        if !q.open {
+            // Shutting down: refuse new work explicitly.
+            shared.stats.lock().unwrap().rejected_overload += 1;
+            let _ = tx.send(FrameResponse::Overloaded {
+                queue_depth: q.jobs.len(),
+            });
+            return rx;
+        }
+        match admit(
+            &q.jobs,
+            self.id,
+            shared.cfg.queue_depth,
+            shared.cfg.coalesce,
+        ) {
+            Admission::Coalesce(idx) => {
+                // Latest wins: re-aim the queued job at the newest
+                // camera; everyone already waiting is superseded and
+                // will be answered from the fresh result.
+                let job = &mut q.jobs[idx];
+                job.config = config;
+                job.key = key;
+                job.deadline = shared.cfg.deadline.map(|d| submitted + d);
+                for w in &mut job.waiters {
+                    w.superseded = true;
+                }
+                job.waiters.push(Waiter {
+                    tx,
+                    submitted,
+                    superseded: false,
+                });
+            }
+            Admission::Reject => {
+                let depth = q.jobs.len();
+                shared.stats.lock().unwrap().rejected_overload += 1;
+                let _ = tx.send(FrameResponse::Overloaded { queue_depth: depth });
+            }
+            Admission::Enqueue => {
+                q.jobs.push_back(Job {
+                    session: self.id,
+                    config,
+                    key,
+                    dataset: Arc::clone(&self.dataset),
+                    deadline: shared.cfg.deadline.map(|d| submitted + d),
+                    waiters: vec![Waiter {
+                        tx,
+                        submitted,
+                        superseded: false,
+                    }],
+                });
+                let depth = q.jobs.len();
+                let mut stats = shared.stats.lock().unwrap();
+                stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+                drop(stats);
+                self.shared.ready.notify_one();
+            }
+        }
+        rx
+    }
+
+    /// Submits and waits for the single response.
+    pub fn request_blocking(&self, config: ExperimentConfig) -> FrameResponse {
+        self.request(config)
+            .recv()
+            .expect("service answered before dropping the channel")
+    }
+
+    /// Convenience: request the session's base config at new camera
+    /// angles (the interactive camera-move path).
+    pub fn request_view(&self, rot_x_deg: f32, rot_y_deg: f32) -> mpsc::Receiver<FrameResponse> {
+        self.request(ExperimentConfig {
+            rot_x_deg,
+            rot_y_deg,
+            ..self.base
+        })
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if !q.open {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+
+        let now = Instant::now();
+        // Deadline shedding: a stale interactive frame is worthless, so
+        // answer `Shed` instead of burning a worker on it.
+        if job.deadline.is_some_and(|d| now > d) {
+            let mut stats = shared.stats.lock().unwrap();
+            stats.shed_deadline += job.waiters.len() as u64;
+            drop(stats);
+            for w in job.waiters {
+                let _ = w.tx.send(FrameResponse::Shed {
+                    waited_seconds: w.submitted.elapsed().as_secs_f64(),
+                });
+            }
+            continue;
+        }
+
+        // Second cache probe: an identical frame may have been rendered
+        // (by another worker or session) while this job sat queued.
+        if shared.cfg.cache_frames > 0 {
+            if let Some(frame) = shared.cache.lock().unwrap().get(job.key) {
+                let mut stats = shared.stats.lock().unwrap();
+                stats.completed_cached += job.waiters.len() as u64;
+                drop(stats);
+                respond_all(job.waiters, &frame, ServeSource::Cache);
+                continue;
+            }
+        }
+
+        // Render through the exact batch path: `prepare_with_dataset` on
+        // the session's resident dataset plus `Experiment::run` — the
+        // determinism guarantee is that this is the very same code the
+        // one-shot experiment takes.
+        let exp = Experiment::prepare_with_dataset(&job.config, Arc::clone(&job.dataset));
+        let out = exp.run(job.config.method);
+        let record = FrameRecord::from_outcome(&out).with_render_seconds(&exp.render_seconds);
+        let frame = Arc::new(RenderedFrame {
+            key: job.key,
+            image_hash: fnv1a(&out.image),
+            image: out.image,
+            record,
+        });
+        if shared.cfg.cache_frames > 0 {
+            shared
+                .cache
+                .lock()
+                .unwrap()
+                .insert(job.key, Arc::clone(&frame));
+        }
+        {
+            let mut stats = shared.stats.lock().unwrap();
+            stats.rendered_frames += 1;
+            for w in &job.waiters {
+                if w.superseded {
+                    stats.completed_coalesced += 1;
+                } else {
+                    stats.completed_fresh += 1;
+                }
+            }
+        }
+        for w in job.waiters {
+            let source = if w.superseded {
+                ServeSource::Coalesced
+            } else {
+                ServeSource::Fresh
+            };
+            let _ = w.tx.send(FrameResponse::Frame(FrameReply {
+                frame: Arc::clone(&frame),
+                source,
+                wait_seconds: w.submitted.elapsed().as_secs_f64(),
+            }));
+        }
+    }
+}
+
+fn respond_all(waiters: Vec<Waiter>, frame: &Arc<RenderedFrame>, source: ServeSource) {
+    for w in waiters {
+        let _ = w.tx.send(FrameResponse::Frame(FrameReply {
+            frame: Arc::clone(frame),
+            source,
+            wait_seconds: w.submitted.elapsed().as_secs_f64(),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slsvr_core::Method;
+
+    fn small() -> ExperimentConfig {
+        ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::Bsbrc)
+    }
+
+    fn frame(resp: FrameResponse) -> FrameReply {
+        match resp {
+            FrameResponse::Frame(reply) => reply,
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_a_frame_and_counts_it() {
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let session = service.open_session(small());
+        let reply = frame(session.request_blocking(small()));
+        assert_eq!(reply.source, ServeSource::Fresh);
+        assert!(reply.frame.image.non_blank_count() > 0);
+        assert!(reply.frame.record.t_total_ms > 0.0);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed_fresh, 1);
+        assert_eq!(stats.rendered_frames, 1);
+        assert_eq!(stats.answered(), 1);
+    }
+
+    #[test]
+    fn repeated_view_hits_the_cache() {
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let session = service.open_session(small());
+        let a = frame(session.request_blocking(small()));
+        let b = frame(session.request_blocking(small()));
+        assert_eq!(b.source, ServeSource::Cache);
+        assert_eq!(a.frame.image_hash, b.frame.image_hash);
+        let stats = service.shutdown();
+        assert_eq!(stats.rendered_frames, 1, "second request must not render");
+        assert_eq!(stats.completed_cached, 1);
+    }
+
+    #[test]
+    fn cache_disabled_renders_every_request() {
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            cache_frames: 0,
+            coalesce: false,
+            ..Default::default()
+        });
+        let session = service.open_session(small());
+        let a = frame(session.request_blocking(small()));
+        let b = frame(session.request_blocking(small()));
+        assert_eq!(
+            a.frame.image_hash, b.frame.image_hash,
+            "still deterministic"
+        );
+        assert_eq!(b.source, ServeSource::Fresh);
+        let stats = service.shutdown();
+        assert_eq!(stats.rendered_frames, 2);
+    }
+
+    #[test]
+    fn camera_burst_coalesces_to_the_newest_frame() {
+        // One worker, and the queue blocked behind a first job, so a
+        // burst of camera moves piles up and must collapse.
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            cache_frames: 0,
+            ..Default::default()
+        });
+        let session = service.open_session(small());
+        let burst: Vec<_> = (0..5)
+            .map(|i| session.request_view(20.0, 30.0 + i as f32 * 3.0))
+            .collect();
+        let replies: Vec<FrameReply> = burst
+            .into_iter()
+            .map(|rx| frame(rx.recv().unwrap()))
+            .collect();
+        let stats = service.shutdown();
+        // Every request was answered with an image…
+        assert_eq!(stats.completed(), 5);
+        // …but the burst rendered far fewer frames than requests.
+        assert!(
+            stats.rendered_frames < 5,
+            "burst must coalesce: rendered {} of 5",
+            stats.rendered_frames
+        );
+        assert!(stats.completed_coalesced > 0);
+        // Superseded waiters got the same (newest) frame as the last
+        // submitter of their coalesced group.
+        let last = replies.last().unwrap();
+        let coalesced: Vec<_> = replies
+            .iter()
+            .filter(|r| r.source == ServeSource::Coalesced)
+            .collect();
+        assert!(!coalesced.is_empty());
+        for r in &coalesced {
+            assert_eq!(r.frame.image_hash, last.frame.image_hash);
+        }
+    }
+
+    #[test]
+    fn full_queue_answers_overloaded_not_oom() {
+        // Depth 1, no coalescing (distinct sessions), one worker: the
+        // third+ concurrent request must be rejected explicitly.
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            cache_frames: 0,
+            coalesce: false,
+            ..Default::default()
+        });
+        let sessions: Vec<_> = (0..6).map(|_| service.open_session(small())).collect();
+        let pending: Vec<_> = sessions.iter().map(|s| s.request(small())).collect();
+        let mut overloaded = 0;
+        let mut served = 0;
+        for rx in pending {
+            match rx.recv().unwrap() {
+                FrameResponse::Overloaded { queue_depth } => {
+                    overloaded += 1;
+                    assert!(queue_depth <= 1);
+                }
+                FrameResponse::Frame(_) => served += 1,
+                FrameResponse::Shed { .. } => {}
+            }
+        }
+        let stats = service.shutdown();
+        assert!(overloaded > 0, "admission control must reject some");
+        assert!(served > 0, "admitted work must still complete");
+        assert_eq!(stats.rejected_overload, overloaded);
+        assert!(stats.peak_queue_depth <= 1);
+        assert_eq!(stats.answered(), 6);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_instead_of_rendering() {
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            cache_frames: 0,
+            coalesce: false,
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        let session = service.open_session(small());
+        // A zero deadline is always exceeded by the time a worker pops
+        // the job.
+        let rx = session.request(small());
+        match rx.recv().unwrap() {
+            FrameResponse::Shed { waited_seconds } => assert!(waited_seconds >= 0.0),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.rendered_frames, 0);
+    }
+
+    #[test]
+    fn sessions_share_one_resident_dataset() {
+        let service = FrameService::start(ServeConfig::default());
+        let a = service.open_session(small());
+        let b = service.open_session(small());
+        assert!(Arc::ptr_eq(&a.dataset, &b.dataset));
+        assert_ne!(a.id, b.id);
+        let mut other = small();
+        other.dataset = DatasetKind::Head;
+        let c = service.open_session(other);
+        assert!(!Arc::ptr_eq(&a.dataset, &c.dataset));
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_refused() {
+        let service = FrameService::start(ServeConfig::default());
+        let session = service.open_session(small());
+        let shared = Arc::clone(&session.shared);
+        drop(service); // joins workers, closes the queue
+        assert!(!shared.queue.lock().unwrap().open);
+        match session.request_blocking(small()) {
+            FrameResponse::Overloaded { .. } => {}
+            other => panic!("expected Overloaded after shutdown, got {other:?}"),
+        }
+    }
+}

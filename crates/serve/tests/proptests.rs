@@ -1,0 +1,119 @@
+//! Property tests for the LRU frame cache: capacity, key integrity and
+//! counter consistency under random insert/get sequences (a model-based
+//! check against a naive reference implementation).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vr_image::checksum::fnv1a;
+use vr_image::Image;
+use vr_serve::{LruCache, RenderedFrame};
+use vr_system::FrameRecord;
+
+/// A dummy cached frame whose image digest is derived from its key, so
+/// a cache that ever cross-wires keys is caught by the digest check.
+fn dummy_frame(key: u64) -> Arc<RenderedFrame> {
+    let image = Image::blank(1, 1);
+    let image_hash = fnv1a(&image) ^ key;
+    Arc::new(RenderedFrame {
+        key,
+        image,
+        image_hash,
+        record: FrameRecord::default(),
+    })
+}
+
+/// One cache operation over a small key universe (collisions likely).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Insert(u64),
+    Get(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..24).prop_map(Op::Insert),
+        (0u64..24).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lru_respects_capacity_and_keys_and_counters(
+        capacity in 0usize..6,
+        ops in proptest::collection::vec(arb_op(), 0..120),
+    ) {
+        let mut cache: LruCache<Arc<RenderedFrame>> = LruCache::new(capacity);
+        let mut gets = 0u64;
+        let mut stores = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(key) => {
+                    cache.insert(key, dummy_frame(key));
+                    if capacity > 0 {
+                        stores += 1;
+                    }
+                }
+                Op::Get(key) => {
+                    gets += 1;
+                    if let Some(frame) = cache.get(key) {
+                        // A hit never returns a frame whose key (or
+                        // key-derived digest) differs from the request.
+                        prop_assert_eq!(frame.key, key);
+                        prop_assert_eq!(frame.image_hash, fnv1a(&frame.image) ^ key);
+                    }
+                }
+            }
+            // Eviction respects capacity at every step.
+            prop_assert!(cache.len() <= capacity);
+        }
+        let n = cache.counters();
+        // hit + miss partitions the lookups.
+        prop_assert_eq!(n.hits + n.misses, gets);
+        // Every stored value was either evicted or is still resident.
+        prop_assert_eq!(n.insertions, stores);
+        prop_assert!(n.evictions <= n.insertions);
+        prop_assert!(
+            cache.len() as u64 <= n.insertions,
+            "resident {} > insertions {}", cache.len(), n.insertions
+        );
+        if capacity == 0 {
+            prop_assert_eq!(n.hits, 0);
+            prop_assert_eq!(cache.len(), 0);
+        }
+    }
+
+    #[test]
+    fn lru_matches_a_naive_reference_model(
+        ops in proptest::collection::vec(arb_op(), 0..100),
+    ) {
+        // Reference model: Vec of (key, tick) with the same LRU policy.
+        const CAP: usize = 3;
+        let mut cache: LruCache<Arc<RenderedFrame>> = LruCache::new(CAP);
+        let mut model: Vec<u64> = Vec::new(); // most-recent last
+        for op in ops {
+            match op {
+                Op::Insert(key) => {
+                    cache.insert(key, dummy_frame(key));
+                    model.retain(|&k| k != key);
+                    if model.len() >= CAP {
+                        model.remove(0); // stalest
+                    }
+                    model.push(key);
+                }
+                Op::Get(key) => {
+                    let hit = cache.get(key).is_some();
+                    let model_hit = model.contains(&key);
+                    prop_assert_eq!(hit, model_hit, "divergence on get({})", key);
+                    if model_hit {
+                        model.retain(|&k| k != key);
+                        model.push(key); // refresh recency
+                    }
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+            for &k in &model {
+                prop_assert!(cache.peek(k).is_some(), "model key {} missing", k);
+            }
+        }
+    }
+}

@@ -45,6 +45,31 @@ pub struct Animation {
 }
 
 impl Animation {
+    /// The per-frame configurations of this sweep: the camera angles
+    /// interpolate linearly from the base rotation (frame 0) to base +
+    /// sweep (last frame), with every other field copied from `base`.
+    ///
+    /// This is the frame sequence both the batch runner below and a
+    /// serving-layer session drive, so the two paths stay frame-for-frame
+    /// identical by construction.
+    pub fn frame_configs(&self, method: Method) -> Vec<ExperimentConfig> {
+        (0..self.frames)
+            .map(|f| {
+                let t = if self.frames > 1 {
+                    f as f32 / (self.frames - 1) as f32
+                } else {
+                    0.0
+                };
+                ExperimentConfig {
+                    rot_x_deg: self.base.rot_x_deg + t * self.sweep_x_deg,
+                    rot_y_deg: self.base.rot_y_deg + t * self.sweep_y_deg,
+                    method,
+                    ..self.base
+                }
+            })
+            .collect()
+    }
+
     /// Runs all frames with `method`, returning per-frame statistics.
     ///
     /// The dataset is built once; rendering is re-done per frame because
@@ -57,19 +82,9 @@ impl Animation {
             self.base.dataset,
             self.base.resolved_dims(),
         ));
-        (0..self.frames)
-            .map(|f| {
-                let t = if self.frames > 1 {
-                    f as f32 / (self.frames - 1) as f32
-                } else {
-                    0.0
-                };
-                let config = ExperimentConfig {
-                    rot_x_deg: self.base.rot_x_deg + t * self.sweep_x_deg,
-                    rot_y_deg: self.base.rot_y_deg + t * self.sweep_y_deg,
-                    method,
-                    ..self.base
-                };
+        self.frame_configs(method)
+            .into_iter()
+            .map(|config| {
                 let exp = Experiment::prepare_with_dataset(&config, Arc::clone(&dataset));
                 let out = exp.run(method);
                 FrameStats {
@@ -147,5 +162,65 @@ mod tests {
         let frames = anim(1).run(Method::Bsbrc);
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].rot_y_deg, anim(1).base.rot_y_deg);
+    }
+
+    #[test]
+    fn frame_configs_interpolate_from_base_to_base_plus_sweep() {
+        let a = anim(5);
+        let configs = a.frame_configs(Method::Bs);
+        assert_eq!(configs.len(), 5);
+        // Endpoints: frame 0 is the base view, the last frame is base +
+        // the full sweep (the interpolation is inclusive of both ends).
+        assert_eq!(configs[0].rot_x_deg, a.base.rot_x_deg);
+        assert_eq!(configs[0].rot_y_deg, a.base.rot_y_deg);
+        let last = configs.last().unwrap();
+        assert!((last.rot_x_deg - (a.base.rot_x_deg + a.sweep_x_deg)).abs() < 1e-4);
+        assert!((last.rot_y_deg - (a.base.rot_y_deg + a.sweep_y_deg)).abs() < 1e-4);
+        // Interior frames are evenly spaced.
+        let step = a.sweep_y_deg / 4.0;
+        for (i, c) in configs.iter().enumerate() {
+            let expect = a.base.rot_y_deg + i as f32 * step;
+            assert!(
+                (c.rot_y_deg - expect).abs() < 1e-3,
+                "frame {i}: {} != {expect}",
+                c.rot_y_deg
+            );
+        }
+        // The requested method overrides the base config's.
+        assert!(configs.iter().all(|c| c.method == Method::Bs));
+    }
+
+    #[test]
+    fn frame_configs_preserve_all_non_camera_fields() {
+        let a = anim(3);
+        for c in a.frame_configs(Method::Bsbrc) {
+            assert_eq!(c.dataset, a.base.dataset);
+            assert_eq!(c.image_size, a.base.image_size);
+            assert_eq!(c.processors, a.base.processors);
+            assert_eq!(c.volume_dims, a.base.volume_dims);
+            assert_eq!(c.step, a.base.step);
+            assert_eq!(c.macrocell, a.base.macrocell);
+            assert_eq!(c.tile, a.base.tile);
+        }
+    }
+
+    #[test]
+    fn single_frame_config_sits_at_the_base_view() {
+        let configs = anim(1).frame_configs(Method::Bsbrc);
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].rot_y_deg, anim(1).base.rot_y_deg);
+        assert_eq!(configs[0].rot_x_deg, anim(1).base.rot_x_deg);
+    }
+
+    #[test]
+    fn run_follows_frame_configs_sequencing() {
+        let a = anim(3);
+        let configs = a.frame_configs(Method::Bsbrc);
+        let frames = a.run(Method::Bsbrc);
+        assert_eq!(frames.len(), configs.len());
+        for (f, c) in frames.iter().zip(&configs) {
+            assert_eq!(f.rot_x_deg, c.rot_x_deg);
+            assert_eq!(f.rot_y_deg, c.rot_y_deg);
+        }
     }
 }

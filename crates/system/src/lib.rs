@@ -29,5 +29,5 @@ pub use animation::{Animation, FrameStats};
 pub use config::{CompTiming, ExperimentConfig};
 pub use distribute::{run_distributed, DistributedOutcome};
 pub use experiment::{Aggregate, Experiment, Outcome};
-pub use report::{format_figure_series, format_paper_table, TableRow};
+pub use report::{format_figure_series, format_paper_table, FrameRecord, TableRow};
 pub use sweep::{to_csv, SweepBuilder, SweepRecord};

@@ -1,8 +1,92 @@
-//! Table and figure formatting matching the paper's presentation.
+//! Table and figure formatting matching the paper's presentation, plus
+//! the machine-readable per-frame record used by the serving layer.
 
+use serde::{Deserialize, Serialize};
 use slsvr_core::Method;
 
-use crate::experiment::Aggregate;
+use crate::experiment::{Aggregate, Outcome};
+
+/// Machine-readable summary of one composited frame: the paper's
+/// aggregate timings broken down by phase, the traffic maxima, and the
+/// memory watermark — everything a serving layer needs programmatically
+/// per frame (the human-facing tables above only print totals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Max computation time over ranks, ms (the paper's `T_comp`).
+    pub t_comp_ms: f64,
+    /// Max modeled communication time over ranks, ms (`T_comm`).
+    pub t_comm_ms: f64,
+    /// `T_comp + T_comm`, ms (the tables' `T_total`).
+    pub t_total_ms: f64,
+    /// Max bounding-rectangle scan time over ranks, ms (`T_bound`).
+    pub t_bound_ms: f64,
+    /// Max run-length-encoding time over ranks, ms (`T_encode`).
+    pub t_encode_ms: f64,
+    /// Max per-rank rendering wall time, ms (0 when rendering was
+    /// skipped or reused).
+    pub render_max_ms: f64,
+    /// Maximum received bytes over ranks (the paper's `M_max`).
+    pub m_max: u64,
+    /// Total bytes sent by all ranks.
+    pub total_bytes: u64,
+    /// Peak resident pixel-buffer bytes over ranks (scratch staging
+    /// watermark from `TrafficStats`).
+    pub peak_pixel_buffer_bytes: u64,
+    /// Fraction of image pixels covered by gathered pieces (1.0 healthy).
+    pub coverage: f64,
+    /// Ranks killed by fault injection.
+    pub dead_ranks: usize,
+}
+
+impl FrameRecord {
+    /// Extracts the record from a compositing outcome.
+    pub fn from_outcome(out: &Outcome) -> FrameRecord {
+        let max_ms = |f: fn(&slsvr_core::MethodStats) -> f64| {
+            out.per_rank.iter().map(f).fold(0.0, f64::max) * 1e3
+        };
+        FrameRecord {
+            t_comp_ms: out.aggregate.t_comp_ms(),
+            t_comm_ms: out.aggregate.t_comm_ms(),
+            t_total_ms: out.aggregate.t_total_ms(),
+            t_bound_ms: max_ms(|s| s.bound_seconds),
+            t_encode_ms: max_ms(|s| s.encode_seconds),
+            render_max_ms: 0.0,
+            m_max: out.aggregate.m_max,
+            total_bytes: out.aggregate.total_bytes,
+            peak_pixel_buffer_bytes: out.peak_pixel_buffer_bytes(),
+            coverage: out.coverage,
+            dead_ranks: out.dead_ranks.len(),
+        }
+    }
+
+    /// Adds the rendering-phase wall time (max over ranks, seconds).
+    pub fn with_render_seconds(mut self, per_rank_seconds: &[f64]) -> FrameRecord {
+        self.render_max_ms = per_rank_seconds.iter().copied().fold(0.0, f64::max) * 1e3;
+        self
+    }
+
+    /// Serializes as one JSON object (stable field order, no external
+    /// JSON dependency — same policy as the bench trajectory files).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_comp_ms\": {}, \"t_comm_ms\": {}, \"t_total_ms\": {}, \
+             \"t_bound_ms\": {}, \"t_encode_ms\": {}, \"render_max_ms\": {}, \
+             \"m_max\": {}, \"total_bytes\": {}, \"peak_pixel_buffer_bytes\": {}, \
+             \"coverage\": {}, \"dead_ranks\": {}}}",
+            self.t_comp_ms,
+            self.t_comm_ms,
+            self.t_total_ms,
+            self.t_bound_ms,
+            self.t_encode_ms,
+            self.render_max_ms,
+            self.m_max,
+            self.total_bytes,
+            self.peak_pixel_buffer_bytes,
+            self.coverage,
+            self.dead_ranks
+        )
+    }
+}
 
 /// One row of a paper-style table: a processor count and the aggregates
 /// of every method at that count.
@@ -130,6 +214,9 @@ pub fn format_mmax_table(title: &str, rows: &[TableRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::experiment::Experiment;
+    use vr_volume::DatasetKind;
 
     fn agg(comp: f64, comm: f64, m_max: u64) -> Aggregate {
         Aggregate {
@@ -185,5 +272,65 @@ mod tests {
         assert!(format_paper_table("t", &[]).contains("no data"));
         let _ = format_figure_series("t", &[]);
         let _ = format_mmax_table("t", &[]);
+    }
+
+    #[test]
+    fn frame_record_surfaces_phase_timers_and_memory_watermark() {
+        let config = ExperimentConfig::small_test(DatasetKind::EngineLow, 4, Method::Bsbrc);
+        let exp = Experiment::prepare(&config);
+        let out = exp.run(Method::Bsbrc);
+        let record = FrameRecord::from_outcome(&out).with_render_seconds(&exp.render_seconds);
+        assert!(record.t_comp_ms > 0.0);
+        assert!(record.t_comm_ms > 0.0);
+        assert!((record.t_total_ms - (record.t_comp_ms + record.t_comm_ms)).abs() < 1e-9);
+        // BSBRC scans bounding rectangles and run-length encodes, so
+        // both phase timers must be non-zero and inside T_comp.
+        assert!(record.t_bound_ms > 0.0 && record.t_bound_ms < record.t_comp_ms);
+        assert!(record.t_encode_ms > 0.0 && record.t_encode_ms < record.t_comp_ms);
+        assert!(record.render_max_ms > 0.0);
+        // The scratch-pool watermark flows through from TrafficStats.
+        assert!(record.peak_pixel_buffer_bytes > 0);
+        assert_eq!(
+            record.peak_pixel_buffer_bytes,
+            out.peak_pixel_buffer_bytes()
+        );
+        assert_eq!(record.m_max, out.aggregate.m_max);
+        assert_eq!(record.coverage, 1.0);
+        assert_eq!(record.dead_ranks, 0);
+    }
+
+    #[test]
+    fn frame_record_json_is_machine_readable() {
+        let record = FrameRecord {
+            t_comp_ms: 1.5,
+            t_comm_ms: 0.5,
+            t_total_ms: 2.0,
+            t_bound_ms: 0.25,
+            t_encode_ms: 0.125,
+            render_max_ms: 3.0,
+            m_max: 1024,
+            total_bytes: 4096,
+            peak_pixel_buffer_bytes: 2048,
+            coverage: 1.0,
+            dead_ranks: 0,
+        };
+        let json = record.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "t_comp_ms",
+            "t_comm_ms",
+            "t_bound_ms",
+            "t_encode_ms",
+            "render_max_ms",
+            "peak_pixel_buffer_bytes",
+            "coverage",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing {key}: {json}"
+            );
+        }
+        assert!(json.contains("\"peak_pixel_buffer_bytes\": 2048"));
+        assert!(json.contains("\"t_bound_ms\": 0.25"));
     }
 }

@@ -1,0 +1,108 @@
+//! Regression tests for the serving loop's hot path: repeated frames on
+//! one configuration must not leak state between runs.
+//!
+//! The group runner builds fresh `TrafficStats` per run, the compositing
+//! scratch pools are per-run, and renderer bounds hints are recomputed
+//! with every prepared frame — so two identical back-to-back frames must
+//! produce identical images *and* identical per-frame statistics. These
+//! tests pin that invariant, which the `vr-serve` session manager relies
+//! on when it keeps datasets (and their macrocell grids) resident across
+//! requests.
+
+use std::sync::Arc;
+
+use slsvr_core::Method;
+use vr_image::checksum::fnv1a;
+use vr_system::{Experiment, ExperimentConfig};
+use vr_volume::{Dataset, DatasetKind};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig::small_test(DatasetKind::EngineHigh, 4, Method::Bsbrc)
+}
+
+#[test]
+fn back_to_back_frames_on_a_shared_dataset_are_identical() {
+    let config = config();
+    let dataset = Arc::new(Dataset::with_dims(config.dataset, config.resolved_dims()));
+
+    // Frame 1 warms the dataset's macrocell-grid cache; frame 2 reuses
+    // it — exactly what a resident serving session does.
+    let run = || {
+        let exp = Experiment::prepare_with_dataset(&config, Arc::clone(&dataset));
+        let out = exp.run(config.method);
+        (out, exp)
+    };
+    let (first, exp_a) = run();
+    let (second, exp_b) = run();
+
+    // Identical images, bit for bit.
+    assert_eq!(
+        fnv1a(&first.image),
+        fnv1a(&second.image),
+        "repeated frames must be bit-identical"
+    );
+    for (rank, (a, b)) in exp_a.subimages().iter().zip(exp_b.subimages()).enumerate() {
+        assert_eq!(fnv1a(a), fnv1a(b), "rank {rank} subimage drifted");
+    }
+
+    // Identical per-frame statistics: method counters (bounds scans,
+    // encodes, per-stage bytes) and transport counters (including the
+    // scratch-pool watermark) must not carry residue between frames.
+    assert_eq!(first.per_rank, second.per_rank, "MethodStats drifted");
+    assert_eq!(first.traffic, second.traffic, "TrafficStats drifted");
+    assert_eq!(first.aggregate.m_max, second.aggregate.m_max);
+    assert_eq!(first.aggregate.total_bytes, second.aggregate.total_bytes);
+    assert_eq!(first.aggregate.t_comp, second.aggregate.t_comp);
+    assert_eq!(first.aggregate.t_comm, second.aggregate.t_comm);
+    assert_eq!(
+        first.peak_pixel_buffer_bytes(),
+        second.peak_pixel_buffer_bytes()
+    );
+}
+
+#[test]
+fn rerunning_one_prepared_experiment_does_not_mutate_it() {
+    // `Experiment::run` composites on clones of the prepared subimages;
+    // running the same experiment twice (as a coalesced burst served
+    // from one prepared frame would) must be exactly repeatable.
+    let config = config();
+    let exp = Experiment::prepare(&config);
+    let before: Vec<u64> = exp.subimages().iter().map(fnv1a).collect();
+    let first = exp.run(config.method);
+    let second = exp.run(config.method);
+    let after: Vec<u64> = exp.subimages().iter().map(fnv1a).collect();
+    assert_eq!(before, after, "run() must not mutate prepared subimages");
+    assert_eq!(fnv1a(&first.image), fnv1a(&second.image));
+    assert_eq!(first.per_rank, second.per_rank);
+    assert_eq!(first.traffic, second.traffic);
+}
+
+#[test]
+fn shared_dataset_path_matches_cold_prepare() {
+    // A resident session (shared Arc<Dataset>, cached macrocell grid)
+    // must serve the same bits as a from-scratch batch run.
+    let config = config();
+    let cold = Experiment::prepare(&config).run(config.method);
+    let dataset = Arc::new(Dataset::with_dims(config.dataset, config.resolved_dims()));
+    // Warm the grid cache with an unrelated frame first.
+    let mut warm_cfg = config;
+    warm_cfg.rot_y_deg += 45.0;
+    let _ = Experiment::prepare_with_dataset(&warm_cfg, Arc::clone(&dataset)).run(config.method);
+    let warm = Experiment::prepare_with_dataset(&config, dataset).run(config.method);
+    assert_eq!(fnv1a(&cold.image), fnv1a(&warm.image));
+    assert_eq!(cold.per_rank, warm.per_rank);
+}
+
+#[test]
+fn different_methods_share_one_prepared_frame_without_interference() {
+    // Serving different methods from one prepared frame (clones of the
+    // same subimages) must leave each method's result unchanged relative
+    // to a dedicated run.
+    let config = config();
+    let exp = Experiment::prepare(&config);
+    let solo_bs = Experiment::prepare(&config).run(Method::Bs);
+    let _ = exp.run(Method::Bsbrc);
+    let shared_bs = exp.run(Method::Bs);
+    assert_eq!(fnv1a(&solo_bs.image), fnv1a(&shared_bs.image));
+    assert_eq!(solo_bs.per_rank, shared_bs.per_rank);
+}

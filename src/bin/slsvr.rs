@@ -12,8 +12,10 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use slsvr::compositing::Method;
+use slsvr::serve::{run_load, FrameService, LoadConfig, ServeConfig};
 use slsvr::system::{run_distributed, Experiment, ExperimentConfig, SweepBuilder};
 use slsvr::volume::DatasetKind;
 
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "render" => cmd_render(rest),
         "compare" => cmd_compare(rest),
+        "serve" => cmd_serve(rest),
         "sweep" => cmd_sweep(rest),
         "info" => {
             cmd_info();
@@ -59,11 +62,25 @@ USAGE:
                 [--ack-timeout MS] [--max-retries N] [--schedule-seed S]
   slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced]
+  slsvr serve   [--dataset NAME] [--size N] [--procs P] [--method M]
+                [--sessions N] [--requests N] [--poses N]
+                [--inter-arrival-ms MS] [--workers N] [--queue-depth N]
+                [--cache-frames N] [--deadline-ms MS] [--no-coalesce]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
   slsvr info
 
 DATASETS: engine_low | engine_high | head | cube
 METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe | radixk
+
+SERVE:    starts the vr-serve frame service (session-resident datasets,
+          LRU frame cache, latest-wins coalescing, bounded-queue admission
+          control) and drives it with the open-loop load generator:
+          --sessions concurrent users, --requests frames per session over
+          --poses camera poses. --queue-depth bounds admitted-but-unstarted
+          jobs (beyond it requests get an explicit Overloaded reply);
+          --deadline-ms sheds queued jobs older than the deadline;
+          --cache-frames 0 disables the cache; --no-coalesce answers every
+          request with its own render instead of the newest camera's.
 
 RENDER:   --macrocell N sets the empty-space-skipping cell edge in voxels
           (default 8, 0 = off); --tile N sets the screen-tile culling edge
@@ -265,12 +282,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
                 out.psnr_vs(&exp.reference()),
             );
         }
-        let peak = out
-            .traffic
-            .iter()
-            .map(|t| t.peak_pixel_buffer_bytes)
-            .max()
-            .unwrap_or(0);
+        let peak = out.peak_pixel_buffer_bytes();
         (
             out.image,
             out.aggregate.t_comp_ms(),
@@ -316,12 +328,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     for method in Method::all() {
         let out = exp.run(method);
         let ok = out.image.max_abs_diff(&reference) < 2e-4;
-        let peak = out
-            .traffic
-            .iter()
-            .map(|t| t.peak_pixel_buffer_bytes)
-            .max()
-            .unwrap_or(0);
+        let peak = out.peak_pixel_buffer_bytes();
         println!(
             "{:<8} {:>10.2} {:>10.2} {:>10.2} {:>12} {:>10.1} {:>5}",
             method.name(),
@@ -333,6 +340,86 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             if ok { "✓" } else { "✗" }
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let config = config_from_flags(&flags)?;
+
+    let mut serve = ServeConfig {
+        workers: flags.parse("--workers", 2usize)?,
+        queue_depth: flags.parse("--queue-depth", 32usize)?,
+        cache_frames: flags.parse("--cache-frames", 64usize)?,
+        coalesce: !flags.has("--no-coalesce"),
+        deadline: None,
+    };
+    if let Some(ms) = flags.get("--deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("invalid --deadline-ms `{ms}`"))?;
+        serve.deadline = Some(Duration::from_millis(ms));
+    }
+    if serve.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+
+    let load = LoadConfig {
+        sessions: flags.parse("--sessions", 2usize)?,
+        requests_per_session: flags.parse("--requests", 24usize)?,
+        poses: flags.parse("--poses", 4usize)?,
+        inter_arrival: Duration::from_millis(flags.parse("--inter-arrival-ms", 5u64)?),
+        seed: flags.parse("--seed", 0x5EEDu64)?,
+    };
+
+    println!(
+        "{} · {}² · P={} · {} — serving {} session(s) × {} request(s) over {} pose(s)",
+        config.dataset.name(),
+        config.image_size,
+        config.processors,
+        config.method.name(),
+        load.sessions,
+        load.requests_per_session,
+        load.poses,
+    );
+    println!(
+        "workers {} · queue depth {} · cache {} frame(s) · coalesce {} · deadline {}\n",
+        serve.workers,
+        serve.queue_depth,
+        serve.cache_frames,
+        if serve.coalesce { "on" } else { "off" },
+        serve
+            .deadline
+            .map_or("none".into(), |d| format!("{} ms", d.as_millis())),
+    );
+
+    let service = FrameService::start(serve);
+    let report = run_load(&service, config, &load);
+    let stats = service.shutdown();
+
+    println!("disposition of {} requests:", report.submitted);
+    println!("  fresh renders     {:>6}", report.ok_fresh);
+    println!("  cache hits        {:>6}", report.ok_cached);
+    println!("  coalesced         {:>6}", report.ok_coalesced);
+    println!("  shed (deadline)   {:>6}", report.shed);
+    println!("  overloaded        {:>6}", report.overloaded);
+    println!(
+        "\nlatency p50/p95/p99: {:.2} / {:.2} / {:.2} ms · throughput {:.1} frames/s · \
+         cache hit rate {:.1}%",
+        report.percentile_ms(50.0),
+        report.percentile_ms(95.0),
+        report.percentile_ms(99.0),
+        report.throughput_rps(),
+        report.hit_rate() * 100.0,
+    );
+    println!(
+        "service: {} distinct renders · peak queue {} · cache {}h/{}m/{}e",
+        stats.rendered_frames,
+        stats.peak_queue_depth,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+    );
     Ok(())
 }
 

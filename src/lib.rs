@@ -17,6 +17,8 @@
 //! * [`compositing`] — the paper's BS/BSBR/BSLC/BSBRC methods plus
 //!   baselines and extensions.
 //! * [`system`] — the assembled pipeline and the experiment runner.
+//! * [`serve`] — the concurrent frame-serving layer: sessions, LRU
+//!   frame cache, request coalescing, and admission control.
 //!
 //! ## Example
 //!
@@ -46,5 +48,6 @@ pub use slsvr_core as compositing;
 pub use vr_comm as comm;
 pub use vr_image as image;
 pub use vr_render as render;
+pub use vr_serve as serve;
 pub use vr_system as system;
 pub use vr_volume as volume;
