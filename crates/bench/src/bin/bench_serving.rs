@@ -16,6 +16,11 @@
 //!   still rendering something.
 //! * `shed` — a zero deadline makes every queued job stale by the time a
 //!   worker picks it up; all queued work must be shed, none rendered.
+//! * `chaos` — a seeded fault plan (one rank killed mid-frame plus a
+//!   trickle of dropped messages repaired by the reliability layer) with
+//!   the degraded-frame policy active. Every request must still resolve
+//!   to exactly one explicit outcome, degraded frames must be served
+//!   above the PSNR floor, and nothing degraded may enter the cache.
 //!
 //! The gates are *structural* — counts and invariants of the run itself,
 //! never absolute latency — so they hold on throttled shared CI hosts.
@@ -32,7 +37,10 @@
 use std::time::Duration;
 
 use vr_bench::json::{obj, parse, Json};
-use vr_serve::{run_load, FrameService, LoadConfig, LoadReport, ServeConfig};
+use vr_comm::{FaultConfig, KillSpec, ReliabilityConfig};
+use vr_serve::{
+    run_load, DegradedFramePolicy, FrameService, LoadConfig, LoadReport, RetryPolicy, ServeConfig,
+};
 use vr_system::ExperimentConfig;
 use vr_volume::DatasetKind;
 
@@ -139,11 +147,39 @@ fn base_config() -> ExperimentConfig {
     ExperimentConfig::small_test(DatasetKind::EngineHigh, 4, Method::Bsbrc)
 }
 
+/// The chaos phase renders under the deterministic virtual clock so
+/// receive timeouts and retransmissions cost simulated, not wall, time.
+fn chaos_base_config() -> ExperimentConfig {
+    let mut config = base_config();
+    config.schedule_seed = Some(11);
+    config.recv_deadline = Some(Duration::from_millis(250));
+    config
+}
+
+/// The seeded chaos fault plan: rank 1 dies mid-frame every frame, and
+/// 1% of transmissions drop (repaired by the reliability layer below).
+fn chaos_faults() -> FaultConfig {
+    FaultConfig {
+        seed: 0xC405,
+        drop: 0.01,
+        kill: Some(KillSpec {
+            rank: 1,
+            after_ops: 2,
+        }),
+        ..Default::default()
+    }
+}
+
+/// Degraded frames with at least this much fidelity are served; a frame
+/// from a 4-rank run missing one rank's piece sits far above it.
+const CHAOS_PSNR_FLOOR_DB: f64 = 3.0;
+
 fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
     vec![
         run_phase(
             "steady",
             ServeConfig::default(),
+            base_config(),
             LoadConfig {
                 sessions,
                 requests_per_session: requests,
@@ -160,7 +196,9 @@ fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
                 cache_frames: 0,
                 coalesce: false,
                 deadline: None,
+                ..ServeConfig::default()
             },
+            base_config(),
             LoadConfig {
                 sessions: sessions.max(4),
                 requests_per_session: requests,
@@ -177,7 +215,9 @@ fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
                 cache_frames: 0,
                 coalesce: false,
                 deadline: Some(Duration::ZERO),
+                ..ServeConfig::default()
             },
+            base_config(),
             LoadConfig {
                 sessions: 2,
                 requests_per_session: 4,
@@ -186,12 +226,40 @@ fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
                 seed: 0xD0D0,
             },
         ),
+        run_phase(
+            "chaos",
+            ServeConfig {
+                workers: 2,
+                cache_frames: 0,
+                coalesce: false,
+                faults: Some(chaos_faults()),
+                reliability: Some(ReliabilityConfig::on()),
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(4),
+                    ..RetryPolicy::default()
+                },
+                degraded: DegradedFramePolicy {
+                    psnr_floor_db: CHAOS_PSNR_FLOOR_DB,
+                },
+                ..ServeConfig::default()
+            },
+            chaos_base_config(),
+            LoadConfig {
+                sessions: 2,
+                requests_per_session: requests.min(12),
+                poses: 3,
+                inter_arrival: Duration::from_millis(2),
+                seed: 0xC405,
+            },
+        ),
     ]
 }
 
-fn run_phase(phase: &str, serve: ServeConfig, load: LoadConfig) -> Json {
+fn run_phase(phase: &str, serve: ServeConfig, base: ExperimentConfig, load: LoadConfig) -> Json {
     let service = FrameService::start(serve);
-    let report = run_load(&service, base_config(), &load);
+    let report = run_load(&service, base, &load);
     drop(service); // joins the workers; stats already snapshot in `report`
     entry(phase, &serve, &load, &report)
 }
@@ -220,13 +288,19 @@ fn entry(phase: &str, serve: &ServeConfig, load: &LoadConfig, r: &LoadReport) ->
             "deadline_ms",
             Json::Num(serve.deadline.map_or(-1.0, |d| d.as_secs_f64() * 1e3)),
         ),
+        // Robustness knobs.
+        ("faulted", Json::Bool(serve.faults.is_some())),
+        ("max_retries", Json::Num(serve.retry.max_retries as f64)),
+        ("psnr_floor_db", Json::Num(serve.degraded.psnr_floor_db)),
         // Dispositions (these partition `submitted`).
         ("submitted", Json::Num(r.submitted as f64)),
         ("fresh", Json::Num(r.ok_fresh as f64)),
         ("cached", Json::Num(r.ok_cached as f64)),
         ("coalesced", Json::Num(r.ok_coalesced as f64)),
+        ("degraded", Json::Num(r.ok_degraded as f64)),
         ("shed", Json::Num(r.shed as f64)),
         ("overloaded", Json::Num(r.overloaded as f64)),
+        ("rejected", Json::Num(r.rejected as f64)),
         // Latency/throughput — recorded for trend reading, never gated.
         ("p50_ms", Json::Num(r.percentile_ms(50.0))),
         ("p95_ms", Json::Num(r.percentile_ms(95.0))),
@@ -240,39 +314,55 @@ fn entry(phase: &str, serve: &ServeConfig, load: &LoadConfig, r: &LoadReport) ->
         ("cache_hits", Json::Num(s.cache.hits as f64)),
         ("cache_misses", Json::Num(s.cache.misses as f64)),
         ("cache_evictions", Json::Num(s.cache.evictions as f64)),
+        // Self-healing counters. `min_degraded_psnr` is -1 when no
+        // degraded frame was served (the INFINITY sentinel has no JSON
+        // spelling).
+        ("frame_retries", Json::Num(s.frame_retries as f64)),
+        ("panics_caught", Json::Num(s.panics_caught as f64)),
+        ("rejected_circuit", Json::Num(s.rejected_circuit as f64)),
+        (
+            "min_degraded_psnr",
+            Json::Num(if s.min_degraded_psnr_db.is_finite() {
+                s.min_degraded_psnr_db
+            } else {
+                -1.0
+            }),
+        ),
     ])
 }
 
 fn print_table(entries: &[Json]) {
     println!(
-        "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>6} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>5} {:>6} {:>4} {:>9} {:>9} {:>8} {:>8}",
         "phase",
         "subm",
         "fresh",
         "cached",
         "coalesce",
+        "degr",
         "shed",
         "over",
+        "rej",
         "p50_ms",
         "p95_ms",
-        "p99_ms",
         "rps",
         "hitrate"
     );
     for e in entries {
         let f = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
         println!(
-            "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>8.1} {:>7.1}%",
+            "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>5} {:>6} {:>4} {:>9.2} {:>9.2} {:>8.1} {:>7.1}%",
             e.get("phase").and_then(Json::as_str).unwrap_or("?"),
             f("submitted"),
             f("fresh"),
             f("cached"),
             f("coalesced"),
+            f("degraded"),
             f("shed"),
             f("overloaded"),
+            f("rejected"),
             f("p50_ms"),
             f("p95_ms"),
-            f("p99_ms"),
             f("throughput_rps"),
             f("hit_rate") * 100.0,
         );
@@ -366,7 +456,13 @@ fn check(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<St
         );
 
         // Every request answered exactly once, in every phase.
-        let answered = n("fresh") + n("cached") + n("coalesced") + n("shed") + n("overloaded");
+        let answered = n("fresh")
+            + n("cached")
+            + n("coalesced")
+            + n("degraded")
+            + n("shed")
+            + n("overloaded")
+            + n("rejected");
         check_one(
             answered == n("submitted") && n("submitted") > 0.0,
             format!(
@@ -425,6 +521,27 @@ fn check(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<St
                 check_one(
                     n("fresh") == 0.0,
                     format!("shed: zero deadline renders nothing ({})", n("fresh")),
+                );
+            }
+            "chaos" => {
+                check_one(
+                    n("degraded") > 0.0,
+                    format!(
+                        "chaos: {} degraded frames served under the kill plan",
+                        n("degraded")
+                    ),
+                );
+                check_one(
+                    n("min_degraded_psnr") >= n("psnr_floor_db"),
+                    format!(
+                        "chaos: min degraded PSNR {:.2} dB >= floor {:.2} dB",
+                        n("min_degraded_psnr"),
+                        n("psnr_floor_db")
+                    ),
+                );
+                check_one(
+                    n("cached") == 0.0,
+                    format!("chaos: degraded frames never cached ({})", n("cached")),
                 );
             }
             other => check_one(false, format!("unknown phase '{other}' in current run")),

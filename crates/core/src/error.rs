@@ -32,6 +32,18 @@ pub enum CompositeError {
     },
 }
 
+impl CompositeError {
+    /// True when a retry with a fresh fault-seed could plausibly
+    /// succeed. `Comm` failures (timeouts, retry-budget exhaustion,
+    /// tag mismatches under fault storms) re-draw their fault decisions
+    /// on the next attempt; a `Killed` rank is structural — the kill
+    /// spec fires deterministically regardless of seed, so retrying
+    /// replays the same death.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CompositeError::Comm { .. })
+    }
+}
+
 impl std::fmt::Display for CompositeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -149,6 +161,16 @@ mod tests {
         assert!(msg.contains("fold"), "{msg}");
         let k = CompositeError::Killed { rank: 2 };
         assert!(format!("{k}").contains("rank 2"));
+    }
+
+    #[test]
+    fn comm_is_transient_killed_is_structural() {
+        let comm = CompositeError::Comm {
+            during: "bs stage",
+            source: CommError::Recv(RecvError::Disconnected { from: 1 }),
+        };
+        assert!(comm.is_transient());
+        assert!(!CompositeError::Killed { rank: 0 }.is_transient());
     }
 
     #[test]

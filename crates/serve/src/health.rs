@@ -1,0 +1,238 @@
+//! Per-(dataset, dims) health tracking: a consecutive-failure circuit
+//! breaker with half-open probing.
+//!
+//! The service keeps one [`CircuitBreaker`] per `(DatasetKind, dims)`
+//! pair. Every finished frame reports success or failure; once a pair
+//! fails [`BreakerConfig::failure_threshold`] times in a row the
+//! breaker opens and new requests for that pair are shed at admission —
+//! a poisoned dataset stops burning worker-pool attempts. After
+//! [`BreakerConfig::cooldown`] the breaker goes half-open: exactly one
+//! probe request is let through; its outcome either closes the breaker
+//! or re-opens it for another cooldown.
+//!
+//! All transitions take the current time as a parameter, so tests (and
+//! any future virtual-clock harness) can drive the state machine with
+//! manufactured `Instant`s instead of sleeping.
+
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker. `0` disables health
+    /// tracking entirely (every request is admitted).
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 0,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// True when health tracking is turned off.
+    pub fn disabled(&self) -> bool {
+        self.failure_threshold == 0
+    }
+}
+
+/// The breaker's position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Healthy; counting consecutive failures.
+    Closed { consecutive_failures: u32 },
+    /// Shedding; remembers when it tripped.
+    Open { since: Instant },
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// What admission should do with a request for this key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Healthy — admit normally.
+    Allow,
+    /// Cooldown elapsed — admit this single request as the half-open
+    /// probe.
+    Probe,
+    /// Open — reject without rendering.
+    Shed,
+}
+
+/// Consecutive-failure circuit breaker for one (dataset, dims) key.
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: State,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given knobs.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: State::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Admission decision at time `now`. Returning [`BreakerDecision::Probe`]
+    /// transitions to half-open: the caller must report the probe's
+    /// outcome via [`on_success`](Self::on_success) /
+    /// [`on_failure`](Self::on_failure).
+    pub fn admit(&mut self, now: Instant) -> BreakerDecision {
+        if self.cfg.disabled() {
+            return BreakerDecision::Allow;
+        }
+        match self.state {
+            State::Closed { .. } => BreakerDecision::Allow,
+            State::Open { since } => {
+                if now.duration_since(since) >= self.cfg.cooldown {
+                    self.state = State::HalfOpen;
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Shed
+                }
+            }
+            // A probe is already in flight; don't pile on.
+            State::HalfOpen => BreakerDecision::Shed,
+        }
+    }
+
+    /// A frame for this key completed (cleanly or served degraded).
+    pub fn on_success(&mut self) {
+        self.state = State::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// A frame for this key failed terminally (rejected after retries).
+    pub fn on_failure(&mut self, now: Instant) {
+        if self.cfg.disabled() {
+            return;
+        }
+        match self.state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.cfg.failure_threshold {
+                    self.state = State::Open { since: now };
+                } else {
+                    self.state = State::Closed {
+                        consecutive_failures: n,
+                    };
+                }
+            }
+            // Failed probe: back to a full cooldown.
+            State::HalfOpen => self.state = State::Open { since: now },
+            State::Open { .. } => {}
+        }
+    }
+
+    /// True when the breaker is currently shedding (open or probing).
+    pub fn is_open(&self) -> bool {
+        !matches!(self.state, State::Closed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn disabled_breaker_always_allows() {
+        let mut b = breaker(0, 1);
+        let t = Instant::now();
+        for _ in 0..10 {
+            b.on_failure(t);
+            assert_eq!(b.admit(t), BreakerDecision::Allow);
+            assert!(!b.is_open());
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = breaker(3, 1_000);
+        let t = Instant::now();
+        b.on_failure(t);
+        b.on_failure(t);
+        assert_eq!(b.admit(t), BreakerDecision::Allow);
+        b.on_failure(t);
+        assert_eq!(b.admit(t), BreakerDecision::Shed);
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker(2, 1_000);
+        let t = Instant::now();
+        b.on_failure(t);
+        b.on_success();
+        b.on_failure(t);
+        // Streak was broken, so two non-consecutive failures don't trip.
+        assert_eq!(b.admit(t), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn cooldown_elapses_into_a_single_probe() {
+        let mut b = breaker(1, 500);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        assert_eq!(b.admit(t0), BreakerDecision::Shed);
+        // Just before the cooldown: still shedding.
+        assert_eq!(
+            b.admit(t0 + Duration::from_millis(499)),
+            BreakerDecision::Shed
+        );
+        // At the cooldown: exactly one probe, then shed again while the
+        // probe is in flight.
+        let t1 = t0 + Duration::from_millis(500);
+        assert_eq!(b.admit(t1), BreakerDecision::Probe);
+        assert_eq!(b.admit(t1), BreakerDecision::Shed);
+    }
+
+    #[test]
+    fn probe_outcome_closes_or_reopens() {
+        let mut b = breaker(1, 100);
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        let t1 = t0 + Duration::from_millis(100);
+        assert_eq!(b.admit(t1), BreakerDecision::Probe);
+        // Successful probe closes the breaker.
+        b.on_success();
+        assert_eq!(b.admit(t1), BreakerDecision::Allow);
+        assert!(!b.is_open());
+
+        // Trip again; this time the probe fails and the breaker re-opens
+        // for a fresh, full cooldown from the failure time.
+        b.on_failure(t1);
+        let t2 = t1 + Duration::from_millis(100);
+        assert_eq!(b.admit(t2), BreakerDecision::Probe);
+        b.on_failure(t2);
+        assert_eq!(b.admit(t2), BreakerDecision::Shed);
+        assert_eq!(
+            b.admit(t2 + Duration::from_millis(99)),
+            BreakerDecision::Shed
+        );
+        assert_eq!(
+            b.admit(t2 + Duration::from_millis(100)),
+            BreakerDecision::Probe
+        );
+    }
+}

@@ -25,6 +25,31 @@
 //!   served frame is **bit-identical** to the same config run as a
 //!   one-shot experiment.
 //!
+//! The service is also **self-healing** — faults injected anywhere in
+//! the stack produce explicit, bounded, policy-controlled outcomes:
+//!
+//! * **Fault plumbing** — [`ServeConfig::faults`] /
+//!   [`ServeConfig::reliability`] / [`ServeConfig::recv_deadline`]
+//!   inject a seeded chaos campaign into every request that doesn't
+//!   carry its own.
+//! * **Retry with backoff** — transient failures (receive timeouts,
+//!   reliable-delivery budget exhaustion) retry under a seeded,
+//!   deadline-aware exponential backoff ([`RetryPolicy`]); each retry
+//!   re-salts the fault and schedule seeds so it re-draws the faults
+//!   instead of replaying them.
+//! * **Degraded-frame policy** — a frame with dead-rank holes is scored
+//!   by PSNR against the fault-free reference composite and served
+//!   tagged [`ServeSource::Degraded`], retried, or rejected per the
+//!   configured floor ([`DegradedFramePolicy`]).
+//! * **Health tracking** — a per-(dataset, dims) consecutive-failure
+//!   circuit breaker with half-open probing ([`BreakerConfig`]) sheds a
+//!   poisoned dataset at admission instead of burning the worker pool.
+//! * **Panic safety** — a crashing distributed run is caught
+//!   (`catch_unwind`); its waiters get an explicit
+//!   [`FrameResponse::Rejected`] and the worker survives.
+//! * **Session lifecycle** — resident datasets idle past
+//!   [`ServeConfig::session_ttl`] are evicted (never while referenced).
+//!
 //! Concurrency is std threads + channels + mutex/condvar, matching the
 //! workspace's existing style (no async runtime).
 //!
@@ -41,18 +66,26 @@
 //!     }
 //!     FrameResponse::Overloaded { queue_depth } => eprintln!("busy ({queue_depth} queued)"),
 //!     FrameResponse::Shed { .. } => eprintln!("deadline missed"),
+//!     FrameResponse::Rejected { attempts, reason } => {
+//!         eprintln!("rejected after {attempts} attempts: {reason:?}")
+//!     }
 //! }
 //! ```
 
 pub mod cache;
+pub mod health;
 pub mod loadgen;
 pub mod metrics;
+pub mod policy;
 mod queue;
 pub mod service;
 
 pub use cache::{frame_key, CacheCounters, LruCache};
+pub use health::{BreakerConfig, BreakerDecision, CircuitBreaker};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use metrics::ServiceStats;
+pub use policy::{DegradedDecision, DegradedFramePolicy, RetryPolicy};
 pub use service::{
-    FrameReply, FrameResponse, FrameService, RenderedFrame, ServeConfig, ServeSource, SessionHandle,
+    FrameReply, FrameResponse, FrameService, RejectReason, RenderedFrame, ServeConfig, ServeSource,
+    SessionHandle,
 };

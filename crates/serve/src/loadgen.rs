@@ -54,10 +54,15 @@ pub struct LoadReport {
     pub ok_cached: u64,
     /// Coalesced (superseded, answered with the newest frame) replies.
     pub ok_coalesced: u64,
+    /// Degraded frames served above the PSNR floor.
+    pub ok_degraded: u64,
     /// Deadline sheds.
     pub shed: u64,
     /// Admission rejections.
     pub overloaded: u64,
+    /// Robustness rejections (failed after retries, below the quality
+    /// floor, or shed by an open circuit breaker).
+    pub rejected: u64,
     /// Per-request latencies in milliseconds (successful replies only),
     /// sorted ascending.
     pub latencies_ms: Vec<f64>,
@@ -78,11 +83,15 @@ impl LoadReport {
         self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
     }
 
+    /// Image-carrying replies (degraded included).
+    pub fn ok_total(&self) -> u64 {
+        self.ok_fresh + self.ok_cached + self.ok_coalesced + self.ok_degraded
+    }
+
     /// Image-carrying replies per wall-clock second.
     pub fn throughput_rps(&self) -> f64 {
-        let ok = self.ok_fresh + self.ok_cached + self.ok_coalesced;
         if self.wall_seconds > 0.0 {
-            ok as f64 / self.wall_seconds
+            self.ok_total() as f64 / self.wall_seconds
         } else {
             0.0
         }
@@ -90,7 +99,7 @@ impl LoadReport {
 
     /// Fraction of image-carrying replies served from the cache.
     pub fn hit_rate(&self) -> f64 {
-        let ok = self.ok_fresh + self.ok_cached + self.ok_coalesced;
+        let ok = self.ok_total();
         if ok == 0 {
             0.0
         } else {
@@ -123,7 +132,7 @@ pub fn pose_angles(base: &ExperimentConfig, pose: usize, poses: usize) -> (f32, 
 /// dataset, and returns the aggregated report.
 pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfig) -> LoadReport {
     let start = Instant::now();
-    let mut session_reports: Vec<(Vec<f64>, [u64; 6])> = Vec::new();
+    let mut session_reports: Vec<(Vec<f64>, [u64; 8])> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..load.sessions)
             .map(|s| {
@@ -148,8 +157,10 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
                     // reply carries its own submit→reply latency so the
                     // drain order cannot skew the measurement.
                     let mut latencies = Vec::new();
-                    let mut counts = [0u64; 6]; // fresh, cached, coalesced, shed, over, submitted
-                    counts[5] = load.requests_per_session as u64;
+                    // fresh, cached, coalesced, degraded, shed, over,
+                    // rejected, submitted
+                    let mut counts = [0u64; 8];
+                    counts[7] = load.requests_per_session as u64;
                     for rx in pending {
                         match rx.recv().expect("service answers every request") {
                             FrameResponse::Frame(reply) => {
@@ -157,11 +168,13 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
                                     ServeSource::Fresh => counts[0] += 1,
                                     ServeSource::Cache => counts[1] += 1,
                                     ServeSource::Coalesced => counts[2] += 1,
+                                    ServeSource::Degraded { .. } => counts[3] += 1,
                                 }
                                 latencies.push(reply.wait_seconds * 1e3);
                             }
-                            FrameResponse::Shed { .. } => counts[3] += 1,
-                            FrameResponse::Overloaded { .. } => counts[4] += 1,
+                            FrameResponse::Shed { .. } => counts[4] += 1,
+                            FrameResponse::Overloaded { .. } => counts[5] += 1,
+                            FrameResponse::Rejected { .. } => counts[6] += 1,
                         }
                     }
                     (latencies, counts)
@@ -182,9 +195,11 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
         report.ok_fresh += counts[0];
         report.ok_cached += counts[1];
         report.ok_coalesced += counts[2];
-        report.shed += counts[3];
-        report.overloaded += counts[4];
-        report.submitted += counts[5];
+        report.ok_degraded += counts[3];
+        report.shed += counts[4];
+        report.overloaded += counts[5];
+        report.rejected += counts[6];
+        report.submitted += counts[7];
     }
     report
         .latencies_ms
@@ -220,18 +235,11 @@ mod tests {
         let report = run_load(&service, base(), &load);
         assert_eq!(report.submitted, 16);
         assert_eq!(
-            report.ok_fresh
-                + report.ok_cached
-                + report.ok_coalesced
-                + report.shed
-                + report.overloaded,
+            report.ok_total() + report.shed + report.overloaded + report.rejected,
             16
         );
         assert!(report.wall_seconds > 0.0);
-        assert_eq!(
-            report.latencies_ms.len() as u64,
-            report.ok_fresh + report.ok_cached + report.ok_coalesced
-        );
+        assert_eq!(report.latencies_ms.len() as u64, report.ok_total());
         // Sorted for percentile lookup.
         assert!(report.latencies_ms.windows(2).all(|w| w[0] <= w[1]));
         assert!(report.percentile_ms(99.0) >= report.percentile_ms(50.0));

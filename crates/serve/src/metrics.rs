@@ -7,9 +7,11 @@ use crate::cache::CacheCounters;
 /// Request dispositions partition `submitted`: every submitted request
 /// is eventually answered exactly once, as a fresh render, a cache hit,
 /// a coalesced reply (superseded by a newer camera from the same
-/// session and answered with that fresh result), a deadline shed, or an
-/// `Overloaded` rejection.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// session and answered with that fresh result), a degraded frame
+/// served above the PSNR floor, a deadline shed, an `Overloaded`
+/// rejection, a robustness rejection (failed / below-floor after
+/// retries), or a circuit-breaker shed.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServiceStats {
     /// Requests submitted to the service.
     pub submitted: u64,
@@ -20,11 +22,30 @@ pub struct ServiceStats {
     /// Requests superseded by a newer one from the same session and
     /// answered with the newer frame ("latest wins").
     pub completed_coalesced: u64,
+    /// Requests answered with a degraded frame that cleared the PSNR
+    /// floor (tagged `ServeSource::Degraded`, never cached).
+    pub completed_degraded: u64,
     /// Requests dropped because their deadline passed while queued.
     pub shed_deadline: u64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_overload: u64,
-    /// Distinct `Experiment` runs performed by the worker pool.
+    /// Requests rejected by the robustness layer after render attempts
+    /// (every attempt crashed, or no attempt cleared the PSNR floor).
+    pub rejected_failed: u64,
+    /// Requests shed at admission by an open circuit breaker.
+    pub rejected_circuit: u64,
+    /// Retry attempts performed beyond each job's first attempt.
+    pub frame_retries: u64,
+    /// Panics from distributed runs caught by the worker pool (each one
+    /// answered explicitly instead of hanging its waiters).
+    pub panics_caught: u64,
+    /// Resident datasets evicted after their idle TTL.
+    pub datasets_evicted: u64,
+    /// Worst PSNR (dB) of any degraded frame actually served
+    /// (`f64::INFINITY` when none was) — the quality-floor witness.
+    pub min_degraded_psnr_db: f64,
+    /// Distinct `Experiment` runs performed by the worker pool
+    /// (retries included).
     pub rendered_frames: u64,
     /// Deepest the request queue ever got.
     pub peak_queue_depth: usize,
@@ -32,16 +53,46 @@ pub struct ServiceStats {
     pub cache: CacheCounters,
 }
 
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            submitted: 0,
+            completed_fresh: 0,
+            completed_cached: 0,
+            completed_coalesced: 0,
+            completed_degraded: 0,
+            shed_deadline: 0,
+            rejected_overload: 0,
+            rejected_failed: 0,
+            rejected_circuit: 0,
+            frame_retries: 0,
+            panics_caught: 0,
+            datasets_evicted: 0,
+            min_degraded_psnr_db: f64::INFINITY,
+            rendered_frames: 0,
+            peak_queue_depth: 0,
+            cache: CacheCounters::default(),
+        }
+    }
+}
+
 impl ServiceStats {
-    /// Requests answered with an image (any source).
+    /// Requests answered with an image (any source, degraded included).
     pub fn completed(&self) -> u64 {
-        self.completed_fresh + self.completed_cached + self.completed_coalesced
+        self.completed_fresh
+            + self.completed_cached
+            + self.completed_coalesced
+            + self.completed_degraded
     }
 
     /// Requests answered at all (images plus sheds and rejections) —
     /// equals `submitted` once the service has drained.
     pub fn answered(&self) -> u64 {
-        self.completed() + self.shed_deadline + self.rejected_overload
+        self.completed()
+            + self.shed_deadline
+            + self.rejected_overload
+            + self.rejected_failed
+            + self.rejected_circuit
     }
 
     /// Fraction of image-carrying replies served from the cache.
@@ -62,17 +113,20 @@ mod tests {
     #[test]
     fn dispositions_partition_submissions() {
         let s = ServiceStats {
-            submitted: 10,
+            submitted: 14,
             completed_fresh: 3,
             completed_cached: 4,
             completed_coalesced: 1,
+            completed_degraded: 2,
             shed_deadline: 1,
             rejected_overload: 1,
+            rejected_failed: 1,
+            rejected_circuit: 1,
             ..Default::default()
         };
-        assert_eq!(s.completed(), 8);
-        assert_eq!(s.answered(), 10);
-        assert!((s.serve_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.completed(), 10);
+        assert_eq!(s.answered(), 14);
+        assert!((s.serve_hit_rate() - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -80,5 +134,6 @@ mod tests {
         let s = ServiceStats::default();
         assert_eq!(s.serve_hit_rate(), 0.0);
         assert_eq!(s.answered(), 0);
+        assert_eq!(s.min_degraded_psnr_db, f64::INFINITY);
     }
 }

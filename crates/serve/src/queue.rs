@@ -122,3 +122,150 @@ mod tests {
         assert_eq!(admit(&jobs, 5, 2, false), Admission::Reject);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    //! Model check of the admission/answer protocol: drive the *real*
+    //! `admit` function and real `mpsc` waiters through an arbitrary
+    //! interleaving of submissions and worker pops — where pops may
+    //! succeed, shed, or *fail* (the mid-flight frame failure of the
+    //! robustness layer) — and assert that no decision ever leaks a
+    //! waiter and the queue depth stays bounded throughout.
+
+    use super::*;
+    use crate::cache::frame_key;
+    use crate::service::{FrameResponse, RejectReason};
+    use proptest::prelude::*;
+    use slsvr_core::Method;
+    use std::sync::OnceLock;
+    use vr_volume::{Dataset, DatasetKind};
+
+    /// One shared tiny dataset so cases don't pay a volume build each.
+    fn dataset() -> Arc<Dataset> {
+        static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
+        Arc::clone(
+            DATASET.get_or_init(|| Arc::new(Dataset::with_dims(DatasetKind::Cube, [8, 8, 8]))),
+        )
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    enum Op {
+        /// A request arrives from this session.
+        Submit { session: u64 },
+        /// A worker pops the front job and finishes it this way.
+        Pop(PopOutcome),
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    enum PopOutcome {
+        /// The frame rendered; waiters get a (stand-in) frame response.
+        Serve,
+        /// The job was shed at the deadline check.
+        Shed,
+        /// Every attempt failed; waiters get `Rejected`.
+        Fail,
+    }
+
+    fn op_strategy(sessions: u64) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0..sessions).prop_map(|session| Op::Submit { session }),
+            1 => Just(Op::Pop(PopOutcome::Serve)),
+            1 => Just(Op::Pop(PopOutcome::Shed)),
+            1 => Just(Op::Pop(PopOutcome::Fail)),
+        ]
+    }
+
+    /// Answers every waiter of `job` with one explicit response.
+    fn finish(job: Job, outcome: PopOutcome) {
+        for w in job.waiters {
+            let resp = match outcome {
+                // A full `FrameReply` needs a render; `Shed` is just as
+                // image-free and exercises the same exactly-once path.
+                PopOutcome::Serve | PopOutcome::Shed => FrameResponse::Shed {
+                    waited_seconds: 0.0,
+                },
+                PopOutcome::Fail => FrameResponse::Rejected {
+                    attempts: 1,
+                    reason: RejectReason::Failed {
+                        error: "injected".to_string(),
+                    },
+                },
+            };
+            w.tx.send(resp).expect("receiver alive");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn no_decision_leaks_a_waiter_and_depth_stays_bounded(
+            ops in proptest::collection::vec(op_strategy(4), 1..60),
+            depth in 1usize..5,
+            coalesce in any::<bool>(),
+        ) {
+            let config = ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::Bs);
+            let mut jobs: VecDeque<Job> = VecDeque::new();
+            let mut receivers = Vec::new();
+            let mut expect_immediate = 0u64; // rejections answered at admission
+
+            for op in ops {
+                match op {
+                    Op::Submit { session } => {
+                        let (tx, rx) = mpsc::channel();
+                        receivers.push(rx);
+                        let waiter = Waiter { tx, submitted: Instant::now(), superseded: false };
+                        match admit(&jobs, session, depth, coalesce) {
+                            Admission::Coalesce(idx) => {
+                                for w in &mut jobs[idx].waiters {
+                                    w.superseded = true;
+                                }
+                                jobs[idx].waiters.push(waiter);
+                            }
+                            Admission::Reject => {
+                                waiter.tx.send(FrameResponse::Overloaded {
+                                    queue_depth: jobs.len(),
+                                }).expect("receiver alive");
+                                expect_immediate += 1;
+                            }
+                            Admission::Enqueue => {
+                                jobs.push_back(Job {
+                                    session,
+                                    config,
+                                    key: frame_key(&config),
+                                    dataset: dataset(),
+                                    deadline: None,
+                                    waiters: vec![waiter],
+                                });
+                            }
+                        }
+                        // The queue never exceeds its configured depth.
+                        prop_assert!(jobs.len() <= depth,
+                            "depth {} exceeded bound {depth}", jobs.len());
+                    }
+                    Op::Pop(outcome) => {
+                        if let Some(job) = jobs.pop_front() {
+                            finish(job, outcome);
+                        }
+                    }
+                }
+            }
+            let _ = expect_immediate;
+
+            // Drain: whatever is still queued gets answered too.
+            while let Some(job) = jobs.pop_front() {
+                finish(job, PopOutcome::Fail);
+            }
+
+            // Exactly-once: every receiver yields one response and then
+            // the channel is closed (no second response possible).
+            for rx in receivers {
+                rx.try_recv().expect("every submission answered exactly once");
+                prop_assert!(matches!(
+                    rx.try_recv(),
+                    Err(mpsc::TryRecvError::Disconnected) | Err(mpsc::TryRecvError::Empty)
+                ));
+            }
+        }
+    }
+}

@@ -1,19 +1,31 @@
 //! The frame service: resident sessions, a bounded work queue, and a
 //! std-thread worker pool in front of the `vr-system` runtime.
+//!
+//! PR 6 makes the serving path *self-healing*: per-request fault
+//! injection plumbed from [`ServeConfig`], a retry-with-backoff loop for
+//! transient failures, a PSNR-floor policy for degraded frames, a
+//! per-(dataset, dims) circuit breaker, worker-pool panic safety and
+//! idle-TTL eviction of resident datasets. Every submitted request still
+//! resolves to exactly one explicit [`FrameResponse`].
 
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use slsvr_core::CompositeError;
+use vr_comm::{FaultConfig, ReliabilityConfig};
 use vr_image::checksum::fnv1a;
 use vr_image::Image;
 use vr_system::{Experiment, ExperimentConfig, FrameRecord};
 use vr_volume::{Dataset, DatasetKind};
 
 use crate::cache::{frame_key, LruCache};
+use crate::health::{BreakerConfig, BreakerDecision, CircuitBreaker};
 use crate::metrics::ServiceStats;
+use crate::policy::{DegradedDecision, DegradedFramePolicy, RetryPolicy};
 use crate::queue::{admit, Admission, Job, Waiter};
 
 /// Serving knobs. Defaults suit an interactive small-frame workload;
@@ -37,6 +49,27 @@ pub struct ServeConfig {
     /// Drop queued jobs whose age exceeds this when they reach a worker
     /// (`None` = never shed on age).
     pub deadline: Option<Duration>,
+    /// Service-level fault campaign injected into every request that
+    /// does not carry its own `faults` (`None` = healthy network). The
+    /// chaos-harness entry point.
+    pub faults: Option<FaultConfig>,
+    /// Service-level reliable-delivery policy applied to requests whose
+    /// own reliability is disabled (`None` = leave requests as-is).
+    pub reliability: Option<ReliabilityConfig>,
+    /// Service-level receive deadline for requests that don't set one
+    /// (`None` = the transport default).
+    pub recv_deadline: Option<Duration>,
+    /// Retry-with-backoff policy for failed or below-floor frame
+    /// attempts.
+    pub retry: RetryPolicy,
+    /// What to do with degraded (hole-punched) frames.
+    pub degraded: DegradedFramePolicy,
+    /// Per-(dataset, dims) consecutive-failure circuit breaker
+    /// (`failure_threshold == 0` disables health tracking).
+    pub breaker: BreakerConfig,
+    /// Evict a resident dataset once no session holds it and it has
+    /// been idle this long (`None` = datasets stay resident forever).
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +80,13 @@ impl Default for ServeConfig {
             cache_frames: 64,
             coalesce: true,
             deadline: None,
+            faults: None,
+            reliability: None,
+            recv_deadline: None,
+            retry: RetryPolicy::default(),
+            degraded: DegradedFramePolicy::default(),
+            breaker: BreakerConfig::default(),
+            session_ttl: None,
         }
     }
 }
@@ -68,7 +108,7 @@ pub struct RenderedFrame {
 }
 
 /// Where a successful reply came from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ServeSource {
     /// Rendered for this request.
     Fresh,
@@ -77,6 +117,15 @@ pub enum ServeSource {
     /// Superseded by a newer same-session request; answered with that
     /// newer frame.
     Coalesced,
+    /// Rendered under faults with holes from dead ranks, served because
+    /// its quality cleared [`DegradedFramePolicy::psnr_floor_db`].
+    /// Degraded frames are never cached.
+    Degraded {
+        /// PSNR (dB) against the fault-free reference composite.
+        psnr_db: f64,
+        /// Fraction of image pixels covered by gathered pieces.
+        coverage: f64,
+    },
 }
 
 /// A successful frame reply.
@@ -91,10 +140,29 @@ pub struct FrameReply {
     pub wait_seconds: f64,
 }
 
+/// Why a request was rejected by the robustness layer.
+#[derive(Clone, Debug)]
+pub enum RejectReason {
+    /// Every attempt crashed (receive timeout, reliable-delivery budget
+    /// exhausted, worker panic); the last error is reported.
+    Failed {
+        /// Human-readable description of the final failure.
+        error: String,
+    },
+    /// Attempts completed but every frame scored below the PSNR floor.
+    QualityFloor {
+        /// The best PSNR (dB) any attempt achieved.
+        best_psnr_db: f64,
+    },
+    /// The (dataset, dims) circuit breaker is open: shed without
+    /// rendering.
+    CircuitOpen,
+}
+
 /// Every request is answered with exactly one of these.
 #[derive(Clone, Debug)]
 pub enum FrameResponse {
-    /// An image (fresh, cached, or coalesced).
+    /// An image (fresh, cached, coalesced, or degraded-above-floor).
     Frame(FrameReply),
     /// Rejected at admission: the queue was at capacity.
     Overloaded {
@@ -106,6 +174,14 @@ pub enum FrameResponse {
         /// Seconds the request waited before being shed.
         waited_seconds: f64,
     },
+    /// Rejected by the robustness layer: attempts failed or stayed
+    /// below the quality floor, or the circuit breaker is open.
+    Rejected {
+        /// Render attempts spent before giving up (0 for breaker sheds).
+        attempts: u32,
+        /// Why the request could not be served.
+        reason: RejectReason,
+    },
 }
 
 struct QueueState {
@@ -113,17 +189,28 @@ struct QueueState {
     open: bool,
 }
 
+/// Health-tracker key: one breaker per dataset build.
+type HealthKey = (DatasetKind, [usize; 3]);
+
 struct Shared {
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     ready: Condvar,
     cache: Mutex<LruCache<Arc<RenderedFrame>>>,
     stats: Mutex<ServiceStats>,
+    breakers: Mutex<HashMap<HealthKey, CircuitBreaker>>,
+}
+
+/// One resident dataset plus its idle-eviction bookkeeping.
+struct Resident {
+    dataset: Arc<Dataset>,
+    /// Last time a session was opened on this entry.
+    last_used: Instant,
 }
 
 /// Registry of resident datasets, keyed by kind and voxel dimensions so
 /// every session on the same data shares one build.
-type DatasetRegistry = HashMap<(DatasetKind, [usize; 3]), Arc<Dataset>>;
+type DatasetRegistry = HashMap<HealthKey, Resident>;
 
 /// A long-lived, multi-session frame service over the `vr-system`
 /// runtime. See the crate docs for the architecture.
@@ -159,6 +246,7 @@ impl FrameService {
             ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(cfg.cache_frames)),
             stats: Mutex::new(ServiceStats::default()),
+            breakers: Mutex::new(HashMap::new()),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -181,13 +269,17 @@ impl FrameService {
     /// use and keeping it (plus its lazily built macrocell grids)
     /// resident for every later session and frame on the same dataset.
     pub fn open_session(&self, base: ExperimentConfig) -> SessionHandle {
+        self.evict_idle();
         let dims = base.resolved_dims();
+        let now = Instant::now();
         let dataset = {
             let mut map = self.datasets.lock().unwrap();
-            Arc::clone(
-                map.entry((base.dataset, dims))
-                    .or_insert_with(|| Arc::new(Dataset::with_dims(base.dataset, dims))),
-            )
+            let entry = map.entry((base.dataset, dims)).or_insert_with(|| Resident {
+                dataset: Arc::new(Dataset::with_dims(base.dataset, dims)),
+                last_used: now,
+            });
+            entry.last_used = now;
+            Arc::clone(&entry.dataset)
         };
         SessionHandle {
             shared: Arc::clone(&self.shared),
@@ -195,6 +287,41 @@ impl FrameService {
             dataset,
             base,
         }
+    }
+
+    /// Evicts resident datasets idle past [`ServeConfig::session_ttl`]
+    /// (no-op when the TTL is unset). Runs automatically on
+    /// [`open_session`](Self::open_session); exposed for periodic
+    /// housekeeping.
+    pub fn evict_idle(&self) {
+        self.evict_idle_at(Instant::now());
+    }
+
+    /// Like [`evict_idle`](Self::evict_idle) at an explicit `now` — the
+    /// virtual-clock-friendly form tests drive with manufactured
+    /// `Instant`s instead of sleeping out the TTL.
+    ///
+    /// An entry is evicted only when it is both idle past the TTL and
+    /// unreferenced (no live session and no in-flight job holds its
+    /// `Arc`), so eviction never invalidates work in progress.
+    pub fn evict_idle_at(&self, now: Instant) {
+        let Some(ttl) = self.shared.cfg.session_ttl else {
+            return;
+        };
+        let mut map = self.datasets.lock().unwrap();
+        let before = map.len();
+        map.retain(|_, entry| {
+            now.duration_since(entry.last_used) < ttl || Arc::strong_count(&entry.dataset) > 1
+        });
+        let evicted = (before - map.len()) as u64;
+        if evicted > 0 {
+            self.shared.stats.lock().unwrap().datasets_evicted += evicted;
+        }
+    }
+
+    /// Number of datasets currently resident in the registry.
+    pub fn resident_datasets(&self) -> usize {
+        self.datasets.lock().unwrap().len()
     }
 
     /// A snapshot of the service counters (cache counters included).
@@ -241,9 +368,9 @@ impl SessionHandle {
     }
 
     /// Submits a frame request; the receiver yields exactly one
-    /// [`FrameResponse`]. Cache hits and admission rejections are
-    /// answered before this returns; everything else is answered by the
-    /// worker pool.
+    /// [`FrameResponse`]. Cache hits, breaker sheds and admission
+    /// rejections are answered before this returns; everything else is
+    /// answered by the worker pool.
     ///
     /// Panics if `config` leaves the session's dataset or volume
     /// dimensions (open another session for that).
@@ -274,6 +401,27 @@ impl SessionHandle {
                 }));
                 return rx;
             }
+        }
+
+        // Health gate: an open breaker sheds before the queue, so a
+        // poisoned dataset costs an admission check instead of a render.
+        if !shared.cfg.breaker.disabled() {
+            let hkey = (config.dataset, config.resolved_dims());
+            let mut breakers = shared.breakers.lock().unwrap();
+            let breaker = breakers
+                .entry(hkey)
+                .or_insert_with(|| CircuitBreaker::new(shared.cfg.breaker));
+            if breaker.admit(submitted) == BreakerDecision::Shed {
+                drop(breakers);
+                shared.stats.lock().unwrap().rejected_circuit += 1;
+                let _ = tx.send(FrameResponse::Rejected {
+                    attempts: 0,
+                    reason: RejectReason::CircuitOpen,
+                });
+                return rx;
+            }
+            // Allow and Probe both proceed; the probe's outcome is
+            // reported back to the breaker by the worker.
         }
 
         let mut q = shared.queue.lock().unwrap();
@@ -354,6 +502,179 @@ impl SessionHandle {
     }
 }
 
+/// The request config with the service-level robustness knobs folded in:
+/// per-request settings win; service-level faults / reliability /
+/// receive deadline fill the gaps.
+fn effective_config(req: &ExperimentConfig, serve: &ServeConfig) -> ExperimentConfig {
+    let mut cfg = *req;
+    if cfg.faults.is_none() {
+        cfg.faults = serve.faults;
+    }
+    if let Some(rel) = serve.reliability {
+        if !cfg.reliability.enabled {
+            cfg.reliability = rel;
+        }
+    }
+    if cfg.recv_deadline.is_none() {
+        cfg.recv_deadline = serve.recv_deadline;
+    }
+    cfg
+}
+
+/// One completed (non-panicked) render attempt.
+struct Attempt {
+    image: Image,
+    record: FrameRecord,
+    /// `Some((psnr_db, coverage))` when faults degraded the frame.
+    degraded: Option<(f64, f64)>,
+}
+
+/// Renders one attempt through the exact batch path, catching panics
+/// from the distributed run (receive timeouts, reliable-delivery budget
+/// exhaustion) so a fault storm can never kill the worker.
+fn run_attempt(cfg: &ExperimentConfig, dataset: &Arc<Dataset>) -> Result<Attempt, (String, bool)> {
+    let dataset = Arc::clone(dataset);
+    let cfg = *cfg;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let exp = Experiment::prepare_with_dataset(&cfg, dataset);
+        let out = exp.run(cfg.method);
+        let record = FrameRecord::from_outcome(&out).with_render_seconds(&exp.render_seconds);
+        let degraded = out
+            .is_degraded()
+            .then(|| (out.psnr_vs(&exp.reference()), out.coverage));
+        Attempt {
+            image: out.image,
+            record,
+            degraded,
+        }
+    }))
+    .map_err(describe_panic)
+}
+
+/// Turns a caught panic payload into `(message, is_transient)`.
+/// `Experiment::run` panics with the typed `CompositeError`, which
+/// classifies itself; anything else (plain `panic!`) is treated as
+/// structural — retrying an unknown crash is not safe.
+fn describe_panic(payload: Box<dyn Any + Send>) -> (String, bool) {
+    match payload.downcast::<CompositeError>() {
+        Ok(e) => (e.to_string(), e.is_transient()),
+        Err(payload) => match payload.downcast::<String>() {
+            Ok(s) => (*s, false),
+            Err(payload) => match payload.downcast::<&'static str>() {
+                Ok(s) => ((*s).to_string(), false),
+                Err(_) => ("unknown panic".to_string(), false),
+            },
+        },
+    }
+}
+
+/// How a job left the retry loop.
+enum JobOutcome {
+    /// A servable frame; `degraded` carries `(psnr_db, coverage)` when
+    /// it was rendered under faults with holes.
+    Served {
+        frame: Arc<RenderedFrame>,
+        degraded: Option<(f64, f64)>,
+    },
+    /// Out of attempts (or structurally failed): answer `Rejected`.
+    Rejected { attempts: u32, reason: RejectReason },
+}
+
+/// The per-job retry loop: attempt, classify, back off, re-salt, repeat.
+/// Bounded by `retry.max_retries` and by the job's deadline — the loop
+/// never sleeps past it.
+fn render_with_retries(shared: &Shared, job: &Job) -> JobOutcome {
+    let retry = &shared.cfg.retry;
+    let base = effective_config(&job.config, &shared.cfg);
+    let mut attempt: u32 = 0;
+    let mut best_psnr = f64::NEG_INFINITY;
+    loop {
+        if attempt > 0 {
+            shared.stats.lock().unwrap().frame_retries += 1;
+        }
+        // Attempt 0 runs the exactly-original config (the bit-identity
+        // guarantee); later attempts re-draw transient fault decisions.
+        let cfg = base.with_attempt_salt(attempt);
+        let attempts_spent = attempt + 1;
+        // Whether another attempt is even possible: within the retry
+        // budget and its backoff would not overshoot the deadline.
+        let next_delay = retry.backoff_delay(attempt + 1, job.key);
+        let attempts_left = attempt < retry.max_retries
+            && job
+                .deadline
+                .is_none_or(|d| Instant::now() + next_delay <= d);
+        match run_attempt(&cfg, &job.dataset) {
+            Ok(att) => {
+                shared.stats.lock().unwrap().rendered_frames += 1;
+                let frame = || {
+                    Arc::new(RenderedFrame {
+                        key: job.key,
+                        image_hash: fnv1a(&att.image),
+                        image: att.image.clone(),
+                        record: att.record,
+                    })
+                };
+                match att.degraded {
+                    None => {
+                        return JobOutcome::Served {
+                            frame: frame(),
+                            degraded: None,
+                        }
+                    }
+                    Some((psnr_db, coverage)) => {
+                        best_psnr = best_psnr.max(psnr_db);
+                        match shared.cfg.degraded.decide(psnr_db, attempts_left) {
+                            DegradedDecision::Serve => {
+                                return JobOutcome::Served {
+                                    frame: frame(),
+                                    degraded: Some((psnr_db, coverage)),
+                                }
+                            }
+                            DegradedDecision::Reject => {
+                                return JobOutcome::Rejected {
+                                    attempts: attempts_spent,
+                                    reason: RejectReason::QualityFloor {
+                                        best_psnr_db: best_psnr,
+                                    },
+                                }
+                            }
+                            DegradedDecision::Retry => {}
+                        }
+                    }
+                }
+            }
+            Err((error, transient)) => {
+                shared.stats.lock().unwrap().panics_caught += 1;
+                if !(transient && attempts_left) {
+                    return JobOutcome::Rejected {
+                        attempts: attempts_spent,
+                        reason: RejectReason::Failed { error },
+                    };
+                }
+            }
+        }
+        std::thread::sleep(next_delay);
+        attempt += 1;
+    }
+}
+
+/// Reports a job's terminal outcome to its (dataset, dims) breaker.
+fn report_health(shared: &Shared, job: &Job, success: bool) {
+    if shared.cfg.breaker.disabled() {
+        return;
+    }
+    let hkey = (job.config.dataset, job.config.resolved_dims());
+    let mut breakers = shared.breakers.lock().unwrap();
+    let breaker = breakers
+        .entry(hkey)
+        .or_insert_with(|| CircuitBreaker::new(shared.cfg.breaker));
+    if success {
+        breaker.on_success();
+    } else {
+        breaker.on_failure(Instant::now());
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
@@ -396,48 +717,63 @@ fn worker_loop(shared: &Shared) {
             }
         }
 
-        // Render through the exact batch path: `prepare_with_dataset` on
-        // the session's resident dataset plus `Experiment::run` — the
-        // determinism guarantee is that this is the very same code the
-        // one-shot experiment takes.
-        let exp = Experiment::prepare_with_dataset(&job.config, Arc::clone(&job.dataset));
-        let out = exp.run(job.config.method);
-        let record = FrameRecord::from_outcome(&out).with_render_seconds(&exp.render_seconds);
-        let frame = Arc::new(RenderedFrame {
-            key: job.key,
-            image_hash: fnv1a(&out.image),
-            image: out.image,
-            record,
-        });
-        if shared.cfg.cache_frames > 0 {
-            shared
-                .cache
-                .lock()
-                .unwrap()
-                .insert(job.key, Arc::clone(&frame));
-        }
-        {
-            let mut stats = shared.stats.lock().unwrap();
-            stats.rendered_frames += 1;
-            for w in &job.waiters {
-                if w.superseded {
-                    stats.completed_coalesced += 1;
-                } else {
-                    stats.completed_fresh += 1;
+        // Render through the exact batch path (`prepare_with_dataset` on
+        // the session's resident dataset plus `Experiment::run`) under
+        // the retry loop — the determinism guarantee is that attempt 0
+        // is the very same code and config the one-shot experiment runs.
+        match render_with_retries(shared, &job) {
+            JobOutcome::Served { frame, degraded } => {
+                report_health(shared, &job, true);
+                // Degraded frames are never cached: a later identical
+                // request deserves a fresh shot at a clean frame.
+                if shared.cfg.cache_frames > 0 && degraded.is_none() {
+                    shared
+                        .cache
+                        .lock()
+                        .unwrap()
+                        .insert(job.key, Arc::clone(&frame));
+                }
+                {
+                    let mut stats = shared.stats.lock().unwrap();
+                    match degraded {
+                        Some((psnr_db, _)) => {
+                            stats.completed_degraded += job.waiters.len() as u64;
+                            stats.min_degraded_psnr_db = stats.min_degraded_psnr_db.min(psnr_db);
+                        }
+                        None => {
+                            for w in &job.waiters {
+                                if w.superseded {
+                                    stats.completed_coalesced += 1;
+                                } else {
+                                    stats.completed_fresh += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                for w in job.waiters {
+                    let source = match degraded {
+                        Some((psnr_db, coverage)) => ServeSource::Degraded { psnr_db, coverage },
+                        None if w.superseded => ServeSource::Coalesced,
+                        None => ServeSource::Fresh,
+                    };
+                    let _ = w.tx.send(FrameResponse::Frame(FrameReply {
+                        frame: Arc::clone(&frame),
+                        source,
+                        wait_seconds: w.submitted.elapsed().as_secs_f64(),
+                    }));
                 }
             }
-        }
-        for w in job.waiters {
-            let source = if w.superseded {
-                ServeSource::Coalesced
-            } else {
-                ServeSource::Fresh
-            };
-            let _ = w.tx.send(FrameResponse::Frame(FrameReply {
-                frame: Arc::clone(&frame),
-                source,
-                wait_seconds: w.submitted.elapsed().as_secs_f64(),
-            }));
+            JobOutcome::Rejected { attempts, reason } => {
+                report_health(shared, &job, false);
+                shared.stats.lock().unwrap().rejected_failed += job.waiters.len() as u64;
+                for w in job.waiters {
+                    let _ = w.tx.send(FrameResponse::Rejected {
+                        attempts,
+                        reason: reason.clone(),
+                    });
+                }
+            }
         }
     }
 }
@@ -584,7 +920,7 @@ mod tests {
                     assert!(queue_depth <= 1);
                 }
                 FrameResponse::Frame(_) => served += 1,
-                FrameResponse::Shed { .. } => {}
+                FrameResponse::Shed { .. } | FrameResponse::Rejected { .. } => {}
             }
         }
         let stats = service.shutdown();
@@ -641,5 +977,98 @@ mod tests {
             FrameResponse::Overloaded { .. } => {}
             other => panic!("expected Overloaded after shutdown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn idle_sessions_evict_after_ttl_with_counters() {
+        let ttl = Duration::from_secs(3600);
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            session_ttl: Some(ttl),
+            ..Default::default()
+        });
+        let session = service.open_session(small());
+        assert_eq!(service.resident_datasets(), 1);
+
+        // While a session holds the dataset, even a long-idle entry
+        // survives (eviction must not invalidate live work).
+        service.evict_idle_at(Instant::now() + ttl * 2);
+        assert_eq!(service.resident_datasets(), 1);
+
+        // Before the TTL, an unreferenced entry stays resident…
+        drop(session);
+        service.evict_idle_at(Instant::now());
+        assert_eq!(service.resident_datasets(), 1);
+        // …past the TTL it goes, and the counter records it.
+        service.evict_idle_at(Instant::now() + ttl * 2);
+        assert_eq!(service.resident_datasets(), 0);
+        assert_eq!(service.stats().datasets_evicted, 1);
+
+        // Re-opening after eviction rebuilds transparently.
+        let again = service.open_session(small());
+        assert_eq!(service.resident_datasets(), 1);
+        drop(again);
+        let stats = service.shutdown();
+        assert_eq!(stats.datasets_evicted, 1);
+    }
+
+    #[test]
+    fn no_ttl_means_datasets_stay_resident() {
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            session_ttl: None,
+            ..Default::default()
+        });
+        drop(service.open_session(small()));
+        service.evict_idle_at(Instant::now() + Duration::from_secs(1 << 20));
+        assert_eq!(service.resident_datasets(), 1);
+        assert_eq!(service.stats().datasets_evicted, 0);
+    }
+
+    #[test]
+    fn service_level_knobs_fill_request_gaps_but_never_override() {
+        let serve = ServeConfig {
+            faults: Some(FaultConfig {
+                drop: 0.25,
+                seed: 9,
+                ..Default::default()
+            }),
+            reliability: Some(ReliabilityConfig::on()),
+            recv_deadline: Some(Duration::from_millis(123)),
+            ..Default::default()
+        };
+        // A plain request inherits all three service-level knobs.
+        let plain = small();
+        let eff = effective_config(&plain, &serve);
+        assert_eq!(eff.faults.unwrap().drop, 0.25);
+        assert!(eff.reliability.enabled);
+        assert_eq!(eff.recv_deadline, Some(Duration::from_millis(123)));
+        // A request with its own settings keeps them.
+        let mut custom = small();
+        custom.faults = Some(FaultConfig {
+            drop: 0.5,
+            ..Default::default()
+        });
+        custom.recv_deadline = Some(Duration::from_millis(7));
+        let eff = effective_config(&custom, &serve);
+        assert_eq!(eff.faults.unwrap().drop, 0.5);
+        assert_eq!(eff.recv_deadline, Some(Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn panic_payloads_classify_transience() {
+        let comm = CompositeError::Comm {
+            during: "bs stage",
+            source: vr_comm::CommError::Recv(vr_comm::RecvError::Disconnected { from: 1 }),
+        };
+        let (msg, transient) = describe_panic(Box::new(comm));
+        assert!(msg.contains("bs stage"), "{msg}");
+        assert!(transient);
+        let (msg, transient) = describe_panic(Box::new("plain panic"));
+        assert_eq!(msg, "plain panic");
+        assert!(!transient);
+        let (msg, transient) = describe_panic(Box::new(String::from("boom")));
+        assert_eq!(msg, "boom");
+        assert!(!transient);
     }
 }

@@ -1,0 +1,425 @@
+//! Service-level chaos suite: seeded fault plans driven through the
+//! frame service, asserting that every submitted request resolves to
+//! exactly one explicit outcome — Frame, Degraded, Rejected, Shed or
+//! Overloaded — with no waiter hangs, that degraded frames honor the
+//! PSNR floor, and that with faults disabled the served frames stay
+//! bit-identical to one-shot batch runs.
+//!
+//! Every drain uses `recv_timeout`, so a hung waiter fails the test
+//! instead of hanging CI. All fault plans are seeded and the compositing
+//! groups run under the deterministic virtual clock (`schedule_seed`),
+//! so timeouts are simulated time, not wall-clock waits.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use slsvr_core::Method;
+use vr_comm::{FaultConfig, KillSpec, ReliabilityConfig};
+use vr_image::checksum::fnv1a;
+use vr_serve::{
+    run_load, BreakerConfig, DegradedFramePolicy, FrameResponse, FrameService, LoadConfig,
+    RejectReason, RetryPolicy, ServeConfig, ServeSource,
+};
+use vr_system::{Experiment, ExperimentConfig};
+use vr_volume::DatasetKind;
+
+/// The tiny base workload every chaos test renders.
+fn base() -> ExperimentConfig {
+    let mut config = ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::Bsbrc);
+    // Virtual clock: receive timeouts and fault delays are simulated, so
+    // even a total blackout resolves in milliseconds of wall time.
+    config.schedule_seed = Some(17);
+    config.recv_deadline = Some(Duration::from_millis(100));
+    config
+}
+
+/// A fault plan that kills rank 1 early: every frame comes back with a
+/// hole (degraded), deterministically on every attempt.
+fn kill_rank_1(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        kill: Some(KillSpec {
+            rank: 1,
+            after_ops: 0,
+        }),
+        ..Default::default()
+    }
+}
+
+/// A total blackout: every transmission dropped, no reliability layer —
+/// the first receive times out and the run panics with a transient
+/// `CompositeError::Comm`.
+fn blackout(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        drop: 1.0,
+        ..Default::default()
+    }
+}
+
+/// Fast retries so failing tests don't sit in backoff sleeps.
+fn fast_retry(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        ..Default::default()
+    }
+}
+
+/// Drains one response, failing loudly if the service ever hangs.
+fn answer(rx: &mpsc::Receiver<FrameResponse>) -> FrameResponse {
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("every request is answered within 60 s (no waiter hangs)")
+}
+
+#[test]
+fn fault_storms_resolve_every_request_exactly_once() {
+    // Three qualitatively different seeded plans: a recoverable storm
+    // (losses repaired by the reliability layer), a deterministic rank
+    // kill (degraded frames), and a total blackout (failures).
+    let storm = FaultConfig {
+        seed: 7,
+        drop: 0.05,
+        duplicate: 0.02,
+        corrupt: 0.02,
+        ..Default::default()
+    };
+    let plans: Vec<(&str, FaultConfig, Option<ReliabilityConfig>)> = vec![
+        ("storm", storm, Some(ReliabilityConfig::on())),
+        ("kill", kill_rank_1(11), None),
+        ("blackout", blackout(13), None),
+    ];
+    for (name, faults, reliability) in plans {
+        for seed_salt in [0u64, 1, 2] {
+            let mut faults = faults;
+            faults.seed ^= seed_salt.wrapping_mul(0x9E37_79B9);
+            // Service-level plumbing under test: the chaos campaign
+            // rides on ServeConfig, not on the request configs.
+            let service = FrameService::start(ServeConfig {
+                workers: 2,
+                cache_frames: 0,
+                faults: Some(faults),
+                reliability,
+                retry: fast_retry(1),
+                degraded: DegradedFramePolicy::accept_all(),
+                ..Default::default()
+            });
+            let sessions: Vec<_> = (0..2).map(|_| service.open_session(base())).collect();
+            let mut pending = Vec::new();
+            for (s, session) in sessions.iter().enumerate() {
+                for i in 0..4 {
+                    pending.push(session.request_view(20.0, 30.0 + (s * 4 + i) as f32 * 5.0));
+                }
+            }
+            let submitted = pending.len() as u64;
+            let mut outcomes = 0u64;
+            for rx in &pending {
+                match answer(rx) {
+                    FrameResponse::Frame(_)
+                    | FrameResponse::Overloaded { .. }
+                    | FrameResponse::Shed { .. }
+                    | FrameResponse::Rejected { .. } => outcomes += 1,
+                }
+                // Exactly once: no second response ever arrives.
+                assert!(
+                    rx.try_recv().is_err(),
+                    "{name}: a request was answered twice"
+                );
+            }
+            assert_eq!(outcomes, submitted);
+            let stats = service.shutdown();
+            assert_eq!(
+                stats.answered(),
+                stats.submitted,
+                "{name}: dispositions must partition submissions: {stats:?}"
+            );
+            assert_eq!(stats.submitted, submitted);
+        }
+    }
+}
+
+#[test]
+fn faults_disabled_is_bit_identical_to_batch() {
+    // Every robustness knob on, faults off: the serving path must stay
+    // hash-equal to the one-shot batch path.
+    let service = FrameService::start(ServeConfig {
+        workers: 2,
+        coalesce: false,
+        retry: fast_retry(2),
+        degraded: DegradedFramePolicy::default(),
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        },
+        session_ttl: Some(Duration::from_secs(3600)),
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    for (method, ry) in [
+        (Method::Bsbrc, 30.0f32),
+        (Method::Bs, 75.0),
+        (Method::DirectSend, 120.0),
+    ] {
+        let config = ExperimentConfig {
+            method,
+            rot_y_deg: ry,
+            ..base()
+        };
+        let served = match answer(&session.request(config)) {
+            FrameResponse::Frame(reply) => reply,
+            other => panic!("healthy request must serve a frame, got {other:?}"),
+        };
+        assert_eq!(served.source, ServeSource::Fresh);
+        let batch = Experiment::prepare(&config).run(method);
+        assert_eq!(
+            served.frame.image_hash,
+            fnv1a(&batch.image),
+            "{method:?} served frame differs from the batch run"
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.frame_retries, 0, "healthy runs must not retry");
+    assert_eq!(stats.panics_caught, 0);
+    assert_eq!(stats.completed_degraded, 0);
+}
+
+#[test]
+fn degraded_frame_is_served_above_floor_and_never_cached() {
+    let floor = 1.0;
+    let service = FrameService::start(ServeConfig {
+        workers: 1,
+        cache_frames: 16,
+        faults: Some(kill_rank_1(3)),
+        retry: fast_retry(0),
+        degraded: DegradedFramePolicy {
+            psnr_floor_db: floor,
+        },
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    for round in 0..2 {
+        match answer(&session.request(base())) {
+            FrameResponse::Frame(reply) => match reply.source {
+                ServeSource::Degraded { psnr_db, coverage } => {
+                    assert!(
+                        psnr_db >= floor,
+                        "round {round}: served PSNR {psnr_db} below the floor {floor}"
+                    );
+                    assert!(
+                        coverage < 1.0,
+                        "round {round}: a killed rank must leave a hole"
+                    );
+                    assert!(reply.frame.record.dead_ranks >= 1);
+                }
+                other => panic!("round {round}: expected Degraded, got {other:?}"),
+            },
+            other => panic!("round {round}: expected a frame, got {other:?}"),
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed_degraded, 2);
+    assert_eq!(
+        stats.completed_cached, 0,
+        "degraded frames must never be served from the cache"
+    );
+    assert_eq!(stats.rendered_frames, 2, "each request re-renders");
+    assert!(stats.min_degraded_psnr_db >= floor);
+    assert!(stats.min_degraded_psnr_db.is_finite());
+}
+
+#[test]
+fn quality_floor_rejects_after_bounded_retries() {
+    let max_retries = 2;
+    let service = FrameService::start(ServeConfig {
+        workers: 1,
+        faults: Some(kill_rank_1(5)),
+        retry: fast_retry(max_retries),
+        // An infinite floor: no degraded frame is ever good enough.
+        degraded: DegradedFramePolicy::reject_all(),
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    match answer(&session.request(base())) {
+        FrameResponse::Rejected { attempts, reason } => {
+            assert_eq!(
+                attempts,
+                max_retries + 1,
+                "retries must be bounded by the policy"
+            );
+            match reason {
+                RejectReason::QualityFloor { best_psnr_db } => {
+                    assert!(best_psnr_db.is_finite());
+                }
+                other => panic!("expected QualityFloor, got {other:?}"),
+            }
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.rendered_frames, u64::from(max_retries) + 1);
+    assert_eq!(stats.frame_retries, u64::from(max_retries));
+    assert_eq!(stats.rejected_failed, 1);
+    assert_eq!(stats.answered(), stats.submitted);
+}
+
+#[test]
+fn breaker_sheds_after_threshold_without_rendering() {
+    // Long cooldown: once open, the breaker sheds for the whole test.
+    let service = FrameService::start(ServeConfig {
+        workers: 1,
+        cache_frames: 0,
+        retry: fast_retry(0),
+        degraded: DegradedFramePolicy::reject_all(),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(60),
+        },
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    // Two poisoned requests (per-request fault plans) trip the breaker…
+    for i in 0..2 {
+        let mut poisoned = base();
+        poisoned.faults = Some(kill_rank_1(100 + i));
+        match answer(&session.request(poisoned)) {
+            FrameResponse::Rejected { reason, .. } => {
+                assert!(matches!(reason, RejectReason::QualityFloor { .. }))
+            }
+            other => panic!("poisoned request {i} must reject, got {other:?}"),
+        }
+    }
+    // …so the third request — though perfectly healthy — sheds at
+    // admission, without costing a render.
+    match answer(&session.request(base())) {
+        FrameResponse::Rejected { attempts, reason } => {
+            assert_eq!(attempts, 0, "breaker sheds spend no render attempts");
+            assert!(matches!(reason, RejectReason::CircuitOpen));
+        }
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_circuit, 1);
+    assert_eq!(stats.rendered_frames, 2, "the shed request must not render");
+    assert_eq!(stats.answered(), stats.submitted);
+}
+
+#[test]
+fn breaker_recovers_through_a_half_open_probe() {
+    // Zero cooldown: the breaker goes half-open immediately, so the
+    // next healthy request is the probe and closes it.
+    let service = FrameService::start(ServeConfig {
+        workers: 1,
+        cache_frames: 0,
+        retry: fast_retry(0),
+        degraded: DegradedFramePolicy::reject_all(),
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        },
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    let mut poisoned = base();
+    poisoned.faults = Some(kill_rank_1(9));
+    assert!(matches!(
+        answer(&session.request(poisoned)),
+        FrameResponse::Rejected { .. }
+    ));
+    // The healthy probe is admitted and closes the breaker…
+    assert!(matches!(
+        answer(&session.request(base())),
+        FrameResponse::Frame(_)
+    ));
+    // …after which traffic flows normally again.
+    let mut follow_up = base();
+    follow_up.rot_y_deg += 10.0;
+    assert!(matches!(
+        answer(&session.request(follow_up)),
+        FrameResponse::Frame(_)
+    ));
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_circuit, 0, "recovery must not shed anyone");
+    assert_eq!(stats.completed_fresh, 2);
+}
+
+#[test]
+fn poisoned_job_answers_its_waiter_and_the_worker_survives() {
+    // One worker: if the blackout panic killed it, the follow-up healthy
+    // request would hang forever (recv_timeout turns that into a fail).
+    let service = FrameService::start(ServeConfig {
+        workers: 1,
+        cache_frames: 0,
+        retry: fast_retry(1),
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    let mut poisoned = base();
+    poisoned.faults = Some(blackout(21));
+    match answer(&session.request(poisoned)) {
+        FrameResponse::Rejected { attempts, reason } => {
+            assert_eq!(attempts, 2, "one transient retry before giving up");
+            match reason {
+                RejectReason::Failed { error } => {
+                    assert!(
+                        error.contains("communication failed"),
+                        "the typed panic payload must survive: {error}"
+                    );
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // The same (sole) worker still serves.
+    match answer(&session.request(base())) {
+        FrameResponse::Frame(reply) => assert_eq!(reply.source, ServeSource::Fresh),
+        other => panic!("worker died: expected a frame, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert!(
+        stats.panics_caught >= 1,
+        "the blackout panic must be caught: {stats:?}"
+    );
+    assert_eq!(stats.answered(), stats.submitted);
+}
+
+#[test]
+fn chaos_load_generation_partitions_every_outcome() {
+    // The load generator under a seeded kill plan: requests resolve to
+    // images (fresh/coalesced/degraded) or explicit rejections, and the
+    // dispositions partition the offered load exactly.
+    let service = FrameService::start(ServeConfig {
+        workers: 2,
+        cache_frames: 16,
+        faults: Some(kill_rank_1(31)),
+        retry: fast_retry(0),
+        degraded: DegradedFramePolicy::accept_all(),
+        ..Default::default()
+    });
+    let load = LoadConfig {
+        sessions: 2,
+        requests_per_session: 6,
+        poses: 2,
+        inter_arrival: Duration::from_millis(1),
+        seed: 23,
+    };
+    let report = run_load(&service, base(), &load);
+    assert_eq!(report.submitted, 12);
+    assert_eq!(
+        report.ok_total() + report.shed + report.overloaded + report.rejected,
+        report.submitted,
+        "loadgen dispositions must partition submissions: {report:?}"
+    );
+    assert!(
+        report.ok_degraded > 0,
+        "a permanent kill plan must serve degraded frames: {report:?}"
+    );
+    assert_eq!(report.latencies_ms.len() as u64, report.ok_total());
+    let stats = service.shutdown();
+    assert_eq!(stats.answered(), stats.submitted);
+    assert_eq!(
+        stats.completed_cached, 0,
+        "degraded frames must not populate the cache"
+    );
+}

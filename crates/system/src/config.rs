@@ -172,6 +172,34 @@ impl ExperimentConfig {
             .unwrap_or_else(|| self.dataset.paper_dims())
     }
 
+    /// A copy of this configuration re-seeded for retry `attempt`.
+    ///
+    /// Attempt 0 is the identity — the first attempt must stay
+    /// bit-identical to a batch run of the original config. Later
+    /// attempts salt the fault seed and the schedule seed so transient
+    /// fault decisions (drops, corruption, delivery order) are re-drawn
+    /// instead of replayed; the kill plan is left untouched because
+    /// kills are structural and fire on every attempt by design.
+    pub fn with_attempt_salt(&self, attempt: u32) -> ExperimentConfig {
+        fn mix(seed: u64, attempt: u32) -> u64 {
+            let mut z = seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        if attempt == 0 {
+            return *self;
+        }
+        let mut salted = *self;
+        if let Some(faults) = salted.faults.as_mut() {
+            faults.seed = mix(faults.seed, attempt);
+        }
+        if let Some(seed) = salted.schedule_seed.as_mut() {
+            *seed = mix(*seed, attempt);
+        }
+        salted
+    }
+
     /// The transport options this configuration resolves to.
     pub fn group_options(&self) -> GroupOptions {
         let mut options = GroupOptions {
@@ -213,6 +241,36 @@ mod tests {
         let c = ExperimentConfig::small_test(DatasetKind::Head, 4, Method::Bs);
         assert_eq!(c.resolved_dims(), [32, 32, 16]);
         assert_eq!(c.processors, 4);
+    }
+
+    #[test]
+    fn attempt_salt_is_identity_at_zero_and_redraws_later() {
+        let mut c = ExperimentConfig::small_test(DatasetKind::Head, 4, Method::Bs);
+        c.faults = Some(FaultConfig {
+            seed: 42,
+            drop: 0.5,
+            ..Default::default()
+        });
+        c.schedule_seed = Some(7);
+
+        let a0 = c.with_attempt_salt(0);
+        assert_eq!(a0.faults.unwrap().seed, 42);
+        assert_eq!(a0.schedule_seed, Some(7));
+
+        let a1 = c.with_attempt_salt(1);
+        let a2 = c.with_attempt_salt(2);
+        assert_ne!(a1.faults.unwrap().seed, 42);
+        assert_ne!(a1.faults.unwrap().seed, a2.faults.unwrap().seed);
+        assert_ne!(a1.schedule_seed, Some(7));
+        assert_ne!(a1.schedule_seed, a2.schedule_seed);
+        // Fault *probabilities* and the kill plan are untouched.
+        assert_eq!(a1.faults.unwrap().drop, 0.5);
+        assert_eq!(a1.faults.unwrap().kill, c.faults.unwrap().kill);
+        // Deterministic: same attempt ⇒ same salted config.
+        assert_eq!(
+            a1.faults.unwrap().seed,
+            c.with_attempt_salt(1).faults.unwrap().seed
+        );
     }
 
     #[test]

@@ -269,15 +269,19 @@ impl Experiment {
         let size = self.config.image_size;
         let out = run_group_with(p, self.config.group_options(), |ep| {
             let mut img = self.subimages[ep.rank()].clone();
+            // Hard errors panic with the *typed* error as the payload so
+            // a supervising caller (the frame service worker) can
+            // `catch_unwind`, downcast to `CompositeError` and classify
+            // the failure as transient or structural.
             let result = match composite(method, ep, &mut img, &self.depth) {
                 Ok(result) => result,
                 Err(CompositeError::Killed { .. }) => return (None, None),
-                Err(e) => panic!("compositing failed: {e}"),
+                Err(e) => std::panic::panic_any(e),
             };
             match gather_image_tolerant(ep, &img, &result.piece, 0) {
                 Ok(gathered) => (Some(result.stats), gathered),
                 Err(CompositeError::Killed { .. }) => (Some(result.stats), None),
-                Err(e) => panic!("gather failed: {e}"),
+                Err(e) => std::panic::panic_any(e),
             }
         });
 

@@ -15,7 +15,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use slsvr::compositing::Method;
-use slsvr::serve::{run_load, FrameService, LoadConfig, ServeConfig};
+use slsvr::serve::{
+    run_load, BreakerConfig, DegradedFramePolicy, FrameService, LoadConfig, RetryPolicy,
+    ServeConfig,
+};
 use slsvr::system::{run_distributed, Experiment, ExperimentConfig, SweepBuilder};
 use slsvr::volume::DatasetKind;
 
@@ -66,6 +69,9 @@ USAGE:
                 [--sessions N] [--requests N] [--poses N]
                 [--inter-arrival-ms MS] [--workers N] [--queue-depth N]
                 [--cache-frames N] [--deadline-ms MS] [--no-coalesce]
+                [--serve-faults SPEC] [--psnr-floor DB] [--max-retries N]
+                [--retry-backoff-ms MS] [--session-ttl MS]
+                [--breaker-threshold N] [--breaker-cooldown-ms MS]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
   slsvr info
 
@@ -81,6 +87,16 @@ SERVE:    starts the vr-serve frame service (session-resident datasets,
           --deadline-ms sheds queued jobs older than the deadline;
           --cache-frames 0 disables the cache; --no-coalesce answers every
           request with its own render instead of the newest camera's.
+
+          Self-healing knobs: --serve-faults injects a seeded fault
+          campaign (same SPEC syntax as --faults) into every served frame;
+          failed attempts retry up to --max-retries times under seeded
+          exponential backoff starting at --retry-backoff-ms; a degraded
+          frame (dead-rank holes) is served only at or above --psnr-floor
+          dB versus the fault-free reference, else retried then rejected;
+          --breaker-threshold consecutive failures open a per-dataset
+          circuit breaker that sheds until --breaker-cooldown-ms passes
+          (0 disables); --session-ttl evicts idle resident datasets.
 
 RENDER:   --macrocell N sets the empty-space-skipping cell edge in voxels
           (default 8, 0 = off); --tile N sets the screen-tile culling edge
@@ -352,13 +368,43 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_depth: flags.parse("--queue-depth", 32usize)?,
         cache_frames: flags.parse("--cache-frames", 64usize)?,
         coalesce: !flags.has("--no-coalesce"),
-        deadline: None,
+        ..Default::default()
     };
     if let Some(ms) = flags.get("--deadline-ms") {
         let ms: u64 = ms
             .parse()
             .map_err(|_| format!("invalid --deadline-ms `{ms}`"))?;
         serve.deadline = Some(Duration::from_millis(ms));
+    }
+    if let Some(spec) = flags.get("--serve-faults") {
+        serve.faults = Some(
+            spec.parse()
+                .map_err(|e| format!("invalid --serve-faults `{spec}`: {e}"))?,
+        );
+    }
+    serve.retry = RetryPolicy {
+        max_retries: flags.parse("--max-retries", RetryPolicy::default().max_retries)?,
+        base_backoff: Duration::from_millis(flags.parse(
+            "--retry-backoff-ms",
+            RetryPolicy::default().base_backoff.as_millis() as u64,
+        )?),
+        ..Default::default()
+    };
+    serve.degraded = DegradedFramePolicy {
+        psnr_floor_db: flags.parse("--psnr-floor", DegradedFramePolicy::default().psnr_floor_db)?,
+    };
+    serve.breaker = BreakerConfig {
+        failure_threshold: flags.parse("--breaker-threshold", 0u32)?,
+        cooldown: Duration::from_millis(flags.parse(
+            "--breaker-cooldown-ms",
+            BreakerConfig::default().cooldown.as_millis() as u64,
+        )?),
+    };
+    if let Some(ms) = flags.get("--session-ttl") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("invalid --session-ttl `{ms}`"))?;
+        serve.session_ttl = Some(Duration::from_millis(ms));
     }
     if serve.workers == 0 {
         return Err("--workers must be at least 1".into());
@@ -383,13 +429,32 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         load.poses,
     );
     println!(
-        "workers {} · queue depth {} · cache {} frame(s) · coalesce {} · deadline {}\n",
+        "workers {} · queue depth {} · cache {} frame(s) · coalesce {} · deadline {}",
         serve.workers,
         serve.queue_depth,
         serve.cache_frames,
         if serve.coalesce { "on" } else { "off" },
         serve
             .deadline
+            .map_or("none".into(), |d| format!("{} ms", d.as_millis())),
+    );
+    println!(
+        "faults {} · retries {} (backoff {} ms) · psnr floor {} dB · breaker {} · ttl {}\n",
+        if serve.faults.is_some() { "on" } else { "off" },
+        serve.retry.max_retries,
+        serve.retry.base_backoff.as_millis(),
+        serve.degraded.psnr_floor_db,
+        if serve.breaker.disabled() {
+            "off".to_string()
+        } else {
+            format!(
+                "{}@{} ms",
+                serve.breaker.failure_threshold,
+                serve.breaker.cooldown.as_millis()
+            )
+        },
+        serve
+            .session_ttl
             .map_or("none".into(), |d| format!("{} ms", d.as_millis())),
     );
 
@@ -401,8 +466,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("  fresh renders     {:>6}", report.ok_fresh);
     println!("  cache hits        {:>6}", report.ok_cached);
     println!("  coalesced         {:>6}", report.ok_coalesced);
+    println!("  degraded (served) {:>6}", report.ok_degraded);
     println!("  shed (deadline)   {:>6}", report.shed);
     println!("  overloaded        {:>6}", report.overloaded);
+    println!("  rejected          {:>6}", report.rejected);
     println!(
         "\nlatency p50/p95/p99: {:.2} / {:.2} / {:.2} ms · throughput {:.1} frames/s · \
          cache hit rate {:.1}%",
@@ -419,6 +486,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         stats.cache.hits,
         stats.cache.misses,
         stats.cache.evictions,
+    );
+    println!(
+        "health: {} retries · {} panics caught · {} breaker sheds · {} datasets evicted{}",
+        stats.frame_retries,
+        stats.panics_caught,
+        stats.rejected_circuit,
+        stats.datasets_evicted,
+        if stats.completed_degraded > 0 {
+            format!(" · min degraded PSNR {:.1} dB", stats.min_degraded_psnr_db)
+        } else {
+            String::new()
+        },
     );
     Ok(())
 }
