@@ -11,13 +11,21 @@
 //! * `rendering` — per dataset: naive ns, accelerated ns (grid built
 //!   once, excluded and reported separately as `build_ns` — the
 //!   structure is reused across frames), speedup, and a bit-identity
-//!   flag that must always hold.
+//!   flag that must always hold;
+//! * `rendering_threaded` — per dataset: the 1-thread accelerated path
+//!   against the pooled tile-threaded + lane-batched path (persistent
+//!   `RenderPool`, reused across frames like a serve worker's), the
+//!   threads-over-1-thread speedup, and the same bit-identity flag.
 //!
-//! Timing uses thread-CPU clocks, min over reps (scheduling noise is
-//! strictly one-sided). Usage mirrors `bench_compositing`:
+//! The single-thread phases use thread-CPU clocks, min over reps
+//! (scheduling noise is strictly one-sided). The threaded phase uses
+//! wall-clock time: the pool spreads the same CPU work across workers,
+//! so a thread-CPU clock that sums across threads would read ~1× no
+//! matter how well it scales. Usage mirrors `bench_compositing`:
 //!
 //! ```text
 //! bench_rendering [--quick] [--reps N] [--cell N] [--tile N]
+//!                 [--threads N] [--lanes N]
 //!                 [--out FILE] [--merge FILE --label before|after]
 //!                 [--check FILE]
 //! ```
@@ -40,7 +48,10 @@ use std::sync::Arc;
 use slsvr_core::Stopwatch;
 use vr_bench::json::{obj, parse, Json};
 use vr_image::checksum::fnv1a;
-use vr_render::{render_block, render_block_accel, Camera, RenderAccel, RenderParams};
+use vr_render::{
+    render_block, render_block_accel, render_block_accel_pool, Camera, RenderAccel, RenderParams,
+    RenderPool,
+};
 use vr_volume::{
     random_blobs, Dataset, DatasetKind, MacrocellGrid, Subvolume, TransferFunction, Volume,
     DEFAULT_CELL_SIZE,
@@ -59,6 +70,14 @@ const ABS_SLACK: f64 = 2.0;
 const TIMING_FLOOR_NS: f64 = 50_000.0;
 /// Sparse (high-transparency) datasets must keep at least this speedup.
 const MIN_SPARSE_SPEEDUP: f64 = 2.0;
+/// Threaded-over-1-thread floor on hosts with at least as many cores as
+/// the pool has threads. Both sides come from interleaved reps of the
+/// same run, so the ratio is host-invariant; the floor sits below the
+/// recorded ≥2× so CI scheduling noise cannot flake it.
+const MIN_THREAD_SPEEDUP: f64 = 1.5;
+/// On narrower hosts (e.g. a 2-core pinned CI job) a 4-thread pool
+/// cannot pay, but oversubscription must never collapse throughput.
+const THREAD_NO_SLOWDOWN: f64 = 0.7;
 
 struct Grid {
     name: &'static str,
@@ -119,8 +138,14 @@ fn main() {
     let tile = value("--tile")
         .map(|s| s.parse().expect("--tile takes an integer"))
         .unwrap_or(vr_render::DEFAULT_TILE_SIZE);
+    let threads = value("--threads")
+        .map(|s| s.parse().expect("--threads takes an integer"))
+        .unwrap_or(4usize);
+    let lanes = value("--lanes")
+        .map(|s| s.parse().expect("--lanes takes an integer"))
+        .unwrap_or(4usize);
 
-    let entries = run_benches(&grid, reps, cell, tile);
+    let entries = run_benches(&grid, reps, cell, tile, threads, lanes);
     print_table(&entries);
 
     let run = obj([
@@ -196,30 +221,45 @@ struct Workload {
     transfer: TransferFunction,
 }
 
-fn run_benches(grid: &Grid, reps: usize, cell: usize, tile: usize) -> Vec<Json> {
+fn run_benches(
+    grid: &Grid,
+    reps: usize,
+    cell: usize,
+    tile: usize,
+    threads: usize,
+    lanes: usize,
+) -> Vec<Json> {
+    // One persistent pool across every dataset and rep, matching how the
+    // system uses it (spawned once, reused frame after frame).
+    let pool = RenderPool::new(threads);
     let mut entries = Vec::new();
     entries.push(bench_anchor(reps));
-    for (kind, sparse) in DATASETS {
-        let ds = Dataset::with_dims(kind, grid.dims);
-        let w = Workload {
-            name: kind.name(),
-            sparse,
-            volume: ds.volume,
-            transfer: ds.transfer,
-        };
-        entries.push(bench_dataset(grid, &w, reps, cell, tile));
-    }
+    let mut workloads: Vec<Workload> = DATASETS
+        .into_iter()
+        .map(|(kind, sparse)| {
+            let ds = Dataset::with_dims(kind, grid.dims);
+            Workload {
+                name: kind.name(),
+                sparse,
+                volume: ds.volume,
+                transfer: ds.transfer,
+            }
+        })
+        .collect();
     // A volumetrically sparse workload: a few isolated blobs whose window
     // classifies most of every ray chord to zero opacity. This is the
     // regime empty-space skipping targets, and it carries the speedup
     // floor together with Cube.
-    let blobs = Workload {
+    workloads.push(Workload {
         name: "Blobs_sparse",
         sparse: true,
         volume: random_blobs(grid.dims, 3, 0.12, 0x5EED),
         transfer: TransferFunction::window(60.0, 255.0, 0.9),
-    };
-    entries.push(bench_dataset(grid, &blobs, reps, cell, tile));
+    });
+    for w in &workloads {
+        entries.push(bench_dataset(grid, w, reps, cell, tile));
+        entries.push(bench_threaded(grid, w, reps, cell, tile, &pool, lanes));
+    }
     entries
 }
 
@@ -320,6 +360,95 @@ fn bench_dataset(grid: &Grid, w: &Workload, reps: usize, cell: usize, tile: usiz
     ])
 }
 
+/// The pooled tile-threaded + lane-batched render against the 1-thread
+/// accelerated path. Both sides are timed with wall-clock `Instant`
+/// (not `Stopwatch`: thread-CPU time sums across pool workers and would
+/// read ~1× regardless of scaling) and interleaved, so the speedup
+/// ratio is invariant to host speed.
+fn bench_threaded(
+    grid: &Grid,
+    w: &Workload,
+    reps: usize,
+    cell: usize,
+    tile: usize,
+    pool: &RenderPool,
+    lanes: usize,
+) -> Json {
+    let cam = Camera::orbit(grid.dims, grid.image_size, grid.image_size, 20.0, 30.0);
+    let block = whole(grid.dims);
+    let scalar_params = RenderParams::default();
+    let lane_params = RenderParams {
+        simd_lanes: lanes,
+        ..RenderParams::default()
+    };
+    let accel = (cell >= 1).then(|| {
+        RenderAccel::new(
+            Arc::new(MacrocellGrid::build(&w.volume, cell)),
+            &w.transfer,
+            &scalar_params,
+        )
+    });
+
+    let mut accel1_ns = Vec::with_capacity(reps);
+    let mut threaded_ns = Vec::with_capacity(reps);
+    let mut accel1_hash = 0u64;
+    let mut threaded_hash = 0u64;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let img = render_block_accel(
+            &w.volume,
+            &block,
+            &w.transfer,
+            &cam,
+            &scalar_params,
+            accel.as_ref(),
+            tile,
+        );
+        accel1_hash = fnv1a(&img);
+        std::hint::black_box(img.non_blank_count());
+        accel1_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+
+        let t0 = std::time::Instant::now();
+        let img = render_block_accel_pool(
+            &w.volume,
+            &block,
+            &w.transfer,
+            &cam,
+            &lane_params,
+            accel.as_ref(),
+            tile,
+            Some(pool),
+        );
+        threaded_hash = fnv1a(&img);
+        std::hint::black_box(img.non_blank_count());
+        threaded_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+    }
+
+    let accel1 = min_sample(accel1_ns);
+    let pooled = min_sample(threaded_ns);
+    obj([
+        ("bench", Json::Str("rendering_threaded".into())),
+        ("dataset", Json::Str(w.name.into())),
+        ("sparse", Json::Bool(w.sparse)),
+        (
+            "pixels",
+            Json::Num(grid.image_size as f64 * grid.image_size as f64),
+        ),
+        ("threads", Json::Num(pool.threads() as f64)),
+        ("lanes", Json::Num(lanes as f64)),
+        ("cores", Json::Num(host_cores() as f64)),
+        ("accel1_ns", Json::Num(accel1)),
+        ("threaded_ns", Json::Num(pooled)),
+        ("threads_speedup", Json::Num(accel1 / pooled.max(1.0))),
+        ("identical", Json::Bool(accel1_hash == threaded_hash)),
+    ])
+}
+
+/// Cores visible to this process (respects pinning, e.g. `taskset`).
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn print_table(entries: &[Json]) {
     println!(
         "{:<10} {:<12} {:>6} {:>12} {:>12} {:>10} {:>8} {:>7} {:>9}",
@@ -352,6 +481,29 @@ fn print_table(entries: &[Json]) {
                     f("build_ns") / 1e6,
                     f("speedup"),
                     f("active_fraction") * 100.0,
+                    if e.get("identical") == Some(&Json::Bool(true)) {
+                        "yes"
+                    } else {
+                        "NO"
+                    },
+                );
+            }
+            "rendering_threaded" => {
+                let f = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "{:<10} {:<12} {:>6} {:>12.3} {:>12.3} {:>10} {:>8.2} {:>7} {:>9}",
+                    "threaded",
+                    e.get("dataset").and_then(Json::as_str).unwrap_or("?"),
+                    if e.get("sparse") == Some(&Json::Bool(true)) {
+                        "yes"
+                    } else {
+                        "no"
+                    },
+                    f("accel1_ns") / 1e6,
+                    f("threaded_ns") / 1e6,
+                    format!("t{}·l{}", f("threads"), f("lanes")),
+                    f("threads_speedup"),
+                    "-",
                     if e.get("identical") == Some(&Json::Bool(true)) {
                         "yes"
                     } else {
@@ -459,6 +611,10 @@ fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>
     let mut passes = Vec::new();
     let mut failures = Vec::new();
     for e in current {
+        if e.get("bench").and_then(Json::as_str) == Some("rendering_threaded") {
+            check_threaded(e, &base, &mut passes, &mut failures);
+            continue;
+        }
         if e.get("bench").and_then(Json::as_str) != Some("rendering") {
             continue;
         }
@@ -526,5 +682,67 @@ fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>
         Ok(passes)
     } else {
         Err(failures)
+    }
+}
+
+/// Gate for one `rendering_threaded` entry. Bit-identity is
+/// unconditional. The speedup gate is host-aware: on a host with at
+/// least as many cores as the pool has threads, the threaded path must
+/// beat the 1-thread path by `MIN_THREAD_SPEEDUP` (and stay within
+/// `SPEEDUP_SLACK` of the recorded baseline ratio); on a narrower host
+/// — the 2-core pinned CI job — threading cannot pay, so only the
+/// oversubscription no-slowdown floor applies. The ratio itself comes
+/// from interleaved same-run reps, so no anchor calibration is needed.
+fn check_threaded(
+    e: &Json,
+    base: &BTreeMap<(String, String), &Json>,
+    passes: &mut Vec<String>,
+    failures: &mut Vec<String>,
+) {
+    let key = entry_key(e);
+    let label = format!("{}/{}", key.0, key.1);
+    let f = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+
+    if e.get("identical") != Some(&Json::Bool(true)) {
+        failures.push(format!(
+            "{label}: threaded image is NOT bit-identical to 1-thread accel"
+        ));
+    } else {
+        passes.push(format!("{label}: bit-identical"));
+    }
+
+    let speedup = f("threads_speedup");
+    let threads = f("threads") as usize;
+    if f("accel1_ns") < TIMING_FLOOR_NS {
+        passes.push(format!("{label}: below timing floor, speedup not gated"));
+        return;
+    }
+    if host_cores() >= threads {
+        let mut need = MIN_THREAD_SPEEDUP;
+        if let Some(b) = base.get(&key) {
+            if let Some(base_speedup) = b.get("threads_speedup").and_then(Json::as_f64) {
+                need = need.max(base_speedup / SPEEDUP_SLACK);
+            }
+        }
+        if speedup < need {
+            failures.push(format!(
+                "{label}: threads_speedup {speedup:.2} < {need:.2} at {threads} threads"
+            ));
+        } else {
+            passes.push(format!(
+                "{label}: threads_speedup {speedup:.2} >= {need:.2} at {threads} threads"
+            ));
+        }
+    } else if speedup < THREAD_NO_SLOWDOWN {
+        failures.push(format!(
+            "{label}: oversubscribed host ({} cores < {threads} threads) slowed down: \
+             {speedup:.2} < {THREAD_NO_SLOWDOWN}",
+            host_cores()
+        ));
+    } else {
+        passes.push(format!(
+            "{label}: no slowdown on a {}-core host ({speedup:.2} >= {THREAD_NO_SLOWDOWN})",
+            host_cores()
+        ));
     }
 }

@@ -31,13 +31,14 @@
 //! The differential proptests in `tests/proptests.rs` enforce the
 //! bit-identity end to end.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use vr_image::{Image, Pixel, Rect};
 use vr_volume::{MacrocellGrid, Subvolume, TransferFunction, Vec3, Volume};
 
 use crate::camera::Camera;
-use crate::params::RenderParams;
+use crate::params::{RenderParams, MAX_SIMD_LANES};
+use crate::pool::RenderPool;
 use crate::raycast::shade;
 
 /// Default screen-tile edge length, in pixels.
@@ -379,6 +380,10 @@ impl TileMask {
 /// render paths; `accel = None, tile = 0` is the naive reference,
 /// `Some(accel)` enables macrocell skipping, and `tile >= 1` additionally
 /// culls whole screen tiles after a macrocell prescan.
+///
+/// Honors `params.render_threads` by spinning up a transient
+/// [`RenderPool`]; callers with a persistent pool should use
+/// [`render_clipped_into_pool`].
 #[allow(clippy::too_many_arguments)]
 pub fn render_clipped_into(
     volume: &Volume,
@@ -389,6 +394,31 @@ pub fn render_clipped_into(
     params: &RenderParams,
     accel: Option<&RenderAccel>,
     tile: usize,
+    image: &mut Image,
+) {
+    render_clipped_into_pool(
+        volume, placement, clip, transfer, camera, params, accel, tile, None, image,
+    );
+}
+
+/// [`render_clipped_into`] with an optional persistent [`RenderPool`]
+/// for the banded tile scheduler. With more than one render thread —
+/// from the pool, or from `params.render_threads` when no pool is given
+/// (a transient pool is spun up) — the live screen tiles (or row bands,
+/// when tile culling is off) are fanned across the threads, each item
+/// writing only its own disjoint pixel rows. Every configuration is
+/// **bit-identical** to the single-threaded render.
+#[allow(clippy::too_many_arguments)]
+pub fn render_clipped_into_pool(
+    volume: &Volume,
+    placement: &Subvolume,
+    clip: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    accel: Option<&RenderAccel>,
+    tile: usize,
+    pool: Option<&RenderPool>,
     image: &mut Image,
 ) {
     // Tiles larger than the image index space degenerate to one tile.
@@ -431,51 +461,168 @@ pub fn render_clipped_into(
         );
     let footprint = camera.footprint(clip.origin, clip.dims);
 
-    let cast = |x: u16, y: u16, image: &mut Image| {
-        if let Some((t0, t1)) = camera.ray_box(x, y, lo, hi) {
-            let p = integrate(volume, frame, transfer, camera, params, accel, x, y, t0, t1);
-            if !p.is_blank() {
-                image.set(x, y, p);
-            }
-        }
+    let cast = |x: u16, y: u16| -> Option<Pixel> {
+        let (t0, t1) = camera.ray_box(x, y, lo, hi)?;
+        let p = integrate(volume, frame, transfer, camera, params, accel, x, y, t0, t1);
+        (!p.is_blank()).then_some(p)
     };
 
-    match accel {
+    // Work decomposition: the pixel rect of every live tile in tiled
+    // mode, fixed-height row bands otherwise. Threaded or not, the same
+    // items are traversed in the same per-item pixel order; threading
+    // only changes which thread runs which item, and no two items share
+    // a pixel.
+    let items = match accel {
         Some(acc) if tile >= 1 => {
             let mask = acc.tile_mask(camera, placement.origin, clip, tile);
             if !mask.any() {
                 return;
             }
-            let ts = tile as u16;
-            let ty0 = footprint.y0 / ts;
-            let tx0 = footprint.x0 / ts;
-            for tyi in ty0..=(footprint.y1.saturating_sub(1) / ts) {
-                for txi in tx0..=(footprint.x1.saturating_sub(1) / ts) {
-                    if !mask.tile_marked(txi as usize, tyi as usize) {
-                        continue;
-                    }
-                    let r = footprint.intersect(&Rect::new(
-                        txi * ts,
-                        tyi * ts,
-                        (txi + 1).saturating_mul(ts).min(footprint.x1),
-                        (tyi + 1).saturating_mul(ts).min(footprint.y1),
-                    ));
-                    for y in r.y0..r.y1 {
-                        for x in r.x0..r.x1 {
-                            cast(x, y, image);
+            tile_items(&footprint, &mask)
+        }
+        _ => row_bands(&footprint, DEFAULT_TILE_SIZE as u16),
+    };
+
+    let transient;
+    let pool = match pool {
+        Some(p) => Some(p),
+        None if params.render_threads > 1 => {
+            transient = RenderPool::new(params.render_threads);
+            Some(&transient)
+        }
+        None => None,
+    };
+    match pool {
+        Some(pool) if pool.threads() > 1 && items.len() > 1 => {
+            render_items_pooled(image, &items, pool, &cast);
+        }
+        _ => {
+            for r in &items {
+                for y in r.y0..r.y1 {
+                    for x in r.x0..r.x1 {
+                        if let Some(p) = cast(x, y) {
+                            image.set(x, y, p);
                         }
                     }
                 }
             }
         }
-        _ => {
-            for y in footprint.y0..footprint.y1 {
-                for x in footprint.x0..footprint.x1 {
-                    cast(x, y, image);
-                }
+    }
+}
+
+/// Collects the pixel rectangle of every *live* screen tile: marked in
+/// `mask` and overlapping `footprint`. Every live tile is emitted
+/// exactly once, dead tiles are never emitted, and edge tiles are
+/// clamped to the footprint (whose width and height need not divide the
+/// tile size). The rectangles are pairwise disjoint — the basis of the
+/// threaded renderer's lock-free disjoint-write guarantee.
+fn tile_items(footprint: &Rect, mask: &TileMask) -> Vec<Rect> {
+    let mut items = Vec::new();
+    if footprint.is_empty() {
+        return items;
+    }
+    let ts = mask.tile_size() as u16;
+    let ty0 = footprint.y0 / ts;
+    let tx0 = footprint.x0 / ts;
+    for tyi in ty0..=(footprint.y1.saturating_sub(1) / ts) {
+        for txi in tx0..=(footprint.x1.saturating_sub(1) / ts) {
+            if !mask.tile_marked(txi as usize, tyi as usize) {
+                continue;
+            }
+            let r = footprint.intersect(&Rect::new(
+                txi * ts,
+                tyi * ts,
+                (txi + 1).saturating_mul(ts).min(footprint.x1),
+                (tyi + 1).saturating_mul(ts).min(footprint.y1),
+            ));
+            if !r.is_empty() {
+                items.push(r);
             }
         }
     }
+    items
+}
+
+/// Splits `footprint` into horizontal bands of at most `rows` pixel rows
+/// — the work decomposition when tile culling is off. Bands partition
+/// the footprint: disjoint, covering, in top-to-bottom order.
+fn row_bands(footprint: &Rect, rows: u16) -> Vec<Rect> {
+    let mut bands = Vec::new();
+    if footprint.is_empty() {
+        return bands;
+    }
+    let rows = rows.max(1);
+    let mut y = footprint.y0;
+    while y < footprint.y1 {
+        let y1 = footprint.y1.min(y.saturating_add(rows));
+        bands.push(Rect::new(footprint.x0, y, footprint.x1, y1));
+        y = y1;
+    }
+    bands
+}
+
+/// Raw shared view of an image's pixel buffer for the disjoint-rect
+/// writers of the threaded render.
+struct SharedPixels {
+    ptr: *mut Pixel,
+    width: usize,
+}
+
+// SAFETY: every write targets a pixel owned by exactly one work item
+// (the item rects are pairwise disjoint), so concurrent use never
+// aliases a pixel.
+unsafe impl Sync for SharedPixels {}
+
+impl SharedPixels {
+    /// # Safety
+    /// `(x, y)` must lie inside the calling work item's own rect.
+    unsafe fn write(&self, x: u16, y: u16, p: Pixel) {
+        unsafe { *self.ptr.add(y as usize * self.width + x as usize) = p };
+    }
+}
+
+/// Fans disjoint-rect work items across the pool. Each item writes only
+/// its own pixels, so the framebuffer needs no locking: items write
+/// through a shared raw pointer, and each records the tight bounds of
+/// its non-blank writes. The merged bounds re-arm the image's O(1)
+/// bounding-rect hint with exactly the rectangle the sequential render
+/// would have grown through `Image::set` (only non-blank pixels are ever
+/// written, so bounds only grow and the merge order is immaterial).
+fn render_items_pooled(
+    image: &mut Image,
+    items: &[Rect],
+    pool: &RenderPool,
+    cast: &(dyn Fn(u16, u16) -> Option<Pixel> + Sync),
+) {
+    // Tight bounds of any pre-existing content, captured before raw
+    // buffer access drops the image's hint.
+    let prior = image.bounding_rect();
+    let width = image.width() as usize;
+    let shared = SharedPixels {
+        ptr: image.pixels_mut().as_mut_ptr(),
+        width,
+    };
+    let item_bounds: Vec<Mutex<Rect>> = items.iter().map(|_| Mutex::new(Rect::EMPTY)).collect();
+    pool.run(items.len(), &|i| {
+        let r = items[i];
+        let mut bounds = Rect::EMPTY;
+        for y in r.y0..r.y1 {
+            for x in r.x0..r.x1 {
+                if let Some(p) = cast(x, y) {
+                    // SAFETY: (x, y) lies inside item i's rect, and the
+                    // item rects are pairwise disjoint, so no other
+                    // thread ever touches this pixel.
+                    unsafe { shared.write(x, y, p) };
+                    bounds.include(x, y);
+                }
+            }
+        }
+        *item_bounds[i].lock().unwrap() = bounds;
+    });
+    let merged = item_bounds
+        .into_iter()
+        .fold(prior, |acc, b| acc.union(&b.into_inner().unwrap()));
+    image.assert_bounds(merged);
 }
 
 /// One ray-sample step: classify, shade, accumulate. Returns `true` when
@@ -549,6 +696,7 @@ fn integrate(
             // from the geometric cell is covered by the macrocell
             // margins; sample positions are untouched.
             let admit_zero = params.opacity_cutoff < 0.0;
+            let lanes = params.simd_lanes.clamp(1, MAX_SIMD_LANES);
             let o = [ray_o.x - frame.x, ray_o.y - frame.y, ray_o.z - frame.z];
             let d = [dir.x, dir.y, dir.z];
             let cs = grid.cell_size() as f32;
@@ -582,26 +730,75 @@ fn integrate(
                 let t_seg = t_max[0].min(t_max[1]).min(t_max[2]).min(t1);
                 if t < t_seg {
                     if acc.is_active(c[0], c[1], c[2]) {
-                        // Sample through the cell with the naive body,
-                        // except that samples whose unit opacity is
-                        // exactly zero skip it: they would compute a
-                        // per-sample opacity of `1 − 1^step = 0`, which
-                        // never passes a non-negative cutoff, so the
-                        // naive body is a no-op for them (negative
-                        // cutoffs disable the shortcut via `admit_zero`).
-                        loop {
-                            let pos = ray_o + dir * t - frame;
-                            let density = volume.sample(pos);
-                            let alpha_unit = lut.opacity(density).clamp(0.0, 1.0);
-                            if alpha_unit > 0.0 || admit_zero {
-                                let cl = (lut.intensity(density), alpha_unit);
-                                if sample_step(volume, pos, cl, params, &mut color, &mut alpha) {
-                                    break 'ray;
+                        if lanes > 1 {
+                            // Lane-batched sampling: gather up to `lanes`
+                            // sample parameters through the *exact* scalar
+                            // `t += step` chain, evaluate density and unit
+                            // opacity in fixed-width array lanes the
+                            // autovectorizer can lift, then classify and
+                            // accumulate strictly in scalar order. Early
+                            // termination merely discards the precomputed
+                            // (side-effect-free) later lanes, so the
+                            // front-to-back `over` chain replays the
+                            // scalar chain bit-for-bit.
+                            loop {
+                                let mut tv = [0.0f32; MAX_SIMD_LANES];
+                                let mut n = 0;
+                                loop {
+                                    tv[n] = t;
+                                    n += 1;
+                                    t += params.step;
+                                    if n == lanes || t >= t_seg {
+                                        break;
+                                    }
+                                }
+                                let mut density = [0.0f32; MAX_SIMD_LANES];
+                                for (dst, &tl) in density[..n].iter_mut().zip(&tv[..n]) {
+                                    *dst = volume.sample(ray_o + dir * tl - frame);
+                                }
+                                let mut unit = [0.0f32; MAX_SIMD_LANES];
+                                for (dst, &dl) in unit[..n].iter_mut().zip(&density[..n]) {
+                                    *dst = lut.opacity(dl).clamp(0.0, 1.0);
+                                }
+                                for i in 0..n {
+                                    if unit[i] > 0.0 || admit_zero {
+                                        let pos = ray_o + dir * tv[i] - frame;
+                                        let cl = (lut.intensity(density[i]), unit[i]);
+                                        if sample_step(
+                                            volume, pos, cl, params, &mut color, &mut alpha,
+                                        ) {
+                                            break 'ray;
+                                        }
+                                    }
+                                }
+                                if t >= t_seg {
+                                    break;
                                 }
                             }
-                            t += params.step;
-                            if t >= t_seg {
-                                break;
+                        } else {
+                            // Scalar reference: sample through the cell
+                            // with the naive body, except that samples
+                            // whose unit opacity is exactly zero skip it:
+                            // they would compute a per-sample opacity of
+                            // `1 − 1^step = 0`, which never passes a
+                            // non-negative cutoff, so the naive body is a
+                            // no-op for them (negative cutoffs disable the
+                            // shortcut via `admit_zero`).
+                            loop {
+                                let pos = ray_o + dir * t - frame;
+                                let density = volume.sample(pos);
+                                let alpha_unit = lut.opacity(density).clamp(0.0, 1.0);
+                                if alpha_unit > 0.0 || admit_zero {
+                                    let cl = (lut.intensity(density), alpha_unit);
+                                    if sample_step(volume, pos, cl, params, &mut color, &mut alpha)
+                                    {
+                                        break 'ray;
+                                    }
+                                }
+                                t += params.step;
+                                if t >= t_seg {
+                                    break;
+                                }
                             }
                         }
                     } else if t_seg >= t1 {
@@ -826,6 +1023,166 @@ mod tests {
         }
         // The Cube sample is sparse: culling must actually drop tiles.
         assert!(mask.marked_count() < mask.len());
+    }
+
+    /// The live-tile work plan for a standard scene: every live tile
+    /// scheduled exactly once, dead tiles never scheduled, and the
+    /// scheduled rects exactly tile the live part of the footprint.
+    #[test]
+    fn tile_items_schedules_live_tiles_exactly_once_and_dead_tiles_never() {
+        let dims = [48, 48, 24];
+        let ds = Dataset::with_dims(DatasetKind::Cube, dims);
+        let cam = Camera::orbit(dims, 96, 96, 25.0, 40.0);
+        let params = RenderParams::default();
+        let acc = RenderAccel::new(ds.macrocell_grid(8), &ds.transfer, &params);
+        let mask = acc.tile_mask(&cam, [0, 0, 0], &whole(dims), 16);
+        // The Cube is sparse: the plan must really have dead tiles to skip.
+        assert!(mask.marked_count() < mask.len());
+        let footprint = cam.footprint([0, 0, 0], dims);
+        let ts = mask.tile_size() as u16;
+        let items = tile_items(&footprint, &mask);
+
+        let mut seen = std::collections::HashSet::new();
+        for r in &items {
+            assert!(!r.is_empty());
+            assert!(footprint.contains_rect(r), "item {r:?} leaks the footprint");
+            // Each item lies inside exactly one tile…
+            let (txi, tyi) = (r.x0 / ts, r.y0 / ts);
+            assert_eq!((txi, tyi), ((r.x1 - 1) / ts, (r.y1 - 1) / ts));
+            // …that tile is live…
+            assert!(
+                mask.tile_marked(txi as usize, tyi as usize),
+                "dead tile ({txi},{tyi}) was scheduled"
+            );
+            // …and is scheduled at most once.
+            assert!(
+                seen.insert((txi, tyi)),
+                "tile ({txi},{tyi}) scheduled twice"
+            );
+        }
+        // Exactly once: every live footprint pixel is covered by exactly
+        // one item (disjointness follows from the per-tile uniqueness
+        // above), and dead-tile pixels by none.
+        for y in footprint.y0..footprint.y1 {
+            for x in footprint.x0..footprint.x1 {
+                let n = items.iter().filter(|r| r.contains(x, y)).count();
+                assert_eq!(n, usize::from(mask.covers(x, y)), "pixel ({x},{y})");
+            }
+        }
+    }
+
+    /// Edge tiles of a footprint whose width/height is not a multiple of
+    /// the tile size must come out clamped, not skipped or overflowing.
+    #[test]
+    fn tile_items_clamps_edge_tiles_on_non_multiple_footprints() {
+        let dims = [40, 40, 20];
+        let ds = Dataset::with_dims(DatasetKind::EngineLow, dims);
+        // 70×54 image: neither side is divisible by the 32-px tile.
+        let cam = Camera::orbit(dims, 70, 54, 15.0, 25.0);
+        let params = RenderParams::default();
+        let acc = RenderAccel::new(ds.macrocell_grid(8), &ds.transfer, &params);
+        let mask = acc.tile_mask(&cam, [0, 0, 0], &whole(dims), 32);
+        let footprint = cam.footprint([0, 0, 0], dims);
+        // The fitted orbit footprint must straddle a 32-px tile boundary
+        // and end off-boundary on both axes, or this test would not
+        // exercise clamping.
+        assert!(
+            footprint.x0 < 32 && footprint.x1 > 32 && !footprint.x1.is_multiple_of(32),
+            "footprint {footprint:?}"
+        );
+        assert!(
+            footprint.y0 < 32 && footprint.y1 > 32 && !footprint.y1.is_multiple_of(32),
+            "footprint {footprint:?}"
+        );
+        let items = tile_items(&footprint, &mask);
+        assert!(!items.is_empty());
+        for r in &items {
+            assert!(footprint.contains_rect(r), "item {r:?} leaks the footprint");
+        }
+        // The clamped edge tiles are present (partial width and height).
+        assert!(items.iter().any(|r| r.x1 == footprint.x1 && r.width() < 32));
+        assert!(items
+            .iter()
+            .any(|r| r.y1 == footprint.y1 && r.height() < 32));
+        // And the plan still covers every live pixel exactly once.
+        for y in footprint.y0..footprint.y1 {
+            for x in footprint.x0..footprint.x1 {
+                let n = items.iter().filter(|r| r.contains(x, y)).count();
+                assert_eq!(n, usize::from(mask.covers(x, y)), "pixel ({x},{y})");
+            }
+        }
+    }
+
+    /// The untiled decomposition partitions the footprint into bands with
+    /// no gap or overlap at band seams (the `scan_runs` chunk-seam idiom
+    /// from `vr_image::kernel`, applied to rows).
+    #[test]
+    fn row_bands_partition_without_seam_gaps_or_overlaps() {
+        for (w, h) in [(1u16, 1u16), (7, 31), (64, 32), (13, 33), (70, 54), (5, 65)] {
+            let footprint = Rect::new(3.min(w - 1), 0, w, h);
+            let bands = row_bands(&footprint, 32);
+            // Bands are in order, disjoint, and exactly cover the rows.
+            let mut y = footprint.y0;
+            for b in &bands {
+                assert_eq!((b.x0, b.x1), (footprint.x0, footprint.x1));
+                assert_eq!(b.y0, y, "gap or overlap at band seam y={y}");
+                assert!(b.height() >= 1 && b.height() <= 32);
+                y = b.y1;
+            }
+            assert_eq!(y, footprint.y1, "{w}x{h} rows not fully covered");
+        }
+        assert!(row_bands(&Rect::EMPTY, 32).is_empty());
+    }
+
+    /// Threaded rendering at sizes that straddle tile boundaries by one
+    /// row/column must not drop or duplicate the seam rows: the banded
+    /// image is bit-identical to the sequential one, including the
+    /// recorded bounding rectangle.
+    #[test]
+    fn threaded_render_has_no_seam_rows_at_clamped_edges() {
+        let dims = [32, 32, 16];
+        let ds = Dataset::with_dims(DatasetKind::EngineLow, dims);
+        for (w, h) in [(70u16, 54u16), (33, 33), (64, 65)] {
+            let cam = Camera::orbit(dims, w, h, 20.0, 30.0);
+            let params = RenderParams::default();
+            let acc = RenderAccel::new(ds.macrocell_grid(8), &ds.transfer, &params);
+            for tile in [0usize, 32] {
+                let mut sequential = Image::blank(w, h);
+                render_clipped_into(
+                    &ds.volume,
+                    &whole(dims),
+                    &whole(dims),
+                    &ds.transfer,
+                    &cam,
+                    &params,
+                    Some(&acc),
+                    tile,
+                    &mut sequential,
+                );
+                let threaded_params = RenderParams {
+                    render_threads: 3,
+                    ..params
+                };
+                let mut threaded = Image::blank(w, h);
+                render_clipped_into(
+                    &ds.volume,
+                    &whole(dims),
+                    &whole(dims),
+                    &ds.transfer,
+                    &cam,
+                    &threaded_params,
+                    Some(&acc),
+                    tile,
+                    &mut threaded,
+                );
+                assert_eq!(
+                    fnv1a(&sequential),
+                    fnv1a(&threaded),
+                    "{w}x{h} tile={tile} diverged"
+                );
+                assert_eq!(sequential.bounding_rect(), threaded.bounding_rect());
+            }
+        }
     }
 
     #[test]

@@ -17,12 +17,17 @@ pub mod accel;
 pub mod camera;
 pub mod local;
 pub mod params;
+pub mod pool;
 pub mod raycast;
 pub mod splat;
 
 pub use accel::{RenderAccel, TfLut, TileMask, DEFAULT_TILE_SIZE};
 pub use camera::{Camera, Projection};
-pub use local::{render_local_block, render_local_block_clipped, render_local_block_clipped_accel};
-pub use params::RenderParams;
-pub use raycast::{render_block, render_block_accel, render_block_into};
+pub use local::{
+    render_local_block, render_local_block_clipped, render_local_block_clipped_accel,
+    render_local_block_clipped_accel_pool,
+};
+pub use params::{RenderParams, MAX_SIMD_LANES};
+pub use pool::RenderPool;
+pub use raycast::{render_block, render_block_accel, render_block_accel_pool, render_block_into};
 pub use splat::splat_block;

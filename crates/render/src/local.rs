@@ -15,9 +15,10 @@
 use vr_image::Image;
 use vr_volume::{Subvolume, TransferFunction, Volume};
 
-use crate::accel::{render_clipped_into, RenderAccel};
+use crate::accel::{render_clipped_into, render_clipped_into_pool, RenderAccel};
 use crate::camera::Camera;
 use crate::params::RenderParams;
+use crate::pool::RenderPool;
 use crate::raycast;
 
 /// Renders a locally held block into a full-size sparse subimage.
@@ -73,6 +74,28 @@ pub fn render_local_block_clipped_accel(
     let mut image = Image::blank(camera.width, camera.height);
     render_clipped_into(
         local, placement, clip, transfer, camera, params, accel, tile, &mut image,
+    );
+    image
+}
+
+/// [`render_local_block_clipped_accel`] with an optional persistent
+/// [`RenderPool`] for the banded tile scheduler; bit-identical at every
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn render_local_block_clipped_accel_pool(
+    local: &Volume,
+    placement: &Subvolume,
+    clip: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    accel: Option<&RenderAccel>,
+    tile: usize,
+    pool: Option<&RenderPool>,
+) -> Image {
+    let mut image = Image::blank(camera.width, camera.height);
+    render_clipped_into_pool(
+        local, placement, clip, transfer, camera, params, accel, tile, pool, &mut image,
     );
     image
 }

@@ -3,9 +3,10 @@
 use vr_image::Image;
 use vr_volume::{Subvolume, TransferFunction, Vec3, Volume};
 
-use crate::accel::{render_clipped_into, RenderAccel};
+use crate::accel::{render_clipped_into_pool, RenderAccel};
 use crate::camera::Camera;
 use crate::params::RenderParams;
+use crate::pool::RenderPool;
 
 /// Renders `block` of `volume` into a full-size sparse subimage.
 ///
@@ -69,13 +70,51 @@ pub fn render_block_into_accel(
     tile: usize,
     image: &mut Image,
 ) {
+    render_block_into_accel_pool(
+        volume, block, transfer, camera, params, accel, tile, None, image,
+    );
+}
+
+/// [`render_block_accel`] with an optional persistent [`RenderPool`] for
+/// the banded tile scheduler; bit-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn render_block_accel_pool(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    accel: Option<&RenderAccel>,
+    tile: usize,
+    pool: Option<&RenderPool>,
+) -> Image {
+    let mut image = Image::blank(camera.width, camera.height);
+    render_block_into_accel_pool(
+        volume, block, transfer, camera, params, accel, tile, pool, &mut image,
+    );
+    image
+}
+
+/// Pool-accepting variant of [`render_block_into_accel`].
+#[allow(clippy::too_many_arguments)]
+pub fn render_block_into_accel_pool(
+    volume: &Volume,
+    block: &Subvolume,
+    transfer: &TransferFunction,
+    camera: &Camera,
+    params: &RenderParams,
+    accel: Option<&RenderAccel>,
+    tile: usize,
+    pool: Option<&RenderPool>,
+    image: &mut Image,
+) {
     let placement = Subvolume {
         rank: block.rank,
         origin: [0, 0, 0],
         dims: volume.dims(),
     };
-    render_clipped_into(
-        volume, &placement, block, transfer, camera, params, accel, tile, image,
+    render_clipped_into_pool(
+        volume, &placement, block, transfer, camera, params, accel, tile, pool, image,
     );
 }
 

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use vr_image::checksum::fnv1a;
 use vr_render::{
-    render_block, render_block_accel, render_local_block_clipped, render_local_block_clipped_accel,
-    Camera, Projection, RenderAccel, RenderParams,
+    render_block, render_block_accel, render_block_accel_pool, render_local_block_clipped,
+    render_local_block_clipped_accel, render_local_block_clipped_accel_pool, Camera, Projection,
+    RenderAccel, RenderParams, RenderPool,
 };
 use vr_volume::{kd_partition, MacrocellGrid, Subvolume, TransferFunction, Volume};
 
@@ -247,6 +248,107 @@ proptest! {
             &local, &placement, &clip, &tf, &cam, &params, Some(&accel), tile,
         );
         prop_assert_eq!(fnv1a(&naive), fnv1a(&fast), "cell={} tile={}", cell, tile);
+    }
+
+    /// The threading/SIMD tentpole invariant: `render(threads=t,
+    /// lanes=l)` is **bit-identical** to `render(threads=1, lanes=1)`
+    /// for t ∈ {1,2,3,8} (including the non-power-of-two 3) and
+    /// l ∈ {1,4,8}, whether the threads come from a persistent pool or
+    /// the transient `render_threads` knob, over arbitrary volumes,
+    /// views, transfer windows, tile sizes and clip boxes. The 40×40
+    /// image holds at most 4 live 32-px tiles — fewer work items than
+    /// the 8-thread pool — so idle-lane behavior is covered too.
+    #[test]
+    fn threaded_simd_render_is_bit_identical_to_the_scalar_reference(
+        seed in any::<u32>(),
+        density in 8u8..96,
+        threads in prop_oneof![Just(1usize), Just(2), Just(3), Just(8)],
+        lanes in prop_oneof![Just(1usize), Just(4), Just(8)],
+        tile in prop_oneof![Just(0usize), Just(8), Just(32)],
+        which in 0u8..4,
+        (rx, ry) in arb_rot(),
+        lo in 40.0f32..160.0,
+        w in 10.0f32..90.0,
+        ert in prop_oneof![Just(1.0f32), Just(0.9f32)],
+    ) {
+        let dims = [17, 13, 9];
+        let v = noise_volume(dims, seed, density);
+        let tf = TransferFunction::window(lo, lo + w, 0.8);
+        let cam = Camera::orbit(dims, 40, 40, rx, ry);
+        let reference_params = RenderParams {
+            step: 1.3,
+            early_termination_alpha: ert,
+            ..RenderParams::fast()
+        };
+        let block = clip_box(dims, which);
+        let accel = RenderAccel::new(
+            Arc::new(MacrocellGrid::build(&v, 4)),
+            &tf,
+            &reference_params,
+        );
+        let reference =
+            render_block_accel(&v, &block, &tf, &cam, &reference_params, Some(&accel), tile);
+        let naive = render_block(&v, &block, &tf, &cam, &reference_params);
+
+        let params = RenderParams {
+            simd_lanes: lanes,
+            ..reference_params
+        };
+        // A persistent pool, as Experiment::prepare and serve use it…
+        let pool = RenderPool::new(threads);
+        let pooled =
+            render_block_accel_pool(&v, &block, &tf, &cam, &params, Some(&accel), tile, Some(&pool));
+        // …and the transient render_threads knob must agree with it.
+        let knob_params = RenderParams { render_threads: threads, ..params };
+        let transient =
+            render_block_accel(&v, &block, &tf, &cam, &knob_params, Some(&accel), tile);
+
+        prop_assert_eq!(
+            fnv1a(&reference), fnv1a(&pooled),
+            "pooled diverged: seed={} threads={} lanes={} tile={} which={}",
+            seed, threads, lanes, tile, which
+        );
+        prop_assert_eq!(
+            fnv1a(&reference), fnv1a(&transient),
+            "transient diverged: seed={} threads={} lanes={} tile={}",
+            seed, threads, lanes, tile
+        );
+        prop_assert_eq!(fnv1a(&naive), fnv1a(&pooled), "threaded+SIMD diverged from naive");
+        prop_assert_eq!(reference.bounding_rect(), pooled.bounding_rect());
+        prop_assert_eq!(reference.bounding_rect(), transient.bounding_rect());
+    }
+
+    /// The distributed-memory threaded path: local block, off-origin
+    /// placement, clip interior, pool-fanned — still bit-identical.
+    #[test]
+    fn threaded_local_clipped_render_matches_the_scalar_reference(
+        seed in any::<u32>(),
+        threads in prop_oneof![Just(2usize), Just(3), Just(8)],
+        lanes in prop_oneof![Just(1usize), Just(4), Just(8)],
+        tile in prop_oneof![Just(0usize), 1usize..40],
+        (rx, ry) in arb_rot(),
+    ) {
+        let gdims = [20, 16, 12];
+        let ldims = [9, 8, 6];
+        let local = noise_volume(ldims, seed, 64);
+        let placement = Subvolume { rank: 0, origin: [5, 4, 3], dims: ldims };
+        let clip = Subvolume { rank: 0, origin: [6, 4, 3], dims: [7, 8, 5] };
+        let cam = Camera::orbit(gdims, 36, 36, rx, ry);
+        let tf = TransferFunction::window(60.0, 140.0, 0.9);
+        let params = RenderParams::fast();
+        let reference = render_local_block_clipped(&local, &placement, &clip, &tf, &cam, &params);
+        let accel = RenderAccel::new(Arc::new(MacrocellGrid::build(&local, 4)), &tf, &params);
+        let threaded_params = RenderParams { simd_lanes: lanes, ..params };
+        let pool = RenderPool::new(threads);
+        let fast = render_local_block_clipped_accel_pool(
+            &local, &placement, &clip, &tf, &cam, &threaded_params,
+            Some(&accel), tile, Some(&pool),
+        );
+        prop_assert_eq!(
+            fnv1a(&reference), fnv1a(&fast),
+            "threads={} lanes={} tile={}", threads, lanes, tile
+        );
+        prop_assert_eq!(reference.bounding_rect(), fast.bounding_rect());
     }
 
     /// Footprints are always clamped inside the image, for both

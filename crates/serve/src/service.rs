@@ -19,7 +19,7 @@ use slsvr_core::CompositeError;
 use vr_comm::{FaultConfig, ReliabilityConfig};
 use vr_image::checksum::fnv1a;
 use vr_image::Image;
-use vr_system::{Experiment, ExperimentConfig, FrameRecord};
+use vr_system::{Experiment, ExperimentConfig, FrameRecord, RenderPool};
 use vr_volume::{Dataset, DatasetKind};
 
 use crate::cache::{frame_key, LruCache};
@@ -70,6 +70,35 @@ pub struct ServeConfig {
     /// Evict a resident dataset once no session holds it and it has
     /// been idle this long (`None` = datasets stay resident forever).
     pub session_ttl: Option<Duration>,
+    /// Intra-rank render threads *per worker* (the banded tile
+    /// scheduler): each worker owns a persistent render pool of this
+    /// size, reused across frames, so the service's total render
+    /// threads are bounded by `workers × render_threads`. `0` (the
+    /// default) means auto — the host's cores divided across the
+    /// workers, clamped to `1..=8`. Bit-identical at every value; this
+    /// is a resource knob, so the service value overrides per-request
+    /// configs.
+    pub render_threads: usize,
+    /// Ray-sample lanes in the render inner loop (1 = scalar reference;
+    /// bit-identical at any width). Overrides per-request configs like
+    /// `render_threads`.
+    pub simd_lanes: usize,
+}
+
+impl ServeConfig {
+    /// The per-worker render-thread count this config resolves to (see
+    /// [`ServeConfig::render_threads`]).
+    pub fn resolved_render_threads(&self) -> usize {
+        match self.render_threads {
+            0 => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                (cores / self.workers.max(1)).clamp(1, 8)
+            }
+            n => n.min(64),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -87,6 +116,8 @@ impl Default for ServeConfig {
             degraded: DegradedFramePolicy::default(),
             breaker: BreakerConfig::default(),
             session_ttl: None,
+            render_threads: 0,
+            simd_lanes: 4,
         }
     }
 }
@@ -504,7 +535,11 @@ impl SessionHandle {
 
 /// The request config with the service-level robustness knobs folded in:
 /// per-request settings win; service-level faults / reliability /
-/// receive deadline fill the gaps.
+/// receive deadline fill the gaps. Render *resource* knobs are the one
+/// exception: the service owns its thread budget (total render threads
+/// = workers × render_threads), so `render_threads`/`simd_lanes` are
+/// always taken from the service config — safe because both are
+/// bit-identical to the scalar reference and never change the frame.
 fn effective_config(req: &ExperimentConfig, serve: &ServeConfig) -> ExperimentConfig {
     let mut cfg = *req;
     if cfg.faults.is_none() {
@@ -518,6 +553,8 @@ fn effective_config(req: &ExperimentConfig, serve: &ServeConfig) -> ExperimentCo
     if cfg.recv_deadline.is_none() {
         cfg.recv_deadline = serve.recv_deadline;
     }
+    cfg.render_threads = serve.resolved_render_threads();
+    cfg.simd_lanes = serve.simd_lanes;
     cfg
 }
 
@@ -532,11 +569,15 @@ struct Attempt {
 /// Renders one attempt through the exact batch path, catching panics
 /// from the distributed run (receive timeouts, reliable-delivery budget
 /// exhaustion) so a fault storm can never kill the worker.
-fn run_attempt(cfg: &ExperimentConfig, dataset: &Arc<Dataset>) -> Result<Attempt, (String, bool)> {
+fn run_attempt(
+    cfg: &ExperimentConfig,
+    dataset: &Arc<Dataset>,
+    pool: &RenderPool,
+) -> Result<Attempt, (String, bool)> {
     let dataset = Arc::clone(dataset);
     let cfg = *cfg;
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-        let exp = Experiment::prepare_with_dataset(&cfg, dataset);
+        let exp = Experiment::prepare_with_dataset_pool(&cfg, dataset, Some(pool));
         let out = exp.run(cfg.method);
         let record = FrameRecord::from_outcome(&out).with_render_seconds(&exp.render_seconds);
         let degraded = out
@@ -583,7 +624,7 @@ enum JobOutcome {
 /// The per-job retry loop: attempt, classify, back off, re-salt, repeat.
 /// Bounded by `retry.max_retries` and by the job's deadline — the loop
 /// never sleeps past it.
-fn render_with_retries(shared: &Shared, job: &Job) -> JobOutcome {
+fn render_with_retries(shared: &Shared, job: &Job, pool: &RenderPool) -> JobOutcome {
     let retry = &shared.cfg.retry;
     let base = effective_config(&job.config, &shared.cfg);
     let mut attempt: u32 = 0;
@@ -603,7 +644,7 @@ fn render_with_retries(shared: &Shared, job: &Job) -> JobOutcome {
             && job
                 .deadline
                 .is_none_or(|d| Instant::now() + next_delay <= d);
-        match run_attempt(&cfg, &job.dataset) {
+        match run_attempt(&cfg, &job.dataset, pool) {
             Ok(att) => {
                 shared.stats.lock().unwrap().rendered_frames += 1;
                 let frame = || {
@@ -676,6 +717,13 @@ fn report_health(shared: &Shared, job: &Job, success: bool) {
 }
 
 fn worker_loop(shared: &Shared) {
+    // Each worker owns one persistent banded-render pool, spawned here
+    // and reused across every frame it renders — the service's total
+    // render threads stay bounded at workers × render_threads. A panic
+    // inside a pool worker re-raises typed on this thread and is caught
+    // by `run_attempt`; the pool itself survives and serves the next
+    // job.
+    let pool = RenderPool::new(shared.cfg.resolved_render_threads());
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -721,7 +769,7 @@ fn worker_loop(shared: &Shared) {
         // the session's resident dataset plus `Experiment::run`) under
         // the retry loop — the determinism guarantee is that attempt 0
         // is the very same code and config the one-shot experiment runs.
-        match render_with_retries(shared, &job) {
+        match render_with_retries(shared, &job, &pool) {
             JobOutcome::Served { frame, degraded } => {
                 report_health(shared, &job, true);
                 // Degraded frames are never cached: a later identical

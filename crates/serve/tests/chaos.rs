@@ -385,6 +385,70 @@ fn poisoned_job_answers_its_waiter_and_the_worker_survives() {
 }
 
 #[test]
+fn threaded_render_survives_chaos_and_stays_bit_identical() {
+    // The worker's persistent render pool must ride out a poisoned job:
+    // the blackout panic is caught at the serve layer with its typed
+    // payload intact, the pool is not left hung or poisoned, and the
+    // follow-up healthy frame — rendered across the pool with lane
+    // batching on — hashes equal to the scalar single-threaded batch run.
+    let service = FrameService::start(ServeConfig {
+        workers: 1,
+        cache_frames: 0,
+        retry: fast_retry(1),
+        // Two render threads per worker, four sample lanes: the chaos
+        // path exercises the pooled renderer, not the sequential one.
+        render_threads: 2,
+        simd_lanes: 4,
+        ..Default::default()
+    });
+    let session = service.open_session(base());
+    let mut poisoned = base();
+    // The request asks for its own thread count; the service-owned knob
+    // must override it (resources belong to the service, not requests).
+    poisoned.render_threads = 3;
+    poisoned.faults = Some(blackout(29));
+    match answer(&session.request(poisoned)) {
+        FrameResponse::Rejected { attempts, reason } => {
+            assert_eq!(attempts, 2, "one transient retry before giving up");
+            match reason {
+                RejectReason::Failed { error } => assert!(
+                    error.contains("communication failed"),
+                    "the typed panic payload must survive the pool: {error}"
+                ),
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // The same worker — and the same render pool — still serves, and the
+    // threaded frame is bit-identical to the scalar reference.
+    let mut healthy = base();
+    healthy.render_threads = 3;
+    let served = match answer(&session.request(healthy)) {
+        FrameResponse::Frame(reply) => {
+            assert_eq!(reply.source, ServeSource::Fresh);
+            reply
+        }
+        other => panic!("pool hung or died: expected a frame, got {other:?}"),
+    };
+    let mut scalar = base();
+    scalar.render_threads = 1;
+    scalar.simd_lanes = 1;
+    let batch = Experiment::prepare(&scalar).run(scalar.method);
+    assert_eq!(
+        served.frame.image_hash,
+        fnv1a(&batch.image),
+        "threaded chaos-path frame differs from the scalar batch run"
+    );
+    let stats = service.shutdown();
+    assert!(
+        stats.panics_caught >= 1,
+        "the blackout panic must be caught: {stats:?}"
+    );
+    assert_eq!(stats.answered(), stats.submitted);
+}
+
+#[test]
 fn chaos_load_generation_partitions_every_outcome() {
     // The load generator under a seeded kill plan: requests resolve to
     // images (fresh/coalesced/degraded) or explicit rejections, and the

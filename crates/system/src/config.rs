@@ -78,6 +78,19 @@ pub struct ExperimentConfig {
     /// macrocells).
     #[serde(default = "default_tile")]
     pub tile: usize,
+    /// Intra-rank render threads for the banded tile scheduler: each
+    /// rank's live screen tiles are fanned across this many threads.
+    /// `0` (the default) means *auto* — the host's available
+    /// parallelism, capped at 8; `1` is the single-threaded reference.
+    /// Bit-identical at every value, so this knob only trades threads
+    /// for wall-clock time (see [`Self::resolved_render_threads`]).
+    #[serde(default = "default_render_threads")]
+    pub render_threads: usize,
+    /// Ray-sample batch width inside active macrocells (autovectorized
+    /// fixed-width lanes); `1` is the scalar reference, wider values
+    /// are bit-identical to it. Clamped to `vr_render::MAX_SIMD_LANES`.
+    #[serde(default = "default_simd_lanes")]
+    pub simd_lanes: usize,
 }
 
 fn default_macrocell() -> usize {
@@ -86,6 +99,14 @@ fn default_macrocell() -> usize {
 
 fn default_tile() -> usize {
     vr_render::DEFAULT_TILE_SIZE
+}
+
+fn default_render_threads() -> usize {
+    0
+}
+
+fn default_simd_lanes() -> usize {
+    4
 }
 
 /// Source of the reported computation time.
@@ -147,6 +168,8 @@ impl Default for ExperimentConfig {
             schedule_seed: None,
             macrocell: default_macrocell(),
             tile: default_tile(),
+            render_threads: default_render_threads(),
+            simd_lanes: default_simd_lanes(),
         }
     }
 }
@@ -163,6 +186,21 @@ impl ExperimentConfig {
             step: 2.0,
             cost: CostModel::sp2(),
             ..Default::default()
+        }
+    }
+
+    /// The render-thread count this configuration resolves to: an
+    /// explicit value is used as-is (bounded at 64 — beyond that the
+    /// per-tile work items are too few to feed), `0` means auto — the
+    /// host's available parallelism capped at 8, so a many-core machine
+    /// is not oversubscribed when several experiments run concurrently.
+    pub fn resolved_render_threads(&self) -> usize {
+        match self.render_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            n => n.min(64),
         }
     }
 
@@ -279,5 +317,22 @@ mod tests {
         assert_eq!(c.macrocell, vr_volume::DEFAULT_CELL_SIZE);
         assert_eq!(c.tile, vr_render::DEFAULT_TILE_SIZE);
         assert!(c.macrocell >= 1 && c.tile >= 1);
+    }
+
+    #[test]
+    fn render_threading_is_on_by_default_and_bounded() {
+        let c = ExperimentConfig::default();
+        // Auto mode: threading on by default (the whole test battery
+        // re-proves bit-identity with it), capped at 8 threads.
+        assert_eq!(c.render_threads, 0);
+        let resolved = c.resolved_render_threads();
+        assert!((1..=8).contains(&resolved));
+        assert_eq!(c.simd_lanes, 4);
+        // Explicit values pass through but are bounded at 64.
+        let mut c = c;
+        c.render_threads = 3;
+        assert_eq!(c.resolved_render_threads(), 3);
+        c.render_threads = 10_000;
+        assert_eq!(c.resolved_render_threads(), 64);
     }
 }

@@ -51,9 +51,15 @@ pub fn run_distributed(config: &ExperimentConfig) -> DistributedOutcome {
         config.rot_x_deg,
         config.rot_y_deg,
     );
+    // Each rank renders with its own transient banded-render pool
+    // (`render_threads` here, honored inside the clipped renderer) and
+    // lane-batched sampling — both bit-identical to the scalar path, so
+    // the distributed pipeline's outputs are unchanged by them.
     let params = RenderParams {
         step: config.step,
         early_termination_alpha: config.early_termination_alpha,
+        render_threads: config.resolved_render_threads(),
+        simd_lanes: config.simd_lanes,
         ..Default::default()
     };
     let p = config.processors;

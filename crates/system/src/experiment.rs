@@ -8,7 +8,10 @@ use slsvr_core::{
 };
 use vr_comm::{run_group_with, TrafficStats};
 use vr_image::Image;
-use vr_render::{render_block_accel, Camera, Projection, RenderAccel, RenderParams};
+use vr_render::{
+    render_block_accel, render_block_accel_pool, Camera, Projection, RenderAccel, RenderParams,
+    RenderPool,
+};
 use vr_volume::{kd_partition, kd_partition_weighted, Dataset, DepthOrder};
 
 use crate::config::ExperimentConfig;
@@ -126,6 +129,20 @@ impl Experiment {
     /// — animation sweeps re-render the same volume from many views and
     /// must not pay the procedural build per frame.
     pub fn prepare_with_dataset(config: &ExperimentConfig, dataset: Arc<Dataset>) -> Experiment {
+        Experiment::prepare_with_dataset_pool(config, dataset, None)
+    }
+
+    /// Like [`Experiment::prepare_with_dataset`] but also reuses a
+    /// persistent [`RenderPool`] for the banded intra-rank render —
+    /// callers that render many frames (the serve workers) spawn the
+    /// pool threads once and amortize them across every frame. Without
+    /// a pool, one is spun up for this prepare when the config resolves
+    /// to more than one render thread.
+    pub fn prepare_with_dataset_pool(
+        config: &ExperimentConfig,
+        dataset: Arc<Dataset>,
+        pool: Option<&RenderPool>,
+    ) -> Experiment {
         let dims = config.resolved_dims();
         assert_eq!(
             dataset.volume.dims(),
@@ -163,9 +180,13 @@ impl Experiment {
             Projection::Orthographic => partition.depth_order(camera.view_dir),
             Projection::Perspective { eye } => partition.depth_order_from_eye(eye),
         };
+        let threads = pool
+            .map(|p| p.threads())
+            .unwrap_or_else(|| config.resolved_render_threads());
         let params = RenderParams {
             step: config.step,
             early_termination_alpha: config.early_termination_alpha,
+            simd_lanes: config.simd_lanes,
             ..Default::default()
         };
 
@@ -180,33 +201,70 @@ impl Experiment {
             )
         });
 
-        // Rendering phase: embarrassingly parallel, one thread per rank
-        // (no communication — the property that makes sort-last scale).
-        let mut subimages: Vec<Option<(Image, f64)>> =
-            (0..config.processors).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (slot, block) in subimages.iter_mut().zip(partition.subvolumes()) {
-                let dataset = Arc::clone(&dataset);
-                let accel = accel.as_ref();
-                scope.spawn(move || {
+        // Rendering phase. With intra-rank threading, ranks render one
+        // after another with each rank's live tiles fanned across the
+        // pool — a frame uses exactly `threads` threads regardless of P
+        // (the serve layer multiplies this by its worker count). The
+        // pool threads are spawned once per prepare (or inherited from
+        // the caller) and reused by every rank. Otherwise the original
+        // one-scope-thread-per-rank fan-out is kept. Both paths are
+        // bit-identical; per-rank render wall time is informational
+        // (reported `T_comp` comes from `CompTiming`, modeled by
+        // default).
+        let (subimages, render_seconds): (Vec<Image>, Vec<f64>) = if threads > 1 {
+            let owned;
+            let pool = match pool {
+                Some(p) => p,
+                None => {
+                    owned = RenderPool::new(threads);
+                    &owned
+                }
+            };
+            partition
+                .subvolumes()
+                .iter()
+                .map(|block| {
                     let start = std::time::Instant::now();
-                    let img = render_block_accel(
+                    let img = render_block_accel_pool(
                         &dataset.volume,
                         block,
                         &dataset.transfer,
                         &camera,
                         &params,
-                        accel,
+                        accel.as_ref(),
                         config.tile,
+                        Some(pool),
                     );
-                    *slot = Some((img, start.elapsed().as_secs_f64()));
-                });
-            }
-        });
-        let (subimages, render_seconds) = subimages
-            .into_iter()
-            .map(|s| s.expect("render thread finished"))
-            .unzip();
+                    (img, start.elapsed().as_secs_f64())
+                })
+                .unzip()
+        } else {
+            let mut subimages: Vec<Option<(Image, f64)>> =
+                (0..config.processors).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, block) in subimages.iter_mut().zip(partition.subvolumes()) {
+                    let dataset = Arc::clone(&dataset);
+                    let accel = accel.as_ref();
+                    scope.spawn(move || {
+                        let start = std::time::Instant::now();
+                        let img = render_block_accel(
+                            &dataset.volume,
+                            block,
+                            &dataset.transfer,
+                            &camera,
+                            &params,
+                            accel,
+                            config.tile,
+                        );
+                        *slot = Some((img, start.elapsed().as_secs_f64()));
+                    });
+                }
+            });
+            subimages
+                .into_iter()
+                .map(|s| s.expect("render thread finished"))
+                .unzip()
+        };
 
         Experiment {
             config: *config,

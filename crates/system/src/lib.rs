@@ -31,3 +31,4 @@ pub use distribute::{run_distributed, DistributedOutcome};
 pub use experiment::{Aggregate, Experiment, Outcome};
 pub use report::{format_figure_series, format_paper_table, FrameRecord, TableRow};
 pub use sweep::{to_csv, SweepBuilder, SweepRecord};
+pub use vr_render::RenderPool;

@@ -60,6 +60,7 @@ USAGE:
                 [--rot-x DEG] [--rot-y DEG] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced] [--early-term A]
                 [--macrocell N] [--tile N]
+                [--render-threads N] [--simd-lanes N]
                 [--distributed] [--ghost N] [--out FILE.pgm]
                 [--faults SPEC] [--reliable] [--recv-deadline MS]
                 [--ack-timeout MS] [--max-retries N] [--schedule-seed S]
@@ -72,6 +73,7 @@ USAGE:
                 [--serve-faults SPEC] [--psnr-floor DB] [--max-retries N]
                 [--retry-backoff-ms MS] [--session-ttl MS]
                 [--breaker-threshold N] [--breaker-cooldown-ms MS]
+                [--render-threads N] [--simd-lanes N]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
   slsvr info
 
@@ -100,8 +102,16 @@ SERVE:    starts the vr-serve frame service (session-resident datasets,
 
 RENDER:   --macrocell N sets the empty-space-skipping cell edge in voxels
           (default 8, 0 = off); --tile N sets the screen-tile culling edge
-          in pixels (default 32, 0 = off). Both knobs are bit-exact: the
-          accelerated image is identical to the naive one.
+          in pixels (default 32, 0 = off). --render-threads N fans each
+          rank's live tiles across an N-thread pool (default 0 = auto:
+          one thread per core, capped at 8); --simd-lanes N batches N ray
+          samples per active cell for the autovectorizer (default 4,
+          1 = scalar). All four knobs are bit-exact: the accelerated,
+          threaded, lane-batched image is identical to the naive one.
+          Under `serve`, --render-threads/--simd-lanes size each worker's
+          persistent render pool (total threads = workers × render
+          threads; the auto default divides the cores among the workers),
+          overriding any per-request value.
 
 FAULTS:   --faults drop=0.01,corrupt=0.001,dup=0.001,delay=0.01,delay_ms=2,seed=42,kill=3@17
           (every key optional; --reliable turns on framing + ack/retransmit
@@ -201,6 +211,8 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
     };
     config.macrocell = flags.parse("--macrocell", config.macrocell)?;
     config.tile = flags.parse("--tile", config.tile)?;
+    config.render_threads = flags.parse("--render-threads", config.render_threads)?;
+    config.simd_lanes = flags.parse("--simd-lanes", config.simd_lanes)?;
     if let Some(d) = flags.get("--perspective") {
         config.perspective_distance = Some(
             d.parse()
@@ -368,6 +380,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_depth: flags.parse("--queue-depth", 32usize)?,
         cache_frames: flags.parse("--cache-frames", 64usize)?,
         coalesce: !flags.has("--no-coalesce"),
+        render_threads: flags.parse("--render-threads", 0usize)?,
+        simd_lanes: flags.parse("--simd-lanes", 4usize)?,
         ..Default::default()
     };
     if let Some(ms) = flags.get("--deadline-ms") {
@@ -429,8 +443,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         load.poses,
     );
     println!(
-        "workers {} · queue depth {} · cache {} frame(s) · coalesce {} · deadline {}",
+        "workers {} · {} render thread(s)/worker · {} simd lane(s) · queue depth {} · \
+         cache {} frame(s) · coalesce {} · deadline {}",
         serve.workers,
+        serve.resolved_render_threads(),
+        serve.simd_lanes,
         serve.queue_depth,
         serve.cache_frames,
         if serve.coalesce { "on" } else { "off" },

@@ -20,7 +20,9 @@ use slsvr::compositing::conformance::{
     expected_traffic, parse_corpus, run_case, ConformanceCase, CorpusEntry, CostKind, Workload,
 };
 use slsvr::compositing::Method;
-use slsvr::volume::DepthOrder;
+use slsvr::image::checksum::fnv1a;
+use slsvr::system::{Experiment, ExperimentConfig};
+use slsvr::volume::{DatasetKind, DepthOrder};
 
 /// Float slack for `over` re-association across distribution layouts.
 const TOLERANCE: f32 = 2e-4;
@@ -115,6 +117,51 @@ fn non_pow2_groups_match_reference_for_all_bs_variants() {
                 out.max_diff
             );
             assert_eq!(out.coverage, 1.0);
+        }
+    }
+}
+
+/// Threaded-render column: for every rank count, the pooled renderer
+/// (4 threads, 8 sample lanes) must produce subimages — and therefore
+/// every method's composited image — bit-identical to the
+/// single-threaded scalar reference. This pins the whole render →
+/// composite → gather chain, not just the renderer in isolation.
+#[test]
+fn threaded_render_matches_scalar_for_every_method_and_rank_count() {
+    for p in rank_counts() {
+        let scalar = ExperimentConfig {
+            render_threads: 1,
+            simd_lanes: 1,
+            ..ExperimentConfig::small_test(DatasetKind::EngineLow, p, Method::Bsbrc)
+        };
+        let threaded = ExperimentConfig {
+            render_threads: 4,
+            simd_lanes: 8,
+            ..scalar
+        };
+        let reference = Experiment::prepare(&scalar);
+        let pooled = Experiment::prepare(&threaded);
+        for (rank, (a, b)) in reference
+            .subimages()
+            .iter()
+            .zip(pooled.subimages())
+            .enumerate()
+        {
+            assert_eq!(
+                fnv1a(a),
+                fnv1a(b),
+                "P={p} rank {rank}: threaded subimage diverged from the scalar render"
+            );
+        }
+        for method in Method::all() {
+            let a = reference.run(method).image;
+            let b = pooled.run(method).image;
+            assert_eq!(
+                fnv1a(&a),
+                fnv1a(&b),
+                "{} P={p}: threaded render changed the composited image",
+                method.name()
+            );
         }
     }
 }
