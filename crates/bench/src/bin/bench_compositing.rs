@@ -28,13 +28,14 @@
 //! Deterministic byte metrics are compared exactly.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use slsvr_core::Method;
 use vr_bench::json::{obj, parse, Json};
 use vr_image::{Image, MaskRle, Pixel, Rect};
-use vr_system::{CompTiming, Experiment, ExperimentConfig};
-use vr_volume::{DatasetKind, DepthOrder};
+use vr_system::{CompTiming, Experiment, ExperimentConfig, StreamExperiment};
+use vr_volume::{Dataset, DatasetKind, DepthOrder};
 
 /// Timing-gate slack: the relative regression CI tolerates.
 const REGRESSION_SLACK: f64 = 1.25;
@@ -182,7 +183,81 @@ fn run_benches(grid: &Grid, reps: usize) -> Vec<Json> {
             entries.push(bench_method(&exp, method, p, reps));
         }
     }
+    entries.push(bench_overlap(grid, reps));
     entries
+}
+
+/// The render/composite overlap trajectory: the fused tile-stream
+/// runner versus the two-phase render-then-composite pipeline on the
+/// same dataset, view and thread budget. Both sides include identical
+/// partition + accelerator setup, so the difference is purely the
+/// overlap. Gated on multi-core hosts: the fused frame must beat the
+/// synchronous `t_render + t_composite` sum and the first streamed tile
+/// must land before the fused full frame; a 1-core host cannot overlap
+/// anything, so the entry records `"gate": "skipped-narrow-host"`.
+fn bench_overlap(grid: &Grid, reps: usize) -> Json {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let p = 4;
+    // Rendering a real dataset dominates this entry; cap the frame so
+    // the full grid stays minutes-not-hours while still giving each of
+    // the 4 ranks dozens of 32-px tiles to stream.
+    let size = grid.image_size.min(256);
+    let config = ExperimentConfig {
+        dataset: DatasetKind::EngineLow,
+        image_size: size,
+        processors: p,
+        method: Method::TileStream,
+        comp_timing: CompTiming::Measured { slowdown: 1.0 },
+        ..Default::default()
+    };
+    let dataset = Arc::new(Dataset::with_dims(config.dataset, config.resolved_dims()));
+    let reps = reps.clamp(1, 5);
+    let mut sync_ns = Vec::with_capacity(reps);
+    let mut fused_ns = Vec::with_capacity(reps);
+    let mut first_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let exp = Experiment::prepare_with_dataset_pool(&config, Arc::clone(&dataset), None);
+        let out = exp.run(Method::TileStream);
+        sync_ns.push(t.elapsed().as_nanos() as f64);
+        std::hint::black_box(out.image.area());
+
+        let t = Instant::now();
+        let sexp = StreamExperiment::prepare_with_dataset(&config, Arc::clone(&dataset));
+        let sout = sexp.run();
+        fused_ns.push(t.elapsed().as_nanos() as f64);
+        if let Some(ft) = sout.first_tile_seconds {
+            first_ns.push(ft * 1e9);
+        }
+        std::hint::black_box(sout.image.area());
+    }
+    let sync = min_sample(sync_ns);
+    let fused = min_sample(fused_ns);
+    let first = if first_ns.is_empty() {
+        0.0
+    } else {
+        min_sample(first_ns)
+    };
+    let gate = if host_cores < 2 {
+        "skipped-narrow-host"
+    } else if fused < sync && first > 0.0 && first < fused {
+        "pass"
+    } else {
+        "fail"
+    };
+    obj([
+        ("bench", Json::Str("overlap".into())),
+        ("method", Json::Str("tstream".into())),
+        ("procs", Json::Num(p as f64)),
+        ("image_size", Json::Num(size as f64)),
+        ("host_cores", Json::Num(host_cores as f64)),
+        ("sync_ns", Json::Num(sync)),
+        ("fused_ns", Json::Num(fused)),
+        ("first_tile_ns", Json::Num(first)),
+        ("gate", Json::Str(gate.into())),
+    ])
 }
 
 /// Bulk `over` kernel over a full image rect.
@@ -289,6 +364,20 @@ fn print_table(entries: &[Json]) {
                         / 1e3,
                 );
             }
+            "overlap" => {
+                println!(
+                    "{:<14} {:>6} {:>5} sync {:.1} ms · fused {:.1} ms · first tile {:.1} ms · \
+                     {} host core(s) · gate {}",
+                    bench,
+                    e.get("method").and_then(Json::as_str).unwrap_or("?"),
+                    e.get("procs").and_then(Json::as_u64).unwrap_or(0),
+                    e.get("sync_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6,
+                    e.get("fused_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6,
+                    e.get("first_tile_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6,
+                    e.get("host_cores").and_then(Json::as_u64).unwrap_or(0),
+                    e.get("gate").and_then(Json::as_str).unwrap_or("?"),
+                );
+            }
             _ => {
                 println!(
                     "{:<14} {:>6} {:>5} {:>11.3} ns/px",
@@ -381,6 +470,23 @@ fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>
 
     let mut passes = Vec::new();
     let mut failures = Vec::new();
+    // The overlap gate is self-contained (fused-vs-sync on *this* host),
+    // so it is checked directly rather than against the baseline.
+    for e in current {
+        if e.get("bench").and_then(Json::as_str) == Some("overlap") {
+            match e.get("gate").and_then(Json::as_str) {
+                Some("fail") => failures.push(format!(
+                    "overlap: fused run did not beat the synchronous pipeline \
+                     (sync {:.1} ms, fused {:.1} ms, first tile {:.1} ms)",
+                    e.get("sync_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6,
+                    e.get("fused_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6,
+                    e.get("first_tile_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6,
+                )),
+                Some(gate) => passes.push(format!("overlap: gate {gate}")),
+                None => {}
+            }
+        }
+    }
     for e in current {
         let key = entry_key(e);
         let Some(b) = base.get(&key) else {

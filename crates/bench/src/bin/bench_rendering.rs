@@ -441,6 +441,17 @@ fn bench_threaded(
         ("threaded_ns", Json::Num(pooled)),
         ("threads_speedup", Json::Num(accel1 / pooled.max(1.0))),
         ("identical", Json::Bool(accel1_hash == threaded_hash)),
+        // Whether this host can actually judge the threading speedup: a
+        // host with fewer cores than pool threads cannot, and the
+        // recorded entry says so instead of logging a misleading ~1×.
+        (
+            "gate",
+            Json::Str(if host_cores() >= pool.threads() {
+                "gated".into()
+            } else {
+                "skipped-narrow-host".into()
+            }),
+        ),
     ])
 }
 
@@ -450,6 +461,11 @@ fn host_cores() -> usize {
 }
 
 fn print_table(entries: &[Json]) {
+    println!(
+        "host: {} core(s) visible to this process (threaded speedup gates \
+         are skipped when the pool has more threads than cores)",
+        host_cores()
+    );
     println!(
         "{:<10} {:<12} {:>6} {:>12} {:>12} {:>10} {:>8} {:>7} {:>9}",
         "bench",
@@ -741,7 +757,8 @@ fn check_threaded(
         ));
     } else {
         passes.push(format!(
-            "{label}: no slowdown on a {}-core host ({speedup:.2} >= {THREAD_NO_SLOWDOWN})",
+            "{label}: skipped-narrow-host ({} cores < {threads} threads; \
+             no slowdown: {speedup:.2} >= {THREAD_NO_SLOWDOWN})",
             host_cores()
         ));
     }

@@ -436,11 +436,26 @@ impl Endpoint {
         class: StreamClass,
         index: u64,
     ) -> Result<(), ()> {
+        self.transmit_delayed(dst, tag, payload, class, index, 0.0)
+    }
+
+    /// [`Endpoint::transmit`] carrying `extra_secs` of additional virtual
+    /// latency (ignored on the real-time transport, composed with any
+    /// fault delay under the virtual clock).
+    fn transmit_delayed(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        class: StreamClass,
+        index: u64,
+        extra_secs: f64,
+    ) -> Result<(), ()> {
         let Some(plan) = self.faults else {
-            return self.push(dst, tag, payload);
+            return self.push_delayed(dst, tag, payload, extra_secs);
         };
         match plan.action(self.rank, dst, class, index) {
-            FaultAction::Deliver => self.push(dst, tag, payload),
+            FaultAction::Deliver => self.push_delayed(dst, tag, payload, extra_secs),
             FaultAction::Drop => Ok(()), // lost in transit
             FaultAction::Corrupt => {
                 let mut bytes = payload.to_vec();
@@ -448,27 +463,23 @@ impl Endpoint {
                     let i = plan.corrupt_byte(self.rank, dst, class, index, bytes.len());
                     bytes[i] ^= 0x01;
                 }
-                self.push(dst, tag, Bytes::from(bytes))
+                self.push_delayed(dst, tag, Bytes::from(bytes), extra_secs)
             }
             FaultAction::Duplicate => {
-                self.push(dst, tag, payload.clone())?;
-                self.push(dst, tag, payload)
+                self.push_delayed(dst, tag, payload.clone(), extra_secs)?;
+                self.push_delayed(dst, tag, payload, extra_secs)
             }
             FaultAction::Delay => {
                 if self.sim.is_some() {
                     // Virtual time: the delay rides on the message as
                     // extra latency instead of stalling the sender.
-                    self.push_delayed(dst, tag, payload, plan.delay().as_secs_f64())
+                    self.push_delayed(dst, tag, payload, extra_secs + plan.delay().as_secs_f64())
                 } else {
                     std::thread::sleep(plan.delay());
-                    self.push(dst, tag, payload)
+                    self.push_delayed(dst, tag, payload, extra_secs)
                 }
             }
         }
-    }
-
-    fn push(&mut self, dst: usize, tag: Tag, payload: Bytes) -> Result<(), ()> {
-        self.push_delayed(dst, tag, payload, 0.0)
     }
 
     fn push_delayed(
@@ -518,6 +529,48 @@ impl Endpoint {
                     kind: SendErrorKind::Disconnected,
                 })
         }
+    }
+
+    /// Like [`Endpoint::send`], but the message additionally carries
+    /// `extra_secs` of *virtual* latency under the deterministic clock —
+    /// modeling work (e.g. rendering the tile being shipped) that
+    /// completes at a known simulated instant, so streamed delivery
+    /// order is a pure function of the schedule seed and the modeled
+    /// costs. On the real-time transport the extra delay is ignored
+    /// (real completion times come from real work), and in reliable mode
+    /// it is dropped too: ARQ timing is governed by the retry policy.
+    pub fn send_timed(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        payload: Bytes,
+        extra_secs: f64,
+    ) -> Result<(), SendError> {
+        if self.reliability.enabled || extra_secs <= 0.0 {
+            return self.send(dst, tag, payload);
+        }
+        assert!(
+            dst < self.size,
+            "send to rank {dst} out of range (size {})",
+            self.size
+        );
+        if !self.consume_op() {
+            return Err(SendError {
+                to: dst,
+                kind: SendErrorKind::Killed,
+            });
+        }
+        if let Some(t) = &self.tracer {
+            t.record(self.rank, dst, EventKind::Send, payload.len(), tag);
+        }
+        self.stats.on_send(payload.len());
+        let index = self.links[dst].raw_index;
+        self.links[dst].raw_index += 1;
+        self.transmit_delayed(dst, tag, payload, StreamClass::Raw, index, extra_secs)
+            .map_err(|()| SendError {
+                to: dst,
+                kind: SendErrorKind::Disconnected,
+            })
     }
 
     /// Stop-and-wait reliable send: frame, transmit, await ack, retry
@@ -703,6 +756,12 @@ impl Endpoint {
         if self.reliability.enabled {
             self.recv_reliable(src, tag)
         } else if let Some(sim) = self.sim.clone() {
+            // A preceding `recv_any` may have drained this source's
+            // frames into the link buffer; consume those first so no
+            // message is lost between the two receive styles.
+            if let Some(msg) = self.links[src].pending.pop_front() {
+                return self.deliver(src, tag, msg);
+            }
             let deadline = sim.now(self.rank) + self.recv_deadline.as_secs_f64();
             match sim.recv_from(self.rank, src, deadline) {
                 Ok(msg) => self.deliver(src, tag, msg),
@@ -766,6 +825,184 @@ impl Endpoint {
             if Instant::now() >= deadline {
                 return Err(RecvError::Timeout {
                     from: src,
+                    waited: self.recv_deadline,
+                });
+            }
+            std::thread::sleep(PUMP_SLEEP);
+        }
+    }
+
+    /// Receives the next message carrying `tag` from *any* rank whose
+    /// `await_from` slot is true — the streamed-compositing primitive,
+    /// where an owner consumes tile contributions in arrival order
+    /// instead of naming one partner.
+    ///
+    /// Returns the source rank alongside the payload. When an awaited
+    /// peer disconnects (and its frames are drained), the error names
+    /// that peer via [`RecvError::Disconnected`] so the caller can mark
+    /// it dead, clear its slot and keep receiving from the others —
+    /// a dead producer never hangs the receiver. Messages arriving from
+    /// non-awaited sources are buffered and served to later receives.
+    pub fn recv_any(&mut self, await_from: &[bool], tag: Tag) -> Result<(usize, Bytes), RecvError> {
+        assert_eq!(
+            await_from.len(),
+            self.size,
+            "await_from must have one slot per rank"
+        );
+        assert!(
+            await_from.iter().any(|&w| w),
+            "recv_any needs at least one awaited source"
+        );
+        if !self.consume_op() {
+            return Err(RecvError::Killed { rank: self.rank });
+        }
+        if self.reliability.enabled {
+            self.recv_any_reliable(await_from, tag)
+        } else if self.sim.is_some() {
+            self.recv_any_sim(await_from, tag)
+        } else {
+            self.recv_any_raw(await_from, tag)
+        }
+    }
+
+    /// The first awaited source with a buffered message, lowest rank
+    /// first (arrival order within a source is preserved by the queue).
+    fn pop_any_pending(&mut self, await_from: &[bool]) -> Option<(usize, Message)> {
+        for (src, &wanted) in await_from.iter().enumerate().take(self.size) {
+            if wanted {
+                if let Some(msg) = self.links[src].pending.pop_front() {
+                    return Some((src, msg));
+                }
+            }
+        }
+        None
+    }
+
+    /// True when any awaited source has a buffered message.
+    fn has_any_pending(&self, await_from: &[bool]) -> bool {
+        (0..self.size).any(|src| await_from[src] && !self.links[src].pending.is_empty())
+    }
+
+    /// The first awaited source that is closed with nothing buffered.
+    fn closed_awaited(&self, await_from: &[bool]) -> Option<usize> {
+        (0..self.size).find(|&src| {
+            await_from[src] && self.links[src].peer_closed && self.links[src].pending.is_empty()
+        })
+    }
+
+    /// Raw real-time any-source receive: poll the awaited channels.
+    fn recv_any_raw(&mut self, await_from: &[bool], tag: Tag) -> Result<(usize, Bytes), RecvError> {
+        let deadline = Instant::now() + self.recv_deadline;
+        loop {
+            let mut closed = None;
+            for (src, &wanted) in await_from.iter().enumerate().take(self.size) {
+                if !wanted {
+                    continue;
+                }
+                match self.from[src].try_recv() {
+                    Ok(msg) => return self.deliver(src, tag, msg).map(|b| (src, b)),
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => closed = closed.or(Some(src)),
+                }
+            }
+            // A message anywhere beats reporting a disconnect; only when
+            // the full sweep finds nothing does the dead peer surface.
+            if let Some(src) = closed {
+                return Err(RecvError::Disconnected { from: src });
+            }
+            if Instant::now() >= deadline {
+                let from = await_from.iter().position(|&w| w).unwrap_or(0);
+                return Err(RecvError::Timeout {
+                    from,
+                    waited: self.recv_deadline,
+                });
+            }
+            std::thread::sleep(PUMP_SLEEP);
+        }
+    }
+
+    /// Raw virtual-time any-source receive: drain the simulated inboxes
+    /// into the per-link buffers, then park on any-frame arrival.
+    fn recv_any_sim(&mut self, await_from: &[bool], tag: Tag) -> Result<(usize, Bytes), RecvError> {
+        let sim = self.sim.clone().expect("recv_any_sim requires a SimNet");
+        let deadline = sim.now(self.rank) + self.recv_deadline.as_secs_f64();
+        loop {
+            if let Some((src, msg)) = self.pop_any_pending(await_from) {
+                return self.deliver(src, tag, msg).map(|b| (src, b));
+            }
+            let (msgs, dead) = sim.drain(self.rank);
+            let progressed = !msgs.is_empty();
+            for (src, msg) in msgs {
+                self.links[src].pending.push_back(msg);
+            }
+            for (src, is_dead) in dead.into_iter().enumerate() {
+                if is_dead {
+                    self.links[src].peer_closed = true;
+                }
+            }
+            if progressed {
+                continue;
+            }
+            if let Some(src) = self.closed_awaited(await_from) {
+                return Err(RecvError::Disconnected { from: src });
+            }
+            if sim.now(self.rank) >= deadline {
+                let from = await_from.iter().position(|&w| w).unwrap_or(0);
+                return Err(RecvError::Timeout {
+                    from,
+                    waited: self.recv_deadline,
+                });
+            }
+            let _ = sim.wait_any(self.rank, None, Some(deadline));
+        }
+    }
+
+    /// Reliable any-source receive: pump frames (acking as usual) and
+    /// pop the first awaited pending message.
+    fn recv_any_reliable(
+        &mut self,
+        await_from: &[bool],
+        tag: Tag,
+    ) -> Result<(usize, Bytes), RecvError> {
+        if let Some(sim) = self.sim.clone() {
+            let deadline = sim.now(self.rank) + self.recv_deadline.as_secs_f64();
+            loop {
+                if let Some((src, msg)) = self.pop_any_pending(await_from) {
+                    return self.deliver(src, tag, msg).map(|b| (src, b));
+                }
+                self.pump();
+                if self.has_any_pending(await_from) {
+                    continue;
+                }
+                if let Some(src) = self.closed_awaited(await_from) {
+                    return Err(RecvError::Disconnected { from: src });
+                }
+                if sim.now(self.rank) >= deadline {
+                    let from = await_from.iter().position(|&w| w).unwrap_or(0);
+                    return Err(RecvError::Timeout {
+                        from,
+                        waited: self.recv_deadline,
+                    });
+                }
+                let _ = sim.wait_any(self.rank, None, Some(deadline));
+            }
+        }
+        let deadline = Instant::now() + self.recv_deadline;
+        loop {
+            if let Some((src, msg)) = self.pop_any_pending(await_from) {
+                return self.deliver(src, tag, msg).map(|b| (src, b));
+            }
+            self.pump();
+            if self.has_any_pending(await_from) {
+                continue;
+            }
+            if let Some(src) = self.closed_awaited(await_from) {
+                return Err(RecvError::Disconnected { from: src });
+            }
+            if Instant::now() >= deadline {
+                let from = await_from.iter().position(|&w| w).unwrap_or(0);
+                return Err(RecvError::Timeout {
+                    from,
                     waited: self.recv_deadline,
                 });
             }
@@ -1370,5 +1607,172 @@ mod tests {
             out.stats[0].retransmits >= 1,
             "the lost ack must force at least one retransmission"
         );
+    }
+
+    /// Collects `n` any-source messages at rank 0 and returns
+    /// `(src, first_payload_byte)` pairs in arrival order. A source that
+    /// finishes (disconnects after draining) is dropped from the await
+    /// set — the caller discipline `recv_any` is designed for.
+    fn collect_any(ep: &mut Endpoint, n: usize, tag: Tag) -> Vec<(usize, u8)> {
+        let mut awaiting: Vec<bool> = (0..ep.size()).map(|r| r != 0).collect();
+        let mut got = Vec::new();
+        while got.len() < n {
+            match ep.recv_any(&awaiting, tag) {
+                Ok((src, bytes)) => got.push((src, bytes[0])),
+                Err(RecvError::Disconnected { from }) => awaiting[from] = false,
+                Err(e) => panic!("unexpected recv_any error: {e:?}"),
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn recv_any_collects_from_every_source_on_the_real_transport() {
+        let out = run_group(4, CostModel::free(), |ep| {
+            if ep.rank() == 0 {
+                let mut got = collect_any(ep, 3, 9);
+                got.sort();
+                got
+            } else {
+                ep.send(0, 9, Bytes::from(vec![ep.rank() as u8 * 2]))
+                    .unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out.results[0], vec![(1, 2), (2, 4), (3, 6)]);
+    }
+
+    #[test]
+    fn recv_any_collects_under_the_virtual_clock_and_replays() {
+        let run = |seed: u64| {
+            let options = GroupOptions {
+                cost: CostModel::sp2(),
+                schedule: Some(crate::vclock::ScheduleSpec::seeded(seed)),
+                ..Default::default()
+            };
+            run_group_with(4, options, |ep| {
+                if ep.rank() == 0 {
+                    collect_any(ep, 6, 9)
+                } else {
+                    for i in 0..2u8 {
+                        ep.send(0, 9, Bytes::from(vec![ep.rank() as u8 * 10 + i]))
+                            .unwrap();
+                    }
+                    Vec::new()
+                }
+            })
+            .results[0]
+                .clone()
+        };
+        let a = run(3);
+        assert_eq!(a.len(), 6);
+        // Per-link FIFO: each source's two messages arrive in send order.
+        for src in 1..4usize {
+            let from_src: Vec<u8> = a
+                .iter()
+                .filter(|(s, _)| *s == src)
+                .map(|(_, b)| *b)
+                .collect();
+            assert_eq!(from_src, vec![src as u8 * 10, src as u8 * 10 + 1]);
+        }
+        // Same seed ⇒ same interleave, bit for bit.
+        assert_eq!(a, run(3));
+    }
+
+    #[test]
+    fn send_timed_stamps_control_virtual_delivery_order() {
+        // Rank 1 sends FIRST but with a large completion stamp; rank 2
+        // sends later with a tiny stamp. Under the virtual clock the
+        // stamps (not issue order) decide arrival order at rank 0.
+        let options = GroupOptions {
+            cost: CostModel::sp2(),
+            schedule: Some(crate::vclock::ScheduleSpec::seeded(0)),
+            ..Default::default()
+        };
+        let out = run_group_with(3, options, |ep| match ep.rank() {
+            0 => collect_any(ep, 2, 4),
+            1 => {
+                ep.send_timed(0, 4, Bytes::from_static(b"slow"), 5.0)
+                    .unwrap();
+                Vec::new()
+            }
+            _ => {
+                ep.send_timed(0, 4, Bytes::from_static(b"fast"), 0.001)
+                    .unwrap();
+                Vec::new()
+            }
+        });
+        let order: Vec<usize> = out.results[0].iter().map(|(s, _)| *s).collect();
+        assert_eq!(order, vec![2, 1], "the smaller render stamp lands first");
+    }
+
+    #[test]
+    fn recv_any_drains_then_reports_a_dead_awaited_peer() {
+        for schedule in [None, Some(crate::vclock::ScheduleSpec::seeded(7))] {
+            let options = GroupOptions {
+                cost: CostModel::free(),
+                recv_deadline: Duration::from_secs(5),
+                schedule,
+                ..Default::default()
+            };
+            let out = run_group_with(2, options, |ep| {
+                if ep.rank() == 1 {
+                    // Send one message, then exit (disconnect).
+                    ep.send(0, 4, Bytes::from_static(b"x")).unwrap();
+                    return (0, false);
+                }
+                let awaiting = vec![false, true];
+                // The buffered message must arrive before the disconnect.
+                let (src, _) = ep.recv_any(&awaiting, 4).unwrap();
+                let disc = matches!(
+                    ep.recv_any(&awaiting, 4),
+                    Err(RecvError::Disconnected { from: 1 })
+                );
+                (src, disc)
+            });
+            assert_eq!(out.results[0], (1, true));
+        }
+    }
+
+    #[test]
+    fn recv_any_interleaves_with_selective_recv_without_losing_messages() {
+        // recv_any drains the sim inbox into per-link pending buffers; a
+        // later *selective* recv must still find those messages.
+        let options = GroupOptions {
+            cost: CostModel::sp2(),
+            schedule: Some(crate::vclock::ScheduleSpec::seeded(1)),
+            ..Default::default()
+        };
+        let out = run_group_with(3, options, |ep| {
+            if ep.rank() == 0 {
+                // Rank 1 sends tag 4 (any-source phase) and tag 5
+                // (selective phase); rank 2 sends tag 4 only. Each
+                // source is dropped from the await set after its one
+                // tag-4 message (the stream-close discipline), so rank
+                // 1's tag-5 message is never misread by `recv_any`.
+                let mut awaiting = vec![false, true, true];
+                let mut any = Vec::new();
+                while any.len() < 2 {
+                    match ep.recv_any(&awaiting, 4) {
+                        Ok((src, _)) => {
+                            awaiting[src] = false;
+                            any.push(src);
+                        }
+                        Err(RecvError::Disconnected { from }) => awaiting[from] = false,
+                        Err(e) => panic!("unexpected: {e:?}"),
+                    }
+                }
+                any.sort();
+                let selective = ep.recv(1, 5).unwrap();
+                (any, selective[0])
+            } else {
+                ep.send(0, 4, Bytes::from_static(b"a")).unwrap();
+                if ep.rank() == 1 {
+                    ep.send(0, 5, Bytes::from_static(b"z")).unwrap();
+                }
+                (Vec::new(), 0)
+            }
+        });
+        assert_eq!(out.results[0], (vec![1, 2], b'z'));
     }
 }

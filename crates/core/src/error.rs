@@ -98,6 +98,69 @@ pub(crate) fn try_send(
     }
 }
 
+/// Like [`try_send`], but stamps the message with `extra_secs` of extra
+/// virtual latency (see `Endpoint::send_timed`) — the tile-stream path
+/// uses this to model when each tile's render finished, so streamed
+/// delivery order under the virtual clock is a pure function of the
+/// seed. The real transport ignores the stamp.
+pub(crate) fn try_send_timed(
+    ep: &mut Endpoint,
+    peer: usize,
+    tag: Tag,
+    payload: Bytes,
+    extra_secs: f64,
+    dead: &mut BTreeSet<usize>,
+    during: &'static str,
+) -> Result<bool, CompositeError> {
+    let _ = during;
+    if dead.contains(&peer) {
+        return Ok(false);
+    }
+    match ep.send_timed(peer, tag, payload, extra_secs) {
+        Ok(()) => Ok(true),
+        Err(SendError {
+            kind: SendErrorKind::Killed,
+            ..
+        }) => Err(CompositeError::Killed { rank: ep.rank() }),
+        Err(SendError { to, .. }) => {
+            dead.insert(to);
+            Ok(false)
+        }
+    }
+}
+
+/// One survivable outcome of an any-source receive.
+pub(crate) enum AnyRecv {
+    /// A message arrived from `src`.
+    Message(usize, Bytes),
+    /// Awaited peer `src` disconnected (already added to `dead`); the
+    /// caller should clear its await slot and keep going.
+    PeerDied(usize),
+}
+
+/// Receives the next message from *any* awaited peer, tolerating dead
+/// peers. Timeouts and tag mismatches remain hard errors.
+pub(crate) fn try_recv_any(
+    ep: &mut Endpoint,
+    await_from: &[bool],
+    tag: Tag,
+    dead: &mut BTreeSet<usize>,
+    during: &'static str,
+) -> Result<AnyRecv, CompositeError> {
+    match ep.recv_any(await_from, tag) {
+        Ok((src, bytes)) => Ok(AnyRecv::Message(src, bytes)),
+        Err(RecvError::Killed { rank }) => Err(CompositeError::Killed { rank }),
+        Err(RecvError::Disconnected { from }) => {
+            dead.insert(from);
+            Ok(AnyRecv::PeerDied(from))
+        }
+        Err(e) => Err(CompositeError::Comm {
+            during,
+            source: e.into(),
+        }),
+    }
+}
+
 /// Receives from `peer`, tolerating a dead peer.
 ///
 /// Returns `Ok(None)` when the peer is dead (already known dead, or its

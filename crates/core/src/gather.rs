@@ -14,6 +14,7 @@ const KIND_NOTHING: u32 = 0;
 const KIND_RECT: u32 = 1;
 const KIND_SEQ: u32 = 2;
 const KIND_WHOLE: u32 = 3;
+const KIND_RECTS: u32 = 4;
 
 /// Encodes a rank's owned piece (with its pixel data) for the gather.
 fn encode_piece(image: &Image, piece: &OwnedPiece) -> bytes::Bytes {
@@ -37,6 +38,14 @@ fn encode_piece(image: &Image, piece: &OwnedPiece) -> bytes::Bytes {
         OwnedPiece::Whole => {
             w.put_u32(KIND_WHOLE);
             w.put_pixels(image.pixels());
+        }
+        OwnedPiece::Rects(rects) => {
+            w.put_u32(KIND_RECTS);
+            w.put_u32(rects.len() as u32);
+            for r in rects {
+                w.put_rect(*r);
+                w.put_pixels(&image.extract_rect(r));
+            }
         }
     }
     w.freeze()
@@ -70,6 +79,17 @@ fn apply_piece(out: &mut Image, bytes: bytes::Bytes) -> usize {
             let full = out.full_rect();
             out.write_rect(&full, &pixels);
             out.area()
+        }
+        KIND_RECTS => {
+            let count = r.get_u32() as usize;
+            let mut covered = 0usize;
+            for _ in 0..count {
+                let rect = r.get_rect();
+                let pixels = r.get_pixels(rect.area());
+                out.write_rect(&rect, &pixels);
+                covered += rect.area();
+            }
+            covered
         }
         other => panic!("unknown gather piece kind {other}"),
     }

@@ -71,6 +71,7 @@ pub fn run(
                 "binary-tree send",
             )? {
                 stat.sent_bytes = len;
+                stat.sent_msgs = 1;
             }
             run.stages.push(stat);
             return Ok(run.finish(ep, OwnedPiece::Nothing));
@@ -91,6 +92,7 @@ pub fn run(
                 "binary-tree recv",
             )? {
                 stat.recv_bytes = received.len() as u64;
+                stat.recv_msgs = 1;
                 run.comp.time(|| {
                     let mut r = MsgReader::new(received);
                     let nruns = r.get_u32() as usize;

@@ -55,6 +55,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             ..Default::default()
         };
 
@@ -70,6 +71,7 @@ pub fn run(
 
         if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             let scratch = &mut run.scratch;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);

@@ -87,6 +87,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             encoded_pixels: send_bounds.area() as u64,
             ..Default::default()
         };
@@ -103,6 +104,7 @@ pub fn run(
 
         let recv_rect = if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
                 let rect = r.get_rect();

@@ -65,6 +65,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             ..Default::default()
         };
 
@@ -80,6 +81,7 @@ pub fn run(
 
         let recv_rect = if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             let scratch = &mut run.scratch;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);

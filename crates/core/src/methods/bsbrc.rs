@@ -101,6 +101,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             encoded_pixels: send_bounds.area() as u64,
             run_codes: ncodes,
             ..Default::default()
@@ -125,6 +126,7 @@ pub fn run(
         // loop, so the output is bit-identical.
         let recv_rect = if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             let scratch = &mut run.scratch;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);

@@ -105,6 +105,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             encoded_pixels: send.count as u64,
             run_codes: codes_buf.len() as u64,
             ..Default::default()
@@ -126,6 +127,7 @@ pub fn run(
         // contributes nothing.
         if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             let scratch = &mut run.scratch;
             let recv = &mut recv_set;
             run.comp.time(|| {

@@ -118,6 +118,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             run_codes: nrects as u64,
             ..Default::default()
         };
@@ -134,6 +135,7 @@ pub fn run(
 
         if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
                 let n = r.get_u32() as usize;

@@ -68,6 +68,7 @@ pub fn run(
         });
         let mut stat = StageStat {
             sent_bytes: payload.len() as u64,
+            sent_msgs: 1,
             encoded_pixels: send.area() as u64,
             run_codes: ncodes,
             ..Default::default()
@@ -85,6 +86,7 @@ pub fn run(
 
         if let Some(received) = received {
             stat.recv_bytes = received.len() as u64;
+            stat.recv_msgs = 1;
             run.comp.time(|| {
                 let mut r = MsgReader::new(received);
                 let ncodes = r.get_u32() as usize;

@@ -55,6 +55,7 @@ pub fn run(
             "direct send",
         )? {
             stat.sent_bytes += len;
+            stat.sent_msgs += 1;
         }
     }
 
@@ -78,6 +79,7 @@ pub fn run(
             continue;
         };
         stat.recv_bytes += received.len() as u64;
+        stat.recv_msgs += 1;
         let pixels = run
             .comp
             .time(|| MsgReader::new(received).get_pixels(my_band.area()));

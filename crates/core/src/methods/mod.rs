@@ -13,6 +13,7 @@ pub mod pipeline;
 pub mod radix;
 #[cfg(test)]
 pub(crate) mod testutil;
+pub mod tile_stream;
 
 use std::collections::BTreeSet;
 
@@ -62,6 +63,11 @@ pub enum Method {
     /// modern generalization of binary swap (extension; rounds follow a
     /// greedy factorization of `P`).
     RadixK,
+    /// Asynchronous tile-streamed compositing (Distributed FrameBuffer
+    /// direction): 32-px screen tiles interleaved over owner ranks, each
+    /// tile's non-blank runs streamed to its owner as soon as it is
+    /// available, folded in deterministic depth order on arrival.
+    TileStream,
 }
 
 impl Method {
@@ -71,7 +77,7 @@ impl Method {
     }
 
     /// All implemented methods.
-    pub fn all() -> [Method; 11] {
+    pub fn all() -> [Method; 12] {
         [
             Method::Bs,
             Method::Bsbr,
@@ -84,6 +90,7 @@ impl Method {
             Method::DirectSend,
             Method::Pipeline,
             Method::RadixK,
+            Method::TileStream,
         ]
     }
 
@@ -101,6 +108,7 @@ impl Method {
             Method::DirectSend => "DSEND",
             Method::Pipeline => "PIPE",
             Method::RadixK => "RADIXK",
+            Method::TileStream => "TSTREAM",
         }
     }
 }
@@ -111,6 +119,9 @@ pub enum OwnedPiece {
     /// A rectangular region (spatial binary-swap methods, direct send,
     /// pipeline).
     Rect(Rect),
+    /// A set of disjoint rectangles (tile-stream owners hold every tile
+    /// assigned to them by the interleave).
+    Rects(Vec<Rect>),
     /// An interleaved pixel sequence (BSLC).
     Seq(StridedSeq),
     /// The whole image (binary-tree root).
@@ -189,6 +200,7 @@ pub fn composite(
         Method::DirectSend => direct_send::run(ep, image, depth),
         Method::Pipeline => pipeline::run(ep, image, depth),
         Method::RadixK => radix::run(ep, image, depth),
+        Method::TileStream => tile_stream::run(ep, image, depth),
     }
 }
 
@@ -243,6 +255,8 @@ impl Run {
             bound_pixels: self.bound_pixels,
             pre_encoded_pixels: self.pre_encoded_pixels,
             stages: self.stages,
+            first_tile_seconds: None,
+            last_tile_seconds: None,
         };
         CompositeResult {
             piece,

@@ -81,6 +81,7 @@ pub fn run(
         let len = payload.len() as u64;
         if try_send(ep, next, tag, payload, &mut run.dead, "pipeline send")? {
             stat.sent_bytes = len;
+            stat.sent_msgs = 1;
         }
 
         match try_recv(ep, prev, tag, &mut run.dead, "pipeline recv")? {
@@ -92,6 +93,7 @@ pub fn run(
             }
             Some(received) => {
                 stat.recv_bytes = received.len() as u64;
+                stat.recv_msgs = 1;
                 run.comp.time(|| {
                     let mut r = MsgReader::new(received);
                     let got = r.get_u32();

@@ -121,6 +121,7 @@ pub fn run(
                 "radix-k send",
             )? {
                 stat.sent_bytes += len;
+                stat.sent_msgs += 1;
             }
         }
 
@@ -144,6 +145,7 @@ pub fn run(
                 continue;
             };
             stat.recv_bytes += received.len() as u64;
+            stat.recv_msgs += 1;
             let (rect, pixels) = run.comp.time(|| {
                 let mut rd = MsgReader::new(received);
                 let rect = rd.get_rect();

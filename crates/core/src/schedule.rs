@@ -26,6 +26,8 @@ pub mod tags {
     pub const DIRECT: u32 = 0x3000;
     /// Parallel-pipeline hop `t` uses `PIPE_BASE + t`.
     pub const PIPE_BASE: u32 = 0x4000;
+    /// Streamed tile contributions (and their DONE sentinels).
+    pub const TILE: u32 = 0x7000;
 }
 
 /// A rank's view of the depth-ordered virtual topology.
@@ -193,6 +195,7 @@ pub fn fold_into_pow2(
             });
             let _ = bounds;
             stat.sent_bytes = payload.len() as u64;
+            stat.sent_msgs = 1;
             if try_send(ep, topo.real(v - 1), tags::FOLD, payload, dead, "fold")? {
                 stages.push(stat);
             } else {
@@ -205,6 +208,7 @@ pub fn fold_into_pow2(
         // nothing — we keep our own partial.
         if let Some(payload) = try_recv(ep, topo.real(v + 1), tags::FOLD, dead, "fold")? {
             stat.recv_bytes = payload.len() as u64;
+            stat.recv_msgs = 1;
             comp.time(|| {
                 let mut r = MsgReader::new(payload);
                 let rect = r.get_rect();

@@ -9,6 +9,13 @@ pub struct StageStat {
     pub sent_bytes: u64,
     /// Payload bytes received this stage (the paper's `R_i^k`).
     pub recv_bytes: u64,
+    /// Messages sent this stage (with `sent_bytes`, the per-stage
+    /// traffic timeline printed under `--verbose`).
+    #[serde(default)]
+    pub sent_msgs: u64,
+    /// Messages received this stage.
+    #[serde(default)]
+    pub recv_msgs: u64,
     /// Pixels scanned by run-length encoding this stage (`A_send^k` for
     /// BSBRC, `A/2^k` for BSLC).
     pub encoded_pixels: u64,
@@ -121,6 +128,17 @@ pub struct MethodStats {
     pub pre_encoded_pixels: u64,
     /// Per-stage counters, `stages[k-1]` for the paper's stage `k`.
     pub stages: Vec<StageStat>,
+    /// Wall-clock seconds from composite start until this rank's *first*
+    /// owned tile finished accumulating (tile-stream only, real
+    /// transport only; `None` elsewhere). Unlike the modeled cost terms
+    /// above, these two are raw wall measurements — they exist to expose
+    /// progressive-delivery latency, not the paper's cost model.
+    #[serde(default)]
+    pub first_tile_seconds: Option<f64>,
+    /// Wall-clock seconds until this rank's *last* owned tile finished
+    /// accumulating (tile-stream only, real transport only).
+    #[serde(default)]
+    pub last_tile_seconds: Option<f64>,
 }
 
 impl MethodStats {
@@ -152,6 +170,16 @@ impl MethodStats {
     /// Number of stages whose receiving bounding rectangle was empty.
     pub fn empty_recv_rects(&self) -> usize {
         self.stages.iter().filter(|s| s.recv_rect_empty).count()
+    }
+
+    /// Total messages sent over all stages.
+    pub fn sent_msgs(&self) -> u64 {
+        self.stages.iter().map(|s| s.sent_msgs).sum()
+    }
+
+    /// Total messages received over all stages.
+    pub fn recv_msgs(&self) -> u64 {
+        self.stages.iter().map(|s| s.recv_msgs).sum()
     }
 }
 

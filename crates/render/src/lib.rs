@@ -21,7 +21,7 @@ pub mod pool;
 pub mod raycast;
 pub mod splat;
 
-pub use accel::{RenderAccel, TfLut, TileMask, DEFAULT_TILE_SIZE};
+pub use accel::{render_tile_into, RenderAccel, TfLut, TileMask, DEFAULT_TILE_SIZE};
 pub use camera::{Camera, Projection};
 pub use local::{
     render_local_block, render_local_block_clipped, render_local_block_clipped_accel,

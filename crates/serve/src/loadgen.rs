@@ -66,6 +66,12 @@ pub struct LoadReport {
     /// Per-request latencies in milliseconds (successful replies only),
     /// sorted ascending.
     pub latencies_ms: Vec<f64>,
+    /// First-tile latencies in milliseconds, sorted ascending — for
+    /// replies whose frame was rendered by the fused tile-stream runner,
+    /// the time from request submission until the frame's *first* owned
+    /// tile finished compositing (request wait + in-render first-tile
+    /// offset). Empty when no reply carried streamed-tile metrics.
+    pub first_tile_ms: Vec<f64>,
     /// Wall time of the whole run, seconds.
     pub wall_seconds: f64,
     /// Service counters snapshot taken after the run drained.
@@ -76,11 +82,13 @@ impl LoadReport {
     /// The `p`-th latency percentile in ms (`p` in [0, 100]); 0 when no
     /// request succeeded.
     pub fn percentile_ms(&self, p: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let idx = ((p / 100.0) * (self.latencies_ms.len() - 1) as f64).round() as usize;
-        self.latencies_ms[idx.min(self.latencies_ms.len() - 1)]
+        percentile(&self.latencies_ms, p)
+    }
+
+    /// The `p`-th first-tile latency percentile in ms; 0 when no reply
+    /// carried streamed-tile metrics.
+    pub fn first_tile_percentile_ms(&self, p: f64) -> f64 {
+        percentile(&self.first_tile_ms, p)
     }
 
     /// Image-carrying replies (degraded included).
@@ -108,6 +116,15 @@ impl LoadReport {
     }
 }
 
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
 /// splitmix64 — the workspace's standard tiny deterministic generator.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
@@ -132,7 +149,7 @@ pub fn pose_angles(base: &ExperimentConfig, pose: usize, poses: usize) -> (f32, 
 /// dataset, and returns the aggregated report.
 pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfig) -> LoadReport {
     let start = Instant::now();
-    let mut session_reports: Vec<(Vec<f64>, [u64; 8])> = Vec::new();
+    let mut session_reports: Vec<(Vec<f64>, Vec<f64>, [u64; 8])> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..load.sessions)
             .map(|s| {
@@ -157,6 +174,7 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
                     // reply carries its own submit→reply latency so the
                     // drain order cannot skew the measurement.
                     let mut latencies = Vec::new();
+                    let mut first_tiles = Vec::new();
                     // fresh, cached, coalesced, degraded, shed, over,
                     // rejected, submitted
                     let mut counts = [0u64; 8];
@@ -170,14 +188,27 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
                                     ServeSource::Coalesced => counts[2] += 1,
                                     ServeSource::Degraded { .. } => counts[3] += 1,
                                 }
-                                latencies.push(reply.wait_seconds * 1e3);
+                                let wait_ms = reply.wait_seconds * 1e3;
+                                latencies.push(wait_ms);
+                                // Progressive-delivery latency: when the
+                                // frame was freshly rendered by the fused
+                                // tile-stream runner, its first owned
+                                // tile was final (render_max − first_tile)
+                                // ms before the reply. Cached/coalesced
+                                // replies delivered the whole frame at
+                                // once, so they carry no first-tile edge.
+                                let rec = &reply.frame.record;
+                                if rec.first_tile_ms > 0.0 && reply.source == ServeSource::Fresh {
+                                    let ft = wait_ms - rec.render_max_ms + rec.first_tile_ms;
+                                    first_tiles.push(ft.max(0.0));
+                                }
                             }
                             FrameResponse::Shed { .. } => counts[4] += 1,
                             FrameResponse::Overloaded { .. } => counts[5] += 1,
                             FrameResponse::Rejected { .. } => counts[6] += 1,
                         }
                     }
-                    (latencies, counts)
+                    (latencies, first_tiles, counts)
                 })
             })
             .collect();
@@ -190,8 +221,9 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
         wall_seconds: start.elapsed().as_secs_f64(),
         ..Default::default()
     };
-    for (lat, counts) in session_reports {
+    for (lat, first_tiles, counts) in session_reports {
         report.latencies_ms.extend(lat);
+        report.first_tile_ms.extend(first_tiles);
         report.ok_fresh += counts[0];
         report.ok_cached += counts[1];
         report.ok_coalesced += counts[2];
@@ -203,6 +235,9 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
     }
     report
         .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    report
+        .first_tile_ms
         .sort_by(|a, b| a.partial_cmp(b).unwrap());
     report.service = service.stats();
     report
@@ -265,6 +300,47 @@ mod tests {
             "2 poses × 24 requests must revisit: {report:?}"
         );
         assert!(report.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn tile_stream_replies_carry_first_tile_latencies() {
+        let service = FrameService::start(ServeConfig {
+            workers: 2,
+            cache_frames: 0, // every reply is a fresh fused render
+            ..Default::default()
+        });
+        let mut base = ExperimentConfig::small_test(DatasetKind::Cube, 2, Method::TileStream);
+        base.render_threads = 2;
+        let load = LoadConfig {
+            sessions: 1,
+            requests_per_session: 4,
+            poses: 4,
+            inter_arrival: Duration::from_millis(1),
+            seed: 3,
+        };
+        let report = run_load(&service, base, &load);
+        service.shutdown();
+        assert_eq!(report.first_tile_ms.len() as u64, report.ok_fresh);
+        assert!(report.ok_fresh > 0, "{report:?}");
+        assert!(report.first_tile_ms.iter().all(|&ms| ms >= 0.0));
+        assert!(report.first_tile_ms.windows(2).all(|w| w[0] <= w[1]));
+        // The first tile can never land after its own full reply.
+        assert!(
+            report.first_tile_percentile_ms(99.0) <= report.percentile_ms(99.0),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn two_phase_replies_carry_no_first_tile_latencies() {
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let report = run_load(&service, base(), &LoadConfig::default());
+        service.shutdown();
+        assert!(report.first_tile_ms.is_empty());
+        assert_eq!(report.first_tile_percentile_ms(50.0), 0.0);
     }
 
     #[test]

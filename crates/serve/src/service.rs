@@ -577,6 +577,26 @@ fn run_attempt(
     let dataset = Arc::clone(dataset);
     let cfg = *cfg;
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        // Tile-stream requests go through the fused render+composite
+        // runner: same bit-identical image, but tiles stream to their
+        // owners while later tiles are still rendering, so the reply's
+        // record carries real first-/last-tile latencies. The fused
+        // runner spins its own per-rank pools (the worker's persistent
+        // pool only serves the two-phase path); the virtual clock
+        // still uses the two-phase path below.
+        if cfg.method == slsvr_core::Method::TileStream && cfg.schedule_seed.is_none() {
+            let exp = vr_system::StreamExperiment::prepare_with_dataset(&cfg, dataset);
+            let out = exp.run();
+            let record = FrameRecord::from_stream(&out);
+            let degraded = out
+                .is_degraded()
+                .then(|| (out.psnr_vs(&exp.reference()), out.coverage));
+            return Attempt {
+                image: out.image,
+                record,
+                degraded,
+            };
+        }
         let exp = Experiment::prepare_with_dataset_pool(&cfg, dataset, Some(pool));
         let out = exp.run(cfg.method);
         let record = FrameRecord::from_outcome(&out).with_render_seconds(&exp.render_seconds);

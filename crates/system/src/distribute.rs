@@ -203,6 +203,7 @@ mod tests {
             Method::Bslc,
             Method::BinaryTree,
             Method::Pipeline,
+            Method::TileStream,
         ] {
             let b = run_distributed(&config(4, method)).image;
             let diff = a.max_abs_diff(&b);

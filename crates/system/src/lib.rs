@@ -23,12 +23,16 @@ pub mod config;
 pub mod distribute;
 pub mod experiment;
 pub mod report;
+pub mod stream;
 pub mod sweep;
 
 pub use animation::{Animation, FrameStats};
 pub use config::{CompTiming, ExperimentConfig};
 pub use distribute::{run_distributed, DistributedOutcome};
 pub use experiment::{Aggregate, Experiment, Outcome};
-pub use report::{format_figure_series, format_paper_table, FrameRecord, TableRow};
+pub use report::{
+    format_figure_series, format_paper_table, format_stage_timeline, FrameRecord, TableRow,
+};
+pub use stream::{StreamExperiment, StreamOutcome};
 pub use sweep::{to_csv, SweepBuilder, SweepRecord};
 pub use vr_render::RenderPool;

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use slsvr_core::Method;
 
 use crate::experiment::{Aggregate, Outcome};
+use crate::stream::StreamOutcome;
 
 /// Machine-readable summary of one composited frame: the paper's
 /// aggregate timings broken down by phase, the traffic maxima, and the
@@ -36,6 +37,15 @@ pub struct FrameRecord {
     pub coverage: f64,
     /// Ranks killed by fault injection.
     pub dead_ranks: usize,
+    /// Wall-clock ms until the *first* owned tile anywhere finished
+    /// accumulating — the progressive-delivery latency of the fused
+    /// tile-stream runner. `0.0` when the frame was not streamed.
+    #[serde(default)]
+    pub first_tile_ms: f64,
+    /// Wall-clock ms until the *last* owned tile finished accumulating
+    /// (`0.0` when the frame was not streamed).
+    #[serde(default)]
+    pub last_tile_ms: f64,
 }
 
 impl FrameRecord {
@@ -56,6 +66,50 @@ impl FrameRecord {
             peak_pixel_buffer_bytes: out.peak_pixel_buffer_bytes(),
             coverage: out.coverage,
             dead_ranks: out.dead_ranks.len(),
+            first_tile_ms: 0.0,
+            last_tile_ms: 0.0,
+        }
+    }
+
+    /// Extracts the record from a fused render+composite streamed run.
+    /// There is no separate rendering phase to report — `render_max_ms`
+    /// carries the fused per-rank wall time, and the tile-latency fields
+    /// are populated from the stream's progressive-delivery offsets.
+    pub fn from_stream(out: &StreamOutcome) -> FrameRecord {
+        let max_ms = |f: fn(&slsvr_core::MethodStats) -> f64| {
+            out.per_rank.iter().map(f).fold(0.0, f64::max) * 1e3
+        };
+        let t_comp_ms = max_ms(|s| s.comp_seconds);
+        let t_comm_ms = max_ms(|s| s.comm_seconds);
+        FrameRecord {
+            t_comp_ms,
+            t_comm_ms,
+            t_total_ms: out
+                .per_rank
+                .iter()
+                .map(|s| s.total_seconds())
+                .fold(0.0, f64::max)
+                * 1e3,
+            t_bound_ms: max_ms(|s| s.bound_seconds),
+            t_encode_ms: max_ms(|s| s.encode_seconds),
+            render_max_ms: out.total_seconds * 1e3,
+            m_max: out
+                .per_rank
+                .iter()
+                .map(|s| s.recv_bytes())
+                .max()
+                .unwrap_or(0),
+            total_bytes: out.per_rank.iter().map(|s| s.sent_bytes()).sum(),
+            peak_pixel_buffer_bytes: out
+                .traffic
+                .iter()
+                .map(|t| t.peak_pixel_buffer_bytes)
+                .max()
+                .unwrap_or(0),
+            coverage: out.coverage,
+            dead_ranks: out.dead_ranks.len(),
+            first_tile_ms: out.first_tile_seconds.unwrap_or(0.0) * 1e3,
+            last_tile_ms: out.last_tile_seconds.unwrap_or(0.0) * 1e3,
         }
     }
 
@@ -72,7 +126,8 @@ impl FrameRecord {
             "{{\"t_comp_ms\": {}, \"t_comm_ms\": {}, \"t_total_ms\": {}, \
              \"t_bound_ms\": {}, \"t_encode_ms\": {}, \"render_max_ms\": {}, \
              \"m_max\": {}, \"total_bytes\": {}, \"peak_pixel_buffer_bytes\": {}, \
-             \"coverage\": {}, \"dead_ranks\": {}}}",
+             \"coverage\": {}, \"dead_ranks\": {}, \
+             \"first_tile_ms\": {}, \"last_tile_ms\": {}}}",
             self.t_comp_ms,
             self.t_comm_ms,
             self.t_total_ms,
@@ -83,9 +138,54 @@ impl FrameRecord {
             self.total_bytes,
             self.peak_pixel_buffer_bytes,
             self.coverage,
-            self.dead_ranks
+            self.dead_ranks,
+            self.first_tile_ms,
+            self.last_tile_ms
         )
     }
+}
+
+/// Formats the per-stage traffic timeline: one row per compositing
+/// stage with message and byte counters aggregated over ranks. For the
+/// paper's tree methods stage `k` is the `k`-th exchange round;
+/// tile-stream has a single stage carrying all streamed tile messages
+/// plus the DONE barrier. Printed by the CLI under `--verbose`.
+pub fn format_stage_timeline(per_rank: &[slsvr_core::MethodStats]) -> String {
+    let stages = per_rank.iter().map(|s| s.stages.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>12} {:>10} {:>12}\n",
+        "stage", "sent_msgs", "sent_bytes", "recv_msgs", "recv_bytes"
+    ));
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    for k in 0..stages {
+        let mut row = (0u64, 0u64, 0u64, 0u64);
+        for s in per_rank {
+            if let Some(st) = s.stages.get(k) {
+                row.0 += st.sent_msgs;
+                row.1 += st.sent_bytes;
+                row.2 += st.recv_msgs;
+                row.3 += st.recv_bytes;
+            }
+        }
+        out.push_str(&format!(
+            "{:>6} {:>10} {:>12} {:>10} {:>12}\n",
+            k + 1,
+            row.0,
+            row.1,
+            row.2,
+            row.3
+        ));
+        totals.0 += row.0;
+        totals.1 += row.1;
+        totals.2 += row.2;
+        totals.3 += row.3;
+    }
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>12} {:>10} {:>12}\n",
+        "total", totals.0, totals.1, totals.2, totals.3
+    ));
+    out
 }
 
 /// One row of a paper-style table: a processor count and the aggregates
@@ -313,6 +413,8 @@ mod tests {
             peak_pixel_buffer_bytes: 2048,
             coverage: 1.0,
             dead_ranks: 0,
+            first_tile_ms: 0.75,
+            last_tile_ms: 1.25,
         };
         let json = record.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -332,5 +434,38 @@ mod tests {
         }
         assert!(json.contains("\"peak_pixel_buffer_bytes\": 2048"));
         assert!(json.contains("\"t_bound_ms\": 0.25"));
+        assert!(json.contains("\"first_tile_ms\": 0.75"));
+        assert!(json.contains("\"last_tile_ms\": 1.25"));
+    }
+
+    #[test]
+    fn frame_record_from_stream_carries_tile_latencies() {
+        let mut config =
+            ExperimentConfig::small_test(DatasetKind::EngineLow, 4, Method::TileStream);
+        config.render_threads = 2;
+        let out = crate::stream::StreamExperiment::prepare(&config).run();
+        let record = FrameRecord::from_stream(&out);
+        assert!(record.first_tile_ms > 0.0);
+        assert!(record.first_tile_ms <= record.last_tile_ms);
+        assert!(record.last_tile_ms <= record.render_max_ms);
+        assert!(record.t_comp_ms > 0.0);
+        assert!(record.total_bytes > 0);
+        assert_eq!(record.coverage, 1.0);
+        let json = record.to_json();
+        assert!(json.contains("\"first_tile_ms\""));
+    }
+
+    #[test]
+    fn stage_timeline_aggregates_message_counters() {
+        let config = ExperimentConfig::small_test(DatasetKind::EngineLow, 4, Method::Bsbrc);
+        let out = Experiment::prepare(&config).run(Method::Bsbrc);
+        let timeline = format_stage_timeline(&out.per_rank);
+        assert!(timeline.contains("stage"), "{timeline}");
+        assert!(timeline.contains("total"), "{timeline}");
+        // A binary-swap over 4 ranks has log2(4) = 2 exchange stages.
+        assert!(timeline.contains("\n     2 "), "{timeline}");
+        let sent: u64 = out.per_rank.iter().map(|s| s.sent_msgs()).sum();
+        assert!(sent > 0);
+        assert!(timeline.contains(&sent.to_string()), "{timeline}");
     }
 }

@@ -64,6 +64,7 @@ USAGE:
                 [--distributed] [--ghost N] [--out FILE.pgm]
                 [--faults SPEC] [--reliable] [--recv-deadline MS]
                 [--ack-timeout MS] [--max-retries N] [--schedule-seed S]
+                [--stream] [--stream-tile N] [--verbose]
   slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
                 [--perspective DIST] [--balanced]
   slsvr serve   [--dataset NAME] [--size N] [--procs P] [--method M]
@@ -78,7 +79,8 @@ USAGE:
   slsvr info
 
 DATASETS: engine_low | engine_high | head | cube
-METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe | radixk
+METHODS:  bs | bsbr | bslc | bsbrc | bsrl | bsbm | bsmr | btree | dsend | pipe |
+          radixk | tile-stream
 
 SERVE:    starts the vr-serve frame service (session-resident datasets,
           LRU frame cache, latest-wins coalescing, bounded-queue admission
@@ -116,6 +118,18 @@ RENDER:   --macrocell N sets the empty-space-skipping cell edge in voxels
 FAULTS:   --faults drop=0.01,corrupt=0.001,dup=0.001,delay=0.01,delay_ms=2,seed=42,kill=3@17
           (every key optional; --reliable turns on framing + ack/retransmit
           so dropped or corrupted messages recover instead of timing out)
+
+STREAM:   --stream fuses rendering and compositing with the tile-stream
+          method: each rank ships every 2-D screen tile to its owner the
+          moment that tile's rays finish, so compositing overlaps the
+          remaining rendering and the first finished tile lands long
+          before the full frame. The image is bit-identical to the
+          sequential render-then-composite reference. --stream-tile N
+          sets the streamed tile edge in pixels (default 32; the image
+          is invariant to N). Incompatible with --distributed and
+          --schedule-seed (use `--method tile-stream` without --stream
+          for the virtual-clock run). --verbose additionally prints the
+          per-stage message/byte timeline for any render.
 
 SCHEDULE: --schedule-seed S runs compositing under the deterministic
           virtual clock: timeouts and fault delays use simulated time and
@@ -175,6 +189,7 @@ fn parse_method(name: &str) -> Result<Method, String> {
         "dsend" => Ok(Method::DirectSend),
         "pipe" => Ok(Method::Pipeline),
         "radixk" | "radix" => Ok(Method::RadixK),
+        "tile-stream" | "tstream" => Ok(Method::TileStream),
         other => Err(format!("unknown method `{other}`")),
     }
 }
@@ -213,6 +228,7 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
     config.tile = flags.parse("--tile", config.tile)?;
     config.render_threads = flags.parse("--render-threads", config.render_threads)?;
     config.simd_lanes = flags.parse("--simd-lanes", config.simd_lanes)?;
+    config.stream_tile = flags.parse("--stream-tile", config.stream_tile)?;
     if let Some(d) = flags.get("--perspective") {
         config.perspective_distance = Some(
             d.parse()
@@ -262,10 +278,26 @@ fn config_from_flags(flags: &Flags) -> Result<ExperimentConfig, String> {
 
 fn cmd_render(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
-    let config = config_from_flags(&flags)?;
+    let mut config = config_from_flags(&flags)?;
     let out_path = flags.get("--out").unwrap_or("render.pgm");
+    let verbose = flags.has("--verbose");
 
-    let (image, comp_ms, comm_ms, m_max, peak_buf) = if flags.has("--distributed") {
+    if flags.has("--stream") {
+        if flags.has("--distributed") {
+            return Err("--stream is incompatible with --distributed".into());
+        }
+        if config.schedule_seed.is_some() {
+            return Err(
+                "--stream measures real overlap and is incompatible with --schedule-seed \
+                 (drop --stream for the deterministic virtual-clock tile-stream run)"
+                    .into(),
+            );
+        }
+        config.method = Method::TileStream;
+        return cmd_render_stream(&config, out_path, verbose);
+    }
+
+    let (image, comp_ms, comm_ms, m_max, peak_buf, per_rank) = if flags.has("--distributed") {
         let out = run_distributed(&config);
         let comp = out
             .per_rank
@@ -291,7 +323,7 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
             .map(|t| t.peak_pixel_buffer_bytes)
             .max()
             .unwrap_or(0);
-        (out.image, comp, comm, m_max, peak)
+        (out.image, comp, comm, m_max, peak, out.per_rank)
     } else {
         let exp = Experiment::prepare(&config);
         let out = exp.run(config.method);
@@ -317,8 +349,14 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
             out.aggregate.t_comm_ms(),
             out.aggregate.m_max,
             peak,
+            out.per_rank,
         )
     };
+
+    if verbose {
+        println!("per-stage traffic timeline (all ranks):");
+        print!("{}", slsvr::system::format_stage_timeline(&per_rank));
+    }
 
     slsvr::image::pgm::save_pgm(&image, out_path)
         .map_err(|e| format!("writing {out_path}: {e}"))?;
@@ -333,6 +371,48 @@ fn cmd_render(args: &[String]) -> Result<(), String> {
         comm_ms,
         m_max,
         peak_buf
+    );
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+fn cmd_render_stream(
+    config: &ExperimentConfig,
+    out_path: &str,
+    verbose: bool,
+) -> Result<(), String> {
+    let exp = slsvr::system::StreamExperiment::prepare(config);
+    let out = exp.run();
+    let record = slsvr::system::FrameRecord::from_stream(&out);
+    if out.coverage < 1.0 {
+        println!(
+            "DEGRADED: dead ranks {:?} · missing pieces {:?} · coverage {:.1}%",
+            out.dead_ranks,
+            out.missing_ranks,
+            out.coverage * 100.0,
+        );
+    }
+    if verbose {
+        println!("per-stage traffic timeline (all ranks):");
+        print!("{}", slsvr::system::format_stage_timeline(&out.per_rank));
+    }
+    slsvr::image::pgm::save_pgm(&out.image, out_path)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "{} · {}² · P={} · TSTREAM fused ({} px tiles, {} thread(s)/rank): \
+         first tile {:.2} ms, last tile {:.2} ms, frame {:.2} ms",
+        config.dataset.name(),
+        config.image_size,
+        config.processors,
+        config.resolved_stream_tile(),
+        exp.threads_per_rank(),
+        record.first_tile_ms,
+        record.last_tile_ms,
+        out.total_seconds * 1e3,
+    );
+    println!(
+        "modeled: T_comp {:.2} ms, T_comm {:.2} ms, M_max {} B, peak pixel buffers {} B/rank",
+        record.t_comp_ms, record.t_comm_ms, record.m_max, record.peak_pixel_buffer_bytes,
     );
     println!("wrote {out_path}");
     Ok(())
@@ -496,6 +576,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.throughput_rps(),
         report.hit_rate() * 100.0,
     );
+    if !report.first_tile_ms.is_empty() {
+        println!(
+            "first-tile latency p50/p95/p99: {:.2} / {:.2} / {:.2} ms \
+             (over {} streamed fresh render(s))",
+            report.first_tile_percentile_ms(50.0),
+            report.first_tile_percentile_ms(95.0),
+            report.first_tile_percentile_ms(99.0),
+            report.first_tile_ms.len(),
+        );
+    }
     println!(
         "service: {} distinct renders · peak queue {} · cache {}h/{}m/{}e",
         stats.rendered_frames,

@@ -360,3 +360,69 @@ fn group_run_without_faults_matches_plain_run_group() {
     }
     assert!(plain.dead_ranks.is_empty());
 }
+
+#[test]
+fn killed_tile_producer_leaves_holes_only_at_its_tiles_and_never_hangs() {
+    // Tile-stream under a kill: the victim's un-streamed contributions
+    // become transparent holes, tiles it *did* stream before dying stay
+    // fully composited, tiles it *owned* stay blank (missing piece) —
+    // and in every case the group returns promptly.
+    use slsvr::compositing::methods::tile_stream::tile_grid;
+    let started = std::time::Instant::now();
+    let p = 4;
+    let (w, h) = (64u16, 64u16);
+    let victim = 1usize;
+    let images = test_images(p, w, h);
+    let depth = DepthOrder::identity(p);
+    let full = reference_composite(&images, &depth);
+    for after_ops in [0u64, 2, 5] {
+        let config = ExperimentConfig {
+            dataset: DatasetKind::Cube,
+            image_size: w,
+            processors: p,
+            method: Method::TileStream,
+            faults: Some(FaultConfig {
+                kill: Some(KillSpec {
+                    rank: victim,
+                    after_ops,
+                }),
+                ..Default::default()
+            }),
+            recv_deadline: Some(Duration::from_secs(2)),
+            cost: CostModel::free(),
+            ..Default::default()
+        };
+        let exp = Experiment::from_subimages(config, images.clone(), depth.clone());
+        let out = exp.run(Method::TileStream);
+        assert_eq!(out.dead_ranks, vec![victim], "after_ops={after_ops}");
+        assert!(out.is_degraded());
+        let survivor = exp.survivor_reference(&[victim]);
+        // Per-tile trichotomy: a tile's pixels equal the full reference
+        // (victim's runs arrived), the survivor reference (hole at the
+        // victim's contribution), or stay blank (the victim owned the
+        // tile and died before gathering) — never a torn mix.
+        for (t, rect) in tile_grid(w, h, 32).iter().enumerate() {
+            let got = out.image.extract_rect(rect);
+            let owner = depth.front_to_back()[t % p];
+            if owner == victim {
+                assert!(
+                    got.iter().all(|px| *px == Pixel::BLANK),
+                    "after_ops={after_ops} tile {t}: dead owner's tile must stay blank"
+                );
+                continue;
+            }
+            let matches_full = got == full.extract_rect(rect);
+            let matches_survivor = got == survivor.extract_rect(rect);
+            assert!(
+                matches_full || matches_survivor,
+                "after_ops={after_ops} tile {t}: \
+                 hole must align with the victim's whole tile contribution"
+            );
+        }
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "tile-stream kills must not stall ({:?})",
+        started.elapsed()
+    );
+}

@@ -166,6 +166,64 @@ fn threaded_render_matches_scalar_for_every_method_and_rank_count() {
     }
 }
 
+/// Tile-stream column: across every rank count (incl. non-power-of-two),
+/// workload and several depth permutations, the streamed mode must be
+/// **bit-identical** to the sequential reference — not merely within
+/// tolerance. The per-owner accumulator folds contributions in exact
+/// front-to-back order with the same `over` expression as the reference,
+/// so any arrival-order dependence would show up as a nonzero diff here.
+#[test]
+fn tile_stream_is_bit_identical_to_reference_across_matrix() {
+    for p in [1usize, 2, 3, 4, 5, 6, 7, 8, 12, 16] {
+        for salt in [1usize, 4] {
+            let depth = shuffled_depth(p, salt);
+            for workload in [Workload::Sparse, Workload::Dense, Workload::Bands] {
+                let case = ConformanceCase {
+                    depth: depth.clone(),
+                    // 80×56 ⇒ a 3×2 grid of 32-px tiles, so ownership
+                    // interleaves across ranks instead of collapsing to
+                    // a single tile.
+                    width: 80,
+                    height: 56,
+                    ..ConformanceCase::new(Method::TileStream, p, workload, 29)
+                };
+                let out = run_case(&case);
+                assert_eq!(
+                    out.max_diff, 0.0,
+                    "TSTREAM P={p} salt={salt} {workload:?}: streamed image must be bit-identical"
+                );
+                assert_eq!(out.coverage, 1.0);
+                assert!(out.dead_ranks.is_empty());
+            }
+        }
+    }
+}
+
+/// Tile-stream schedule sweep: the virtual clock stamps each streamed
+/// tile with its modeled render-completion time, so different seeds
+/// reorder deliveries at the owners — and the image hash must not move.
+#[test]
+fn tile_stream_image_hash_is_schedule_independent_across_seeds() {
+    let mut baseline = None;
+    for seed in schedule_seeds() {
+        let case = ConformanceCase {
+            depth: shuffled_depth(8, 3),
+            width: 80,
+            height: 56,
+            ..ConformanceCase::new(Method::TileStream, 8, Workload::Sparse, seed)
+        };
+        let out = run_case(&case);
+        assert_eq!(out.max_diff, 0.0, "TSTREAM seed {seed}");
+        match baseline {
+            None => baseline = Some(out.image_hash),
+            Some(h) => assert_eq!(
+                h, out.image_hash,
+                "TSTREAM seed {seed} produced a different image"
+            ),
+        }
+    }
+}
+
 /// The image hash must not depend on the schedule seed: ten different
 /// delivery-order permutations, one image.
 #[test]
