@@ -21,9 +21,19 @@
 //!   the degraded-frame policy active. Every request must still resolve
 //!   to exactly one explicit outcome, degraded frames must be served
 //!   above the PSNR floor, and nothing degraded may enter the cache.
+//! * `socket_shard{1,2,4}` — the same saturating sweep driven through
+//!   the TCP daemon over loopback with 1, 2 and 4 `FrameService` shards
+//!   (one worker each), sessions spread across shards by distinct
+//!   volume dims. Every transported frame is hash-verified client-side.
+//! * `socket_scaling` — the multi-shard throughput trajectory distilled
+//!   from the three socket phases. On hosts with at least 2 cores the
+//!   2-shard aggregate must beat 1 shard by ≥ 1.5×; on narrower hosts
+//!   the gate records `skipped-narrow-host` instead of a verdict.
 //!
 //! The gates are *structural* — counts and invariants of the run itself,
 //! never absolute latency — so they hold on throttled shared CI hosts.
+//! The one throughput *ratio* gate (socket_scaling) compares the same
+//! host to itself in the same run, so it too is host-independent.
 //! Percentiles and throughput are recorded for trend reading, not gated.
 //!
 //! Usage mirrors `bench_rendering`:
@@ -39,7 +49,8 @@ use std::time::Duration;
 use vr_bench::json::{obj, parse, Json};
 use vr_comm::{FaultConfig, KillSpec, ReliabilityConfig};
 use vr_serve::{
-    run_load, DegradedFramePolicy, FrameService, LoadConfig, LoadReport, RetryPolicy, ServeConfig,
+    run_load, run_load_socket, shard_key, Daemon, DaemonConfig, DegradedFramePolicy, FrameService,
+    LoadConfig, LoadReport, RetryPolicy, ServeConfig,
 };
 use vr_system::ExperimentConfig;
 use vr_volume::DatasetKind;
@@ -174,8 +185,14 @@ fn chaos_faults() -> FaultConfig {
 /// from a 4-rank run missing one rank's piece sits far above it.
 const CHAOS_PSNR_FLOOR_DB: f64 = 3.0;
 
+/// The 2-shard-vs-1-shard aggregate-throughput floor on multi-core
+/// hosts. Shards are independent single-worker services, so doubling
+/// them should roughly double saturated throughput; 1.5× leaves room
+/// for socket and scheduling overhead.
+const MIN_SHARD2_SPEEDUP: f64 = 1.5;
+
 fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
-    vec![
+    let mut entries = vec![
         run_phase(
             "steady",
             ServeConfig::default(),
@@ -254,7 +271,123 @@ fn run_benches(sessions: usize, requests: usize, poses: usize) -> Vec<Json> {
                 seed: 0xC405,
             },
         ),
-    ]
+    ];
+
+    // Socket phases: the identical saturating workload through the TCP
+    // daemon at 1, 2 and 4 shards, then the scaling verdict.
+    let bases = shard_spread_bases(base_config(), 4);
+    let socket_requests = requests.min(12);
+    let mut tput = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (e, rps) = run_socket_phase(shards, &bases, socket_requests);
+        entries.push(e);
+        tput.push(rps);
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let gate = if cores < 2 {
+        "skipped-narrow-host"
+    } else if tput[1] >= MIN_SHARD2_SPEEDUP * tput[0] {
+        "pass"
+    } else {
+        "fail"
+    };
+    eprintln!(
+        "socket scaling: {:.1} -> {:.1} -> {:.1} frames/s at 1/2/4 shards \
+         ({cores} core(s), gate {gate})",
+        tput[0], tput[1], tput[2],
+    );
+    entries.push(obj([
+        ("bench", Json::Str("serving".into())),
+        ("phase", Json::Str("socket_scaling".into())),
+        ("host_cores", Json::Num(cores as f64)),
+        ("tput_shard1", Json::Num(tput[0])),
+        ("tput_shard2", Json::Num(tput[1])),
+        ("tput_shard4", Json::Num(tput[2])),
+        ("speedup_2v1", Json::Num(tput[1] / tput[0].max(1e-9))),
+        ("speedup_4v1", Json::Num(tput[2] / tput[0].max(1e-9))),
+        ("min_speedup_2v1", Json::Num(MIN_SHARD2_SPEEDUP)),
+        ("gate", Json::Str(gate.into())),
+    ]));
+    entries
+}
+
+/// Four configs with distinct volume dims whose shard keys cover the
+/// residues 0..4 (mod 4) — and therefore both residues mod 2 — so the
+/// *same* bases spread sessions evenly at every shard count tested.
+fn shard_spread_bases(base: ExperimentConfig, shards: usize) -> Vec<ExperimentConfig> {
+    let dims = base.resolved_dims();
+    let mut bases: Vec<Option<ExperimentConfig>> = vec![None; shards];
+    let mut found = 0;
+    for k in 0..256 {
+        let d = [dims[0], dims[1], dims[2] + k];
+        let idx = (shard_key(base.dataset, d) % shards as u64) as usize;
+        if bases[idx].is_none() {
+            let mut c = base;
+            c.volume_dims = Some(d);
+            bases[idx] = Some(c);
+            found += 1;
+            if found == shards {
+                break;
+            }
+        }
+    }
+    bases
+        .into_iter()
+        .map(|b| b.expect("256 dims variants must cover every shard residue"))
+        .collect()
+}
+
+/// One saturating socket phase: a daemon with `shards` single-worker
+/// shards, driven over loopback by 4 sessions spread across the shard
+/// space, cache and coalescing off so throughput measures render
+/// capacity behind the socket edge.
+fn run_socket_phase(shards: usize, bases: &[ExperimentConfig], requests: usize) -> (Json, f64) {
+    let serve = ServeConfig {
+        workers: 1,
+        render_threads: 1,
+        cache_frames: 0,
+        coalesce: false,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(
+        "127.0.0.1:0",
+        DaemonConfig {
+            shards,
+            max_conns: 16,
+            window: requests.max(8),
+            serve,
+        },
+    )
+    .expect("bind loopback daemon");
+    let load = LoadConfig {
+        sessions: 4,
+        requests_per_session: requests,
+        poses: requests, // sweep: every request is a distinct fresh render
+        inter_arrival: Duration::ZERO,
+        seed: 0x50C7,
+    };
+    let (report, stats) = run_load_socket(daemon.local_addr(), bases, &load).expect("socket load");
+    daemon.shutdown();
+
+    let phase = format!("socket_shard{shards}");
+    let min_shard_submitted = stats.shards.iter().map(|s| s.submitted).min().unwrap_or(0);
+    let mut e = match entry(&phase, &serve, &load, &report) {
+        Json::Obj(m) => m,
+        _ => unreachable!(),
+    };
+    e.insert("shards".into(), Json::Num(shards as f64));
+    e.insert("imbalance".into(), Json::Num(stats.imbalance));
+    e.insert(
+        "hash_mismatches".into(),
+        Json::Num(report.hash_mismatches as f64),
+    );
+    e.insert(
+        "min_shard_submitted".into(),
+        Json::Num(min_shard_submitted as f64),
+    );
+    let rps = report.throughput_rps();
+    (Json::Obj(e), rps)
 }
 
 fn run_phase(phase: &str, serve: ServeConfig, base: ExperimentConfig, load: LoadConfig) -> Json {
@@ -349,6 +482,9 @@ fn print_table(entries: &[Json]) {
         "hitrate"
     );
     for e in entries {
+        if e.get("phase").and_then(Json::as_str) == Some("socket_scaling") {
+            continue; // summarized on stderr by run_benches
+        }
         let f = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(0.0);
         println!(
             "{:<10} {:>6} {:>6} {:>7} {:>9} {:>5} {:>5} {:>6} {:>4} {:>9.2} {:>9.2} {:>8.1} {:>7.1}%",
@@ -455,6 +591,21 @@ fn check(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<St
             format!("{phase}: baseline has this phase"),
         );
 
+        // The scaling verdict is not a load phase: it carries only the
+        // throughput trajectory and its gate.
+        if phase == "socket_scaling" {
+            let gate = e.get("gate").and_then(Json::as_str).unwrap_or("?");
+            check_one(
+                gate == "pass" || gate == "skipped-narrow-host",
+                format!(
+                    "socket_scaling: gate '{gate}' (2 shards {:.2}x over 1 on {} core(s))",
+                    n("speedup_2v1"),
+                    n("host_cores")
+                ),
+            );
+            continue;
+        }
+
         // Every request answered exactly once, in every phase.
         let answered = n("fresh")
             + n("cached")
@@ -542,6 +693,29 @@ fn check(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<St
                 check_one(
                     n("cached") == 0.0,
                     format!("chaos: degraded frames never cached ({})", n("cached")),
+                );
+            }
+            p if p.starts_with("socket_shard") => {
+                check_one(
+                    n("hash_mismatches") == 0.0,
+                    format!(
+                        "{phase}: transported frames bit-exact ({} mismatches)",
+                        n("hash_mismatches")
+                    ),
+                );
+                check_one(
+                    n("min_shard_submitted") > 0.0,
+                    format!(
+                        "{phase}: every shard saw traffic (min {})",
+                        n("min_shard_submitted")
+                    ),
+                );
+                check_one(
+                    n("fresh") == n("submitted"),
+                    format!(
+                        "{phase}: all {} requests rendered fresh through the socket",
+                        n("submitted")
+                    ),
                 );
             }
             other => check_one(false, format!("unknown phase '{other}' in current run")),

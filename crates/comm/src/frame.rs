@@ -1,0 +1,326 @@
+//! The shared framing codec: CRC32-checked frames for in-memory
+//! message links and their length-prefixed form for byte streams.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [kind: u8][seq: u32][crc: u32][payload...]
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `kind`,
+//! `seq` and the payload, so a flipped bit anywhere in the frame is
+//! detected. On a byte stream (TCP) the same frame is preceded by a
+//! `u32` little-endian length prefix covering header plus payload:
+//!
+//! ```text
+//! [len: u32][kind: u8][seq: u32][crc: u32][payload...]
+//! ```
+//!
+//! Two consumers share this module: the reliable-delivery layer of
+//! [`crate::endpoint`] (in-memory frames, [`encode_frame`] /
+//! [`decode_frame`]) and the serving daemon's socket edge
+//! ([`write_frame`] / [`read_frame`]). One framing implementation,
+//! not two.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bytes::Bytes;
+
+/// Bytes of framing prepended to every payload.
+pub const HEADER_LEN: usize = 1 + 4 + 4;
+/// Bytes of length prefix preceding a frame on a byte stream.
+pub const LEN_PREFIX_LEN: usize = 4;
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) over the concatenation of `parts`.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A decoded frame, borrowing its payload from the wire buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol-defined frame kind byte.
+    pub kind: u8,
+    /// Link-local sequence number.
+    pub seq: u32,
+    /// Application payload (empty for acks).
+    pub payload: Bytes,
+}
+
+/// Why an in-memory frame failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed header.
+    Truncated,
+    /// CRC mismatch: the frame was corrupted in transit.
+    BadCrc,
+    /// Unknown `kind` byte (header corruption the CRC caught late, or
+    /// a non-framed message on a reliable link).
+    BadKind,
+}
+
+/// Wraps `payload` in a frame of `kind` with sequence number `seq`.
+pub fn encode_frame(kind: u8, seq: u32, payload: &[u8]) -> Bytes {
+    let seq_bytes = seq.to_le_bytes();
+    let crc = crc32(&[&[kind], &seq_bytes, payload]);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.push(kind);
+    buf.extend_from_slice(&seq_bytes);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf.extend_from_slice(payload);
+    Bytes::from(buf)
+}
+
+/// Parses and integrity-checks a frame off an in-memory buffer.
+///
+/// Accepts any `kind` byte the CRC vouches for; callers with a closed
+/// kind set (the reliable link) validate it on top.
+pub fn decode_frame(raw: &Bytes) -> Result<Frame, FrameError> {
+    if raw.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let kind = raw[0];
+    let seq = u32::from_le_bytes([raw[1], raw[2], raw[3], raw[4]]);
+    let stored_crc = u32::from_le_bytes([raw[5], raw[6], raw[7], raw[8]]);
+    let payload = raw.slice(HEADER_LEN..);
+    let actual = crc32(&[&[kind], &seq.to_le_bytes(), &payload]);
+    if actual != stored_crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok(Frame { kind, seq, payload })
+}
+
+/// Why a frame failed to come off a byte stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// The stream ended mid-frame.
+    Truncated,
+    /// CRC mismatch: the frame was corrupted in transit.
+    BadCrc,
+    /// Length prefix larger than the caller's budget — a corrupt or
+    /// hostile prefix must not drive allocation.
+    Oversized {
+        /// Claimed frame length.
+        len: u32,
+        /// The caller-supplied ceiling it exceeded.
+        max: u32,
+    },
+    /// Length prefix smaller than the fixed header: prefix corruption.
+    Undersized {
+        /// Claimed frame length.
+        len: u32,
+    },
+    /// Transport-level read failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Closed => write!(f, "stream closed"),
+            StreamError::Truncated => write!(f, "stream ended mid-frame"),
+            StreamError::BadCrc => write!(f, "frame CRC mismatch"),
+            StreamError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds limit {max}")
+            }
+            StreamError::Undersized { len } => {
+                write!(f, "frame length {len} below header size")
+            }
+            StreamError::Io(e) => write!(f, "stream read failed: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame to a byte stream.
+pub fn write_frame(w: &mut impl Write, kind: u8, seq: u32, payload: &[u8]) -> io::Result<()> {
+    let total = HEADER_LEN + payload.len();
+    debug_assert!(total <= u32::MAX as usize, "frame payload too large");
+    let seq_bytes = seq.to_le_bytes();
+    let crc = crc32(&[&[kind], &seq_bytes, payload]);
+    let mut head = [0u8; LEN_PREFIX_LEN + HEADER_LEN];
+    head[..4].copy_from_slice(&(total as u32).to_le_bytes());
+    head[4] = kind;
+    head[5..9].copy_from_slice(&seq_bytes);
+    head[9..13].copy_from_slice(&crc.to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame off a byte stream.
+///
+/// `max_frame_len` bounds the claimed frame length (header plus
+/// payload) before any allocation happens; a prefix beyond it fails
+/// with [`StreamError::Oversized`]. Clean EOF before the first prefix
+/// byte is [`StreamError::Closed`]; EOF anywhere later is
+/// [`StreamError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_frame_len: u32) -> Result<Frame, StreamError> {
+    let mut prefix = [0u8; LEN_PREFIX_LEN];
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Err(StreamError::Closed),
+            Ok(0) => return Err(StreamError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(StreamError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len < HEADER_LEN as u32 {
+        return Err(StreamError::Undersized { len });
+    }
+    if len > max_frame_len {
+        return Err(StreamError::Oversized {
+            len,
+            max: max_frame_len,
+        });
+    }
+    let mut buf = vec![0u8; len as usize];
+    if let Err(e) = r.read_exact(&mut buf) {
+        return match e.kind() {
+            io::ErrorKind::UnexpectedEof => Err(StreamError::Truncated),
+            _ => Err(StreamError::Io(e)),
+        };
+    }
+    match decode_frame(&Bytes::from(buf)) {
+        Ok(frame) => Ok(frame),
+        Err(FrameError::BadCrc) => Err(StreamError::BadCrc),
+        // `len >= HEADER_LEN` was checked above, so the buffer can
+        // never be short; keep the arm for totality.
+        Err(_) => Err(StreamError::Truncated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+
+    use super::*;
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        // The standard CRC-32 check: crc32("123456789") == 0xCBF43926.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_over_parts_equals_concatenation() {
+        assert_eq!(crc32(&[b"1234", b"56789"]), crc32(&[b"123456789"]));
+        assert_eq!(crc32(&[b"", b"abc", b""]), crc32(&[b"abc"]));
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"subimage bytes".as_slice();
+        let wire = encode_frame(1, 7, payload);
+        assert_eq!(wire.len(), HEADER_LEN + payload.len());
+        let frame = decode_frame(&wire).unwrap();
+        assert_eq!(frame.kind, 1);
+        assert_eq!(frame.seq, 7);
+        assert_eq!(&frame.payload[..], payload);
+    }
+
+    #[test]
+    fn stream_frame_round_trips() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x12, 3, b"over tcp").unwrap();
+        write_frame(&mut wire, 0x13, 4, &[]).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let a = read_frame(&mut cursor, 1024).unwrap();
+        assert_eq!((a.kind, a.seq, &a.payload[..]), (0x12, 3, &b"over tcp"[..]));
+        let b = read_frame(&mut cursor, 1024).unwrap();
+        assert_eq!((b.kind, b.seq, b.payload.len()), (0x13, 4, 0));
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(StreamError::Closed)
+        ));
+    }
+
+    #[test]
+    fn stream_truncation_is_typed_not_a_hang() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x12, 9, b"cut short").unwrap();
+        for cut in 1..wire.len() {
+            let mut cursor = Cursor::new(&wire[..cut]);
+            let got = read_frame(&mut cursor, 1024);
+            assert!(
+                matches!(got, Err(StreamError::Truncated)),
+                "cut at {cut}: expected Truncated, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_oversized_prefix_rejected_before_allocation() {
+        // A hostile length prefix claiming 4 GiB must fail by policy,
+        // not by attempting the allocation.
+        let wire = u32::MAX.to_le_bytes().to_vec();
+        let mut cursor = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor, 1 << 20),
+            Err(StreamError::Oversized { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn stream_undersized_prefix_rejected() {
+        let wire = 3u32.to_le_bytes().to_vec();
+        let mut cursor = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor, 1 << 20),
+            Err(StreamError::Undersized { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn stream_corruption_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 0x12, 5, b"payload").unwrap();
+        // Flip a payload bit but leave the length prefix intact so the
+        // frame still parses structurally.
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40;
+        let mut cursor = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cursor, 1024),
+            Err(StreamError::BadCrc)
+        ));
+    }
+}

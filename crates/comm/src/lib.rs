@@ -22,6 +22,7 @@ pub mod collectives;
 pub mod cost;
 pub mod endpoint;
 pub mod fault;
+pub mod frame;
 pub mod group;
 pub mod reliable;
 pub mod stats;
@@ -34,6 +35,7 @@ pub use endpoint::{
     CommError, Endpoint, Message, RecvError, SendError, SendErrorKind, Tag, DEFAULT_RECV_DEADLINE,
 };
 pub use fault::{FaultAction, FaultConfig, FaultPlan, KillSpec, StreamClass, TargetedFault};
+pub use frame::{crc32, read_frame, write_frame, Frame, FrameError, StreamError, HEADER_LEN};
 pub use group::{run_group, run_group_with, GroupOptions, GroupRun};
 pub use reliable::ReliabilityConfig;
 pub use stats::TrafficStats;

@@ -2,114 +2,34 @@
 //! the retry policy of the stop-and-wait ARQ the endpoint runs when
 //! reliability is enabled.
 //!
-//! Frame layout (little-endian):
-//!
-//! ```text
-//! [kind: u8][seq: u32][crc: u32][payload...]
-//! ```
-//!
-//! `kind` is [`FRAME_DATA`] or [`FRAME_ACK`]; `crc` is CRC-32
-//! (IEEE 802.3, polynomial 0xEDB88320) over `kind`, `seq` and the
-//! payload, so a flipped bit anywhere in the frame is detected. Acks
-//! carry the sequence number they acknowledge and an empty payload.
+//! The byte layout and integrity check live in the shared codec
+//! ([`crate::frame`]); this module pins down the reliable link's
+//! closed kind set ([`FRAME_DATA`] / [`FRAME_ACK`]) and the ARQ
+//! retry policy. Acks carry the sequence number they acknowledge and
+//! an empty payload.
 
 use std::time::Duration;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+pub use crate::frame::{crc32, encode_frame, Frame, FrameError, HEADER_LEN};
+
 /// Application data frame.
 pub const FRAME_DATA: u8 = 1;
 /// Acknowledgement frame.
 pub const FRAME_ACK: u8 = 2;
-/// Bytes of framing prepended to every payload.
-pub const HEADER_LEN: usize = 1 + 4 + 4;
 
-const CRC_TABLE: [u32; 256] = make_crc_table();
-
-const fn make_crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-/// CRC-32 (IEEE) over the concatenation of `parts`.
-pub fn crc32(parts: &[&[u8]]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for part in parts {
-        for &b in *part {
-            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-        }
-    }
-    c ^ 0xFFFF_FFFF
-}
-
-/// A decoded frame, borrowing its payload from the wire buffer.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Frame {
-    /// [`FRAME_DATA`] or [`FRAME_ACK`].
-    pub kind: u8,
-    /// Link-local sequence number.
-    pub seq: u32,
-    /// Application payload (empty for acks).
-    pub payload: Bytes,
-}
-
-/// Why a frame failed to decode.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FrameError {
-    /// Shorter than the fixed header.
-    Truncated,
-    /// CRC mismatch: the frame was corrupted in transit.
-    BadCrc,
-    /// Unknown `kind` byte (header corruption the CRC caught late, or
-    /// a non-framed message on a reliable link).
-    BadKind,
-}
-
-/// Wraps `payload` in a frame of `kind` with sequence number `seq`.
-pub fn encode_frame(kind: u8, seq: u32, payload: &[u8]) -> Bytes {
-    let seq_bytes = seq.to_le_bytes();
-    let crc = crc32(&[&[kind], &seq_bytes, payload]);
-    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
-    buf.push(kind);
-    buf.extend_from_slice(&seq_bytes);
-    buf.extend_from_slice(&crc.to_le_bytes());
-    buf.extend_from_slice(payload);
-    Bytes::from(buf)
-}
-
-/// Parses and integrity-checks a frame off the wire.
+/// Parses and integrity-checks a reliable-link frame off the wire.
+///
+/// On top of the shared codec's CRC check, rejects any kind byte
+/// outside the reliable link's closed set with [`FrameError::BadKind`].
 pub fn decode_frame(raw: &Bytes) -> Result<Frame, FrameError> {
-    if raw.len() < HEADER_LEN {
-        return Err(FrameError::Truncated);
-    }
-    let kind = raw[0];
-    let seq = u32::from_le_bytes([raw[1], raw[2], raw[3], raw[4]]);
-    let stored_crc = u32::from_le_bytes([raw[5], raw[6], raw[7], raw[8]]);
-    let payload = raw.slice(HEADER_LEN..);
-    let actual = crc32(&[&[kind], &seq.to_le_bytes(), &payload]);
-    if actual != stored_crc {
-        return Err(FrameError::BadCrc);
-    }
-    if kind != FRAME_DATA && kind != FRAME_ACK {
+    let frame = crate::frame::decode_frame(raw)?;
+    if frame.kind != FRAME_DATA && frame.kind != FRAME_ACK {
         return Err(FrameError::BadKind);
     }
-    Ok(Frame { kind, seq, payload })
+    Ok(frame)
 }
 
 /// Retry policy of the stop-and-wait ARQ.
@@ -168,18 +88,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn crc32_matches_ieee_check_value() {
-        // The standard CRC-32 check: crc32("123456789") == 0xCBF43926.
-        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
-    }
-
-    #[test]
-    fn crc32_over_parts_equals_concatenation() {
-        assert_eq!(crc32(&[b"1234", b"56789"]), crc32(&[b"123456789"]));
-        assert_eq!(crc32(&[b"", b"abc", b""]), crc32(&[b"abc"]));
-    }
-
-    #[test]
     fn frame_round_trips() {
         let payload = b"subimage bytes".as_slice();
         let wire = encode_frame(FRAME_DATA, 7, payload);
@@ -216,6 +124,14 @@ mod tests {
         let wire = encode_frame(FRAME_DATA, 1, b"x");
         let short = wire.slice(..HEADER_LEN - 1);
         assert_eq!(decode_frame(&short), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn unknown_kind_rejected_on_reliable_link() {
+        // The shared codec accepts any CRC-valid kind; the reliable
+        // link's closed set must still reject it.
+        let wire = encode_frame(0x77, 1, b"x");
+        assert_eq!(decode_frame(&wire), Err(FrameError::BadKind));
     }
 
     #[test]

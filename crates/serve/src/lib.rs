@@ -50,6 +50,27 @@
 //! * **Session lifecycle** — resident datasets idle past
 //!   [`ServeConfig::session_ttl`] are evicted (never while referenced).
 //!
+//! And it has a **network edge** — the service scales horizontally
+//! behind a real socket front door:
+//!
+//! * **Wire protocol** — [`wire`] defines a versioned, magic-prefixed
+//!   handshake and CRC-framed request/response/stats codecs over the
+//!   shared [`vr_comm::frame`] codec; malformed, truncated, or
+//!   oversized input decodes to typed errors, never panics.
+//! * **Daemon** — [`Daemon`] accepts TCP connections (thread per
+//!   connection, bounded budget with a typed busy refusal) and applies
+//!   a per-connection in-flight window before the shard queues see a
+//!   request; shutdown drains in-flight work to
+//!   [`RejectReason::Shutdown`](service::RejectReason::Shutdown).
+//! * **Shard router** — [`ShardRouter`] hashes `(dataset, dims)` across
+//!   N independent [`FrameService`] shards ([`shard_key`]), each with
+//!   its own queue, cache, and workers, and reports per-shard stats
+//!   plus a load-imbalance metric.
+//! * **Client** — [`Client`] pipelines requests over one connection and
+//!   hash-verifies every transported frame; [`run_load_socket`] drives
+//!   the same open-loop load generator through the socket so served
+//!   frames are proven byte-identical to in-process serving.
+//!
 //! Concurrency is std threads + channels + mutex/condvar, matching the
 //! workspace's existing style (no async runtime).
 //!
@@ -73,19 +94,27 @@
 //! ```
 
 pub mod cache;
+pub mod client;
 pub mod health;
 pub mod loadgen;
 pub mod metrics;
 pub mod policy;
 mod queue;
+pub mod server;
 pub mod service;
+pub mod shard;
+pub mod wire;
 
 pub use cache::{frame_key, CacheCounters, LruCache};
+pub use client::{Client, ClientError, ClientReceiver, ClientSender};
 pub use health::{BreakerConfig, BreakerDecision, CircuitBreaker};
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{run_load, run_load_socket, LoadConfig, LoadReport};
 pub use metrics::ServiceStats;
 pub use policy::{DegradedDecision, DegradedFramePolicy, RetryPolicy};
+pub use server::{Daemon, DaemonConfig};
 pub use service::{
     FrameReply, FrameResponse, FrameService, RejectReason, RenderedFrame, ServeConfig, ServeSource,
     SessionHandle,
 };
+pub use shard::{shard_key, ShardRouter};
+pub use wire::{StatsReply, Welcome, WireFrame, WireResponse, WIRE_VERSION};

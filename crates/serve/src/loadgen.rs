@@ -7,12 +7,18 @@
 //! seeded splitmix64 walk, so repeated views exercise the frame cache
 //! deterministically (same seed → same request sequence).
 
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+use vr_image::checksum::fnv1a;
 use vr_system::ExperimentConfig;
 
+use crate::client::{Client, ClientError};
 use crate::metrics::ServiceStats;
 use crate::service::{FrameResponse, FrameService, ServeSource};
+use crate::wire::{StatsReply, WireResponse};
 
 /// Load-generator knobs.
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +82,11 @@ pub struct LoadReport {
     pub wall_seconds: f64,
     /// Service counters snapshot taken after the run drained.
     pub service: ServiceStats,
+    /// Socket mode only: replies whose pixel payload hashed differently
+    /// than the server-computed hash it carried. Always 0 on a healthy
+    /// link — the transported frame is bit-identical to the rendered
+    /// one.
+    pub hash_mismatches: u64,
 }
 
 impl LoadReport {
@@ -241,6 +252,144 @@ pub fn run_load(service: &FrameService, base: ExperimentConfig, load: &LoadConfi
         .sort_by(|a, b| a.partial_cmp(b).unwrap());
     report.service = service.stats();
     report
+}
+
+/// Drives `load` against a daemon at `addr` over TCP, one connection
+/// per session. Sessions cycle over `bases` (round-robin), so passing
+/// configs with distinct `(dataset, dims)` keys spreads the load across
+/// shards. Every reply carrying pixels is re-hashed client-side and
+/// checked against the server-computed hash it transports
+/// ([`LoadReport::hash_mismatches`]). Returns the aggregated report
+/// plus the daemon's per-shard stats, fetched on a fresh connection
+/// after the load drains.
+pub fn run_load_socket(
+    addr: SocketAddr,
+    bases: &[ExperimentConfig],
+    load: &LoadConfig,
+) -> Result<(LoadReport, StatsReply), ClientError> {
+    assert!(!bases.is_empty(), "need at least one base config");
+    // Copied out so the (non-scoped) sender threads can own it.
+    let load = *load;
+    let start = Instant::now();
+    type SessionOut = Result<(Vec<f64>, Vec<f64>, [u64; 8], u64), ClientError>;
+    let mut session_reports: Vec<SessionOut> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..load.sessions)
+            .map(|s| {
+                let base = bases[s % bases.len()];
+                scope.spawn(move || -> SessionOut {
+                    let client = Client::connect(addr)?;
+                    let (mut tx_half, mut rx_half) = client.into_split()?;
+                    // The sender half fires on the open-loop schedule
+                    // while this thread drains responses, so a full
+                    // daemon window never stalls the arrival process.
+                    let (stamp_tx, stamp_rx) = mpsc::channel::<(u64, Instant)>();
+                    let total = load.requests_per_session;
+                    let sender = std::thread::Builder::new()
+                        .name("vr-loadgen-send".to_string())
+                        .spawn(move || -> Result<(), ClientError> {
+                            let mut rng = load.seed ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                            let session_start = Instant::now();
+                            for i in 0..total {
+                                let due = load.inter_arrival * i as u32;
+                                let elapsed = session_start.elapsed();
+                                if due > elapsed {
+                                    std::thread::sleep(due - elapsed);
+                                }
+                                let pose =
+                                    (splitmix64(&mut rng) % load.poses.max(1) as u64) as usize;
+                                let (rx, ry) = pose_angles(&base, pose, load.poses);
+                                let mut config = base;
+                                config.rot_x_deg = rx;
+                                config.rot_y_deg = ry;
+                                let id = tx_half.submit(&config)?;
+                                let _ = stamp_tx.send((id, Instant::now()));
+                            }
+                            Ok(())
+                        })
+                        .expect("spawn loadgen sender");
+
+                    let mut latencies = Vec::new();
+                    let mut first_tiles = Vec::new();
+                    // fresh, cached, coalesced, degraded, shed, over,
+                    // rejected, submitted
+                    let mut counts = [0u64; 8];
+                    counts[7] = total as u64;
+                    let mut mismatches = 0u64;
+                    let mut stamps: HashMap<u64, Instant> = HashMap::new();
+                    for _ in 0..total {
+                        let (id, resp) = rx_half.recv_response()?;
+                        let now = Instant::now();
+                        // Responses return out of order; pull submit
+                        // stamps until this id's has arrived.
+                        while !stamps.contains_key(&id) {
+                            let (got, at) = stamp_rx.recv().expect("a response implies a submit");
+                            stamps.insert(got, at);
+                        }
+                        let submitted_at = stamps.remove(&id).unwrap();
+                        match resp {
+                            WireResponse::Frame(frame) => {
+                                match frame.source {
+                                    ServeSource::Fresh => counts[0] += 1,
+                                    ServeSource::Cache => counts[1] += 1,
+                                    ServeSource::Coalesced => counts[2] += 1,
+                                    ServeSource::Degraded { .. } => counts[3] += 1,
+                                }
+                                if fnv1a(&frame.image) != frame.image_hash {
+                                    mismatches += 1;
+                                }
+                                let wait_ms = now.duration_since(submitted_at).as_secs_f64() * 1e3;
+                                latencies.push(wait_ms);
+                                let rec = &frame.record;
+                                if rec.first_tile_ms > 0.0 && frame.source == ServeSource::Fresh {
+                                    let ft = wait_ms - rec.render_max_ms + rec.first_tile_ms;
+                                    first_tiles.push(ft.max(0.0));
+                                }
+                            }
+                            WireResponse::Shed { .. } => counts[4] += 1,
+                            WireResponse::Overloaded { .. } => counts[5] += 1,
+                            WireResponse::Rejected { .. } => counts[6] += 1,
+                        }
+                    }
+                    sender.join().expect("loadgen sender thread")?;
+                    Ok((latencies, first_tiles, counts, mismatches))
+                })
+            })
+            .collect();
+        for h in handles {
+            session_reports.push(h.join().expect("session thread"));
+        }
+    });
+
+    let mut report = LoadReport {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        ..Default::default()
+    };
+    for out in session_reports {
+        let (lat, first_tiles, counts, mismatches) = out?;
+        report.latencies_ms.extend(lat);
+        report.first_tile_ms.extend(first_tiles);
+        report.ok_fresh += counts[0];
+        report.ok_cached += counts[1];
+        report.ok_coalesced += counts[2];
+        report.ok_degraded += counts[3];
+        report.shed += counts[4];
+        report.overloaded += counts[5];
+        report.rejected += counts[6];
+        report.submitted += counts[7];
+        report.hash_mismatches += mismatches;
+    }
+    report
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    report
+        .first_tile_ms
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stats = Client::connect(addr)?.stats()?;
+    for shard in &stats.shards {
+        report.service.merge(shard);
+    }
+    Ok((report, stats))
 }
 
 #[cfg(test)]

@@ -34,6 +34,9 @@ pub struct ServiceStats {
     pub rejected_failed: u64,
     /// Requests shed at admission by an open circuit breaker.
     pub rejected_circuit: u64,
+    /// Requests answered `Rejected{Shutdown}`: queued waiters drained at
+    /// shutdown plus submissions arriving after the queue closed.
+    pub rejected_shutdown: u64,
     /// Retry attempts performed beyond each job's first attempt.
     pub frame_retries: u64,
     /// Panics from distributed runs caught by the worker pool (each one
@@ -65,6 +68,7 @@ impl Default for ServiceStats {
             rejected_overload: 0,
             rejected_failed: 0,
             rejected_circuit: 0,
+            rejected_shutdown: 0,
             frame_retries: 0,
             panics_caught: 0,
             datasets_evicted: 0,
@@ -93,6 +97,33 @@ impl ServiceStats {
             + self.rejected_overload
             + self.rejected_failed
             + self.rejected_circuit
+            + self.rejected_shutdown
+    }
+
+    /// Folds another service's counters into this one — the shard
+    /// router's aggregate view. Counters add; the queue watermark takes
+    /// the max and the degraded-quality witness takes the min (worst).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.submitted += other.submitted;
+        self.completed_fresh += other.completed_fresh;
+        self.completed_cached += other.completed_cached;
+        self.completed_coalesced += other.completed_coalesced;
+        self.completed_degraded += other.completed_degraded;
+        self.shed_deadline += other.shed_deadline;
+        self.rejected_overload += other.rejected_overload;
+        self.rejected_failed += other.rejected_failed;
+        self.rejected_circuit += other.rejected_circuit;
+        self.rejected_shutdown += other.rejected_shutdown;
+        self.frame_retries += other.frame_retries;
+        self.panics_caught += other.panics_caught;
+        self.datasets_evicted += other.datasets_evicted;
+        self.min_degraded_psnr_db = self.min_degraded_psnr_db.min(other.min_degraded_psnr_db);
+        self.rendered_frames += other.rendered_frames;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.insertions += other.cache.insertions;
     }
 
     /// Fraction of image-carrying replies served from the cache.
@@ -127,6 +158,35 @@ mod tests {
         assert_eq!(s.completed(), 10);
         assert_eq!(s.answered(), 14);
         assert!((s.serve_hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_extrema() {
+        let mut a = ServiceStats {
+            submitted: 10,
+            completed_fresh: 6,
+            rejected_shutdown: 1,
+            peak_queue_depth: 3,
+            min_degraded_psnr_db: 30.0,
+            ..Default::default()
+        };
+        let b = ServiceStats {
+            submitted: 4,
+            completed_fresh: 2,
+            rejected_overload: 2,
+            peak_queue_depth: 7,
+            min_degraded_psnr_db: 24.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.submitted, 14);
+        assert_eq!(a.completed_fresh, 8);
+        assert_eq!(a.rejected_overload, 2);
+        assert_eq!(a.rejected_shutdown, 1);
+        assert_eq!(a.peak_queue_depth, 7);
+        assert_eq!(a.min_degraded_psnr_db, 24.5);
+        // The merged partition still balances.
+        assert_eq!(a.answered(), 8 + 2 + 1);
     }
 
     #[test]

@@ -154,6 +154,10 @@ mod proptests {
         Submit { session: u64 },
         /// A worker pops the front job and finishes it this way.
         Pop(PopOutcome),
+        /// The service shuts down: the queue closes and every queued
+        /// waiter is drained with `Rejected{Shutdown}`; later submits
+        /// are refused with the same typed answer.
+        Shutdown,
     }
 
     #[derive(Clone, Copy, Debug)]
@@ -168,11 +172,21 @@ mod proptests {
 
     fn op_strategy(sessions: u64) -> impl Strategy<Value = Op> {
         prop_oneof![
-            3 => (0..sessions).prop_map(|session| Op::Submit { session }),
-            1 => Just(Op::Pop(PopOutcome::Serve)),
-            1 => Just(Op::Pop(PopOutcome::Shed)),
-            1 => Just(Op::Pop(PopOutcome::Fail)),
+            6 => (0..sessions).prop_map(|session| Op::Submit { session }),
+            2 => Just(Op::Pop(PopOutcome::Serve)),
+            2 => Just(Op::Pop(PopOutcome::Shed)),
+            2 => Just(Op::Pop(PopOutcome::Fail)),
+            1 => Just(Op::Shutdown),
         ]
+    }
+
+    /// Answers one waiter with the typed shutdown rejection.
+    fn refuse_shutdown(w: &Waiter) {
+        w.tx.send(FrameResponse::Rejected {
+            attempts: 0,
+            reason: RejectReason::Shutdown,
+        })
+        .expect("receiver alive");
     }
 
     /// Answers every waiter of `job` with one explicit response.
@@ -208,6 +222,7 @@ mod proptests {
             let mut jobs: VecDeque<Job> = VecDeque::new();
             let mut receivers = Vec::new();
             let mut expect_immediate = 0u64; // rejections answered at admission
+            let mut open = true;
 
             for op in ops {
                 match op {
@@ -215,6 +230,13 @@ mod proptests {
                         let (tx, rx) = mpsc::channel();
                         receivers.push(rx);
                         let waiter = Waiter { tx, submitted: Instant::now(), superseded: false };
+                        if !open {
+                            // Closed queue: the typed shutdown refusal,
+                            // exactly as `SessionHandle::request` answers.
+                            refuse_shutdown(&waiter);
+                            expect_immediate += 1;
+                            continue;
+                        }
                         match admit(&jobs, session, depth, coalesce) {
                             Admission::Coalesce(idx) => {
                                 for w in &mut jobs[idx].waiters {
@@ -246,6 +268,16 @@ mod proptests {
                     Op::Pop(outcome) => {
                         if let Some(job) = jobs.pop_front() {
                             finish(job, outcome);
+                        }
+                    }
+                    Op::Shutdown => {
+                        // `FrameService::close`: stop admission and
+                        // drain the queue with typed rejections.
+                        open = false;
+                        while let Some(job) = jobs.pop_front() {
+                            for w in &job.waiters {
+                                refuse_shutdown(w);
+                            }
                         }
                     }
                 }

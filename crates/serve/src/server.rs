@@ -1,0 +1,457 @@
+//! The network front door: a TCP daemon exposing the shard router
+//! over the wire protocol of [`crate::wire`].
+//!
+//! Architecture (std threads, no async runtime, matching the rest of
+//! the workspace):
+//!
+//! * **Acceptor** — one thread owns the listener. Each accepted
+//!   connection gets its own handler thread, bounded by
+//!   [`DaemonConfig::max_conns`]; beyond the budget the acceptor
+//!   answers a typed [`wire::ERR_BUSY`] frame and closes, so overload
+//!   at the edge is explicit, never a silent hang.
+//! * **Per-connection demux** — the handler speaks the versioned
+//!   handshake, then demuxes pipelined requests into per-(dataset,
+//!   dims) sessions on the owning shard. Responses are correlated by
+//!   the client-chosen request id and may return out of order.
+//! * **Backpressure** — at most [`DaemonConfig::window`] requests are
+//!   in flight per connection; excess requests are answered
+//!   `Overloaded` immediately without touching a shard queue. All
+//!   writes funnel through one writer thread behind a *bounded*
+//!   channel: a client that stops reading stalls its own connection
+//!   (TCP pushback) instead of growing server memory.
+//! * **Shutdown** — [`Daemon::shutdown`] stops the acceptor, joins
+//!   every connection, and drains the shards; queued waiters get typed
+//!   `Rejected{Shutdown}` answers (see `FrameService::close`).
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vr_comm::frame::{read_frame, write_frame, Frame, StreamError};
+use vr_volume::DatasetKind;
+
+use crate::metrics::ServiceStats;
+use crate::service::{FrameResponse, ServeConfig};
+use crate::shard::ShardRouter;
+use crate::wire::{self, StatsReply, Welcome, MAX_WIRE_FRAME, WIRE_VERSION};
+
+/// How often a blocked connection read wakes to check the shutdown
+/// flag.
+const TICK: Duration = Duration::from_millis(100);
+/// Once a frame has started arriving, how long the rest may take.
+const FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Daemon knobs; every field maps to a `slsvr daemon` flag.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Independent `FrameService` shards behind the router.
+    pub shards: usize,
+    /// Concurrent connections accepted; beyond this the acceptor
+    /// refuses with a typed busy error.
+    pub max_conns: usize,
+    /// Per-connection in-flight request window; excess requests are
+    /// answered `Overloaded` without queueing.
+    pub window: usize,
+    /// Per-shard service configuration.
+    pub serve: ServeConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shards: 1,
+            max_conns: 64,
+            window: 8,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+struct DaemonState {
+    shutting_down: AtomicBool,
+    active_conns: AtomicUsize,
+    accepted: AtomicU64,
+    refused_busy: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running daemon: listener, acceptor thread and shard router.
+pub struct Daemon {
+    router: Arc<ShardRouter>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    state: Arc<DaemonState>,
+}
+
+impl Daemon {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor and the shard router.
+    pub fn start(listen: impl ToSocketAddrs, cfg: DaemonConfig) -> io::Result<Daemon> {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.window >= 1, "window must admit at least one request");
+        assert!(cfg.max_conns >= 1, "must accept at least one connection");
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let router = Arc::new(ShardRouter::start(cfg.serve, cfg.shards));
+        let state = Arc::new(DaemonState {
+            shutting_down: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            refused_busy: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let router = Arc::clone(&router);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("vr-serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, router, state, cfg))
+                .expect("spawn acceptor")
+        };
+        Ok(Daemon {
+            router,
+            addr,
+            acceptor: Some(acceptor),
+            state,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router behind the front door (stats and tests).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Connections refused over the budget so far.
+    pub fn refused_busy(&self) -> u64 {
+        self.state.refused_busy.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.state.accepted.load(Ordering::Relaxed)
+    }
+
+    fn close(&mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // The acceptor blocks in `accept`; a throwaway connection wakes
+        // it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.state.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting, joins every connection, shuts the shards down
+    /// (draining queued waiters with typed answers) and returns the
+    /// merged counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close();
+        match Arc::try_unwrap(std::mem::replace(
+            &mut self.router,
+            Arc::new(ShardRouter::start(
+                ServeConfig {
+                    workers: 1,
+                    render_threads: 1,
+                    ..Default::default()
+                },
+                1,
+            )),
+        )) {
+            Ok(router) => router.shutdown(),
+            // A handler thread outlived the join (should not happen);
+            // fall back to a snapshot — services still drain on Drop.
+            Err(router) => router.stats(),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    router: Arc<ShardRouter>,
+    state: Arc<DaemonState>,
+    cfg: DaemonConfig,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if state.active_conns.load(Ordering::SeqCst) >= cfg.max_conns {
+            state.refused_busy.fetch_add(1, Ordering::Relaxed);
+            refuse_busy(stream, cfg.max_conns);
+            continue;
+        }
+        state.active_conns.fetch_add(1, Ordering::SeqCst);
+        state.accepted.fetch_add(1, Ordering::Relaxed);
+        let router = Arc::clone(&router);
+        let conn_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("vr-serve-conn".to_string())
+            .spawn(move || {
+                handle_conn(stream, &router, &conn_state, &cfg);
+                conn_state.active_conns.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection handler");
+        let mut conns = state.conns.lock().unwrap();
+        // Prune finished handlers so the vec tracks live connections,
+        // not connection history.
+        conns.retain(|h| !h.is_finished());
+        conns.push(handle);
+    }
+}
+
+/// Best-effort typed refusal for an over-budget connection. Drains the
+/// client's (unread) HELLO after signalling EOF: closing with unread
+/// inbound data would RST the socket and can destroy the error frame
+/// before the client reads it.
+fn refuse_busy(mut stream: TcpStream, max_conns: usize) {
+    let payload = wire::encode_error(&wire::ErrorInfo {
+        code: wire::ERR_BUSY,
+        version: WIRE_VERSION,
+        message: format!("connection budget ({max_conns}) exhausted"),
+    });
+    let _ = write_frame(&mut stream, wire::KIND_ERROR, 0, &payload);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 256];
+    use std::io::Read as _;
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Reads one frame, waking every [`TICK`] to check the shutdown flag.
+/// `Ok(None)` means the daemon is shutting down. The tick only governs
+/// the *gap between frames*: once the first byte of a frame has
+/// arrived, the whole frame gets [`FRAME_DEADLINE`] — a mid-frame
+/// timeout would desynchronize the stream, so it closes the
+/// connection instead.
+fn read_frame_or_shutdown(
+    stream: &mut TcpStream,
+    state: &DaemonState,
+) -> Result<Option<Frame>, StreamError> {
+    loop {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        stream
+            .set_read_timeout(Some(TICK))
+            .map_err(StreamError::Io)?;
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return Err(StreamError::Closed),
+            Ok(_) => {
+                stream
+                    .set_read_timeout(Some(FRAME_DEADLINE))
+                    .map_err(StreamError::Io)?;
+                return read_frame(stream, MAX_WIRE_FRAME).map(Some);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(StreamError::Io(e)),
+        }
+    }
+}
+
+/// What the writer thread sends: an already-encoded payload plus its
+/// frame kind.
+struct Outgoing {
+    kind: u8,
+    payload: Vec<u8>,
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    router: &Arc<ShardRouter>,
+    state: &Arc<DaemonState>,
+    cfg: &DaemonConfig,
+) {
+    let _ = stream.set_nodelay(true);
+
+    // Handshake: HELLO in, WELCOME (or a typed refusal) out.
+    let hello = match read_frame_or_shutdown(&mut stream, state) {
+        Ok(Some(frame)) if frame.kind == wire::KIND_HELLO => {
+            match wire::decode_hello(&frame.payload) {
+                Ok(hello) => hello,
+                Err(_) => return, // not our protocol; close
+            }
+        }
+        _ => return,
+    };
+    if hello.version != WIRE_VERSION {
+        let payload = wire::encode_error(&wire::ErrorInfo {
+            code: wire::ERR_VERSION,
+            version: WIRE_VERSION,
+            message: format!(
+                "server speaks wire version {WIRE_VERSION}, client sent {}",
+                hello.version
+            ),
+        });
+        let _ = write_frame(&mut stream, wire::KIND_ERROR, 0, &payload);
+        return;
+    }
+    let welcome = Welcome {
+        version: WIRE_VERSION,
+        shards: router.shard_count() as u16,
+        window: cfg.window as u32,
+    };
+    if write_frame(
+        &mut stream,
+        wire::KIND_WELCOME,
+        0,
+        &wire::encode_welcome(&welcome),
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    // One writer thread owns the write half; every producer (request
+    // forwarders, the demux loop itself) goes through this *bounded*
+    // channel, so a non-reading client exerts backpressure instead of
+    // growing buffers.
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (out_tx, out_rx) = mpsc::sync_channel::<Outgoing>(cfg.window * 2 + 4);
+    let writer = std::thread::Builder::new()
+        .name("vr-serve-conn-writer".to_string())
+        .spawn(move || writer_loop(writer_stream, out_rx))
+        .expect("spawn connection writer");
+
+    // Demux loop state: lazily opened sessions per (dataset, dims) and
+    // the in-flight window.
+    let mut sessions: HashMap<(DatasetKind, [usize; 3]), crate::service::SessionHandle> =
+        HashMap::new();
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+
+    // Read frames until shutdown, clean EOF, or a stream error
+    // (truncated frame, CRC mismatch, oversized prefix). In-flight
+    // requests still get their responses written before the writer
+    // closes.
+    while let Ok(Some(frame)) = read_frame_or_shutdown(&mut stream, state) {
+        match frame.kind {
+            wire::KIND_REQUEST => {
+                let (id, config) = match wire::decode_request(&frame.payload) {
+                    Ok(parsed) => parsed,
+                    // The frame passed its CRC, so this is a version
+                    // skew or hostile payload, not line noise; the
+                    // stream itself is still in sync — drop the
+                    // connection deliberately.
+                    Err(_) => break,
+                };
+                // Per-connection window: admission control before the
+                // shard queue ever sees the request.
+                if in_flight.load(Ordering::SeqCst) >= cfg.window {
+                    let resp = FrameResponse::Overloaded {
+                        queue_depth: in_flight.load(Ordering::SeqCst),
+                    };
+                    if out_tx
+                        .send(Outgoing {
+                            kind: wire::KIND_RESPONSE,
+                            payload: wire::encode_response(id, &resp),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                let key = (config.dataset, config.resolved_dims());
+                let session = sessions
+                    .entry(key)
+                    .or_insert_with(|| router.open_session(config));
+                let rx = session.request(config);
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                // Forward the (single) response when the shard answers;
+                // at most `window` forwarders are alive per connection.
+                let out_tx = out_tx.clone();
+                let in_flight = Arc::clone(&in_flight);
+                forwarders.retain(|h| !h.is_finished());
+                let forwarder = std::thread::Builder::new()
+                    .name("vr-serve-conn-fwd".to_string())
+                    .spawn(move || {
+                        let resp = rx.recv().unwrap_or(FrameResponse::Rejected {
+                            attempts: 0,
+                            reason: crate::service::RejectReason::Shutdown,
+                        });
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        let _ = out_tx.send(Outgoing {
+                            kind: wire::KIND_RESPONSE,
+                            payload: wire::encode_response(id, &resp),
+                        });
+                    })
+                    .expect("spawn response forwarder");
+                forwarders.push(forwarder);
+            }
+            wire::KIND_STATS => {
+                let reply = StatsReply {
+                    shards: router.shard_stats(),
+                    imbalance: router.imbalance(),
+                };
+                if out_tx
+                    .send(Outgoing {
+                        kind: wire::KIND_STATS_REPLY,
+                        payload: wire::encode_stats_reply(&reply),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            // Unknown kinds on an established connection: protocol
+            // skew — close rather than guess.
+            _ => break,
+        }
+    }
+
+    // Drain: wait for in-flight responses, then let the writer flush
+    // and exit (it stops when every sender is gone).
+    for h in forwarders {
+        let _ = h.join();
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Outgoing>) {
+    let mut seq: u32 = 0;
+    while let Ok(msg) = rx.recv() {
+        if write_frame(&mut stream, msg.kind, seq, &msg.payload).is_err() {
+            // The peer is gone; keep draining so senders never block
+            // forever on a dead connection.
+            for _ in rx.iter() {}
+            return;
+        }
+        seq = seq.wrapping_add(1);
+    }
+    let _ = stream.flush();
+}

@@ -188,6 +188,10 @@ pub enum RejectReason {
     /// The (dataset, dims) circuit breaker is open: shed without
     /// rendering.
     CircuitOpen,
+    /// The service is shutting down: queued waiters are drained with
+    /// this answer instead of being left blocked, and submissions after
+    /// the queue closed get it immediately.
+    Shutdown,
 }
 
 /// Every request is answered with exactly one of these.
@@ -375,10 +379,28 @@ impl FrameService {
     }
 
     fn close(&mut self) {
-        {
+        // Close admission and drain still-queued jobs in one critical
+        // section: every drained waiter is answered with a typed
+        // `Rejected{Shutdown}` instead of being left blocked on a
+        // channel whose sender just vanished.
+        let drained: Vec<Job> = {
             let mut q = self.shared.queue.lock().unwrap();
             q.open = false;
             self.shared.ready.notify_all();
+            q.jobs.drain(..).collect()
+        };
+        let mut refused = 0u64;
+        for job in drained {
+            for w in job.waiters {
+                refused += 1;
+                let _ = w.tx.send(FrameResponse::Rejected {
+                    attempts: 0,
+                    reason: RejectReason::Shutdown,
+                });
+            }
+        }
+        if refused > 0 {
+            self.shared.stats.lock().unwrap().rejected_shutdown += refused;
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -457,10 +479,11 @@ impl SessionHandle {
 
         let mut q = shared.queue.lock().unwrap();
         if !q.open {
-            // Shutting down: refuse new work explicitly.
-            shared.stats.lock().unwrap().rejected_overload += 1;
-            let _ = tx.send(FrameResponse::Overloaded {
-                queue_depth: q.jobs.len(),
+            // Shutting down: refuse new work with the typed reason.
+            shared.stats.lock().unwrap().rejected_shutdown += 1;
+            let _ = tx.send(FrameResponse::Rejected {
+                attempts: 0,
+                reason: RejectReason::Shutdown,
             });
             return rx;
         }
@@ -1042,9 +1065,44 @@ mod tests {
         drop(service); // joins workers, closes the queue
         assert!(!shared.queue.lock().unwrap().open);
         match session.request_blocking(small()) {
-            FrameResponse::Overloaded { .. } => {}
-            other => panic!("expected Overloaded after shutdown, got {other:?}"),
+            FrameResponse::Rejected {
+                attempts: 0,
+                reason: RejectReason::Shutdown,
+            } => {}
+            other => panic!("expected Rejected{{Shutdown}} after shutdown, got {other:?}"),
         }
+        assert_eq!(shared.stats.lock().unwrap().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_waiters_with_typed_rejection() {
+        // Stack several jobs from distinct sessions behind one worker,
+        // then shut down immediately — any job still queued when
+        // `close` runs must answer its waiters with `Rejected{Shutdown}`
+        // rather than leaving them blocked on a dead channel.
+        let service = FrameService::start(ServeConfig {
+            workers: 1,
+            queue_depth: 16,
+            cache_frames: 0,
+            coalesce: false,
+            ..Default::default()
+        });
+        let sessions: Vec<_> = (0..4).map(|_| service.open_session(small())).collect();
+        let pending: Vec<_> = sessions.iter().map(|s| s.request(small())).collect();
+        let stats = service.shutdown();
+        // Every waiter resolves: served before the close, or drained
+        // with the typed shutdown rejection — never a hung channel.
+        for rx in pending {
+            match rx.recv().expect("every waiter must be answered") {
+                FrameResponse::Frame(_) => {}
+                FrameResponse::Rejected {
+                    attempts: 0,
+                    reason: RejectReason::Shutdown,
+                } => {}
+                other => panic!("expected Frame or Rejected{{Shutdown}}, got {other:?}"),
+            }
+        }
+        assert_eq!(stats.answered(), stats.submitted);
     }
 
     #[test]

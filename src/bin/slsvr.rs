@@ -16,8 +16,8 @@ use std::time::Duration;
 
 use slsvr::compositing::Method;
 use slsvr::serve::{
-    run_load, BreakerConfig, DegradedFramePolicy, FrameService, LoadConfig, RetryPolicy,
-    ServeConfig,
+    run_load, run_load_socket, BreakerConfig, Daemon, DaemonConfig, DegradedFramePolicy,
+    FrameService, LoadConfig, LoadReport, RetryPolicy, ServeConfig,
 };
 use slsvr::system::{run_distributed, Experiment, ExperimentConfig, SweepBuilder};
 use slsvr::volume::DatasetKind;
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "render" => cmd_render(rest),
         "compare" => cmd_compare(rest),
         "serve" => cmd_serve(rest),
+        "daemon" => cmd_daemon(rest),
         "sweep" => cmd_sweep(rest),
         "info" => {
             cmd_info();
@@ -75,6 +76,9 @@ USAGE:
                 [--retry-backoff-ms MS] [--session-ttl MS]
                 [--breaker-threshold N] [--breaker-cooldown-ms MS]
                 [--render-threads N] [--simd-lanes N]
+                [--connect ADDR] [--shard-spread N]
+  slsvr daemon  [--listen ADDR] [--shards N] [--max-conns N] [--window N]
+                [--run-seconds S] [+ all serve service knobs]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
   slsvr info
 
@@ -101,6 +105,20 @@ SERVE:    starts the vr-serve frame service (session-resident datasets,
           --breaker-threshold consecutive failures open a per-dataset
           circuit breaker that sheds until --breaker-cooldown-ms passes
           (0 disables); --session-ttl evicts idle resident datasets.
+
+DAEMON:   exposes the frame service over TCP with a versioned,
+          CRC-framed wire protocol. --shards N runs N independent
+          service shards routed by a stable hash of (dataset, dims);
+          --max-conns bounds concurrent connections (beyond it the
+          acceptor answers a typed busy error); --window bounds
+          in-flight requests per connection (beyond it requests get an
+          immediate Overloaded reply). --run-seconds S serves for S
+          seconds then drains; 0 (default) serves until stdin closes.
+          `slsvr serve --connect ADDR` drives a daemon with the same
+          open-loop load generator over the socket, verifying every
+          transported frame against its server-computed pixel hash;
+          --shard-spread N derives N bases with distinct dims so
+          sessions hash across shards.
 
 RENDER:   --macrocell N sets the empty-space-skipping cell edge in voxels
           (default 8, 0 = off); --tile N sets the screen-tile culling edge
@@ -451,10 +469,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let flags = Flags { args };
-    let config = config_from_flags(&flags)?;
-
+/// Parses the shared vr-serve service knobs (used by both `serve` and
+/// `daemon`).
+fn serve_config_from_flags(flags: &Flags) -> Result<ServeConfig, String> {
     let mut serve = ServeConfig {
         workers: flags.parse("--workers", 2usize)?,
         queue_depth: flags.parse("--queue-depth", 32usize)?,
@@ -503,6 +520,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if serve.workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    Ok(serve)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let config = config_from_flags(&flags)?;
+    let serve = serve_config_from_flags(&flags)?;
 
     let load = LoadConfig {
         sessions: flags.parse("--sessions", 2usize)?,
@@ -511,6 +535,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         inter_arrival: Duration::from_millis(flags.parse("--inter-arrival-ms", 5u64)?),
         seed: flags.parse("--seed", 0x5EEDu64)?,
     };
+
+    // Socket mode: drive a running daemon instead of an in-process
+    // service. --shard-spread N derives N bases with distinct volume
+    // dims so sessions hash across the daemon's shards.
+    if let Some(addr) = flags.get("--connect") {
+        let addr: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|_| format!("invalid --connect address `{addr}`"))?;
+        let spread = flags.parse("--shard-spread", 1usize)?.max(1);
+        let bases = spread_bases(config, spread);
+        println!(
+            "{} · {}² · P={} · {} — {} session(s) × {} request(s) over {} pose(s) \
+             via {addr} (shard spread {spread})",
+            config.dataset.name(),
+            config.image_size,
+            config.processors,
+            config.method.name(),
+            load.sessions,
+            load.requests_per_session,
+            load.poses,
+        );
+        let (report, stats) =
+            run_load_socket(addr, &bases, &load).map_err(|e| format!("socket load: {e}"))?;
+        print_load_report(&report);
+        if report.hash_mismatches > 0 {
+            return Err(format!(
+                "{} replies failed the pixel-hash check",
+                report.hash_mismatches
+            ));
+        }
+        println!(
+            "\ndaemon: {} shard(s) · imbalance {:.2}",
+            stats.shards.len(),
+            stats.imbalance
+        );
+        for (i, shard) in stats.shards.iter().enumerate() {
+            println!(
+                "  shard {i}: {} submitted · {} rendered · peak queue {} · \
+                 cache {}h/{}m/{}e",
+                shard.submitted,
+                shard.rendered_frames,
+                shard.peak_queue_depth,
+                shard.cache.hits,
+                shard.cache.misses,
+                shard.cache.evictions,
+            );
+        }
+        return Ok(());
+    }
 
     println!(
         "{} · {}² · P={} · {} — serving {} session(s) × {} request(s) over {} pose(s)",
@@ -559,6 +632,31 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let report = run_load(&service, config, &load);
     let stats = service.shutdown();
 
+    print_load_report(&report);
+    println!(
+        "service: {} distinct renders · peak queue {} · cache {}h/{}m/{}e",
+        stats.rendered_frames,
+        stats.peak_queue_depth,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+    );
+    println!(
+        "health: {} retries · {} panics caught · {} breaker sheds · {} datasets evicted{}",
+        stats.frame_retries,
+        stats.panics_caught,
+        stats.rejected_circuit,
+        stats.datasets_evicted,
+        if stats.completed_degraded > 0 {
+            format!(" · min degraded PSNR {:.1} dB", stats.min_degraded_psnr_db)
+        } else {
+            String::new()
+        },
+    );
+    Ok(())
+}
+
+fn print_load_report(report: &LoadReport) {
     println!("disposition of {} requests:", report.submitted);
     println!("  fresh renders     {:>6}", report.ok_fresh);
     println!("  cache hits        {:>6}", report.ok_cached);
@@ -586,25 +684,63 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             report.first_tile_ms.len(),
         );
     }
+}
+
+/// Derives `spread` configs with distinct volume dims (z grows by one
+/// voxel per step) so their `(dataset, dims)` keys hash to different
+/// shards.
+fn spread_bases(base: ExperimentConfig, spread: usize) -> Vec<ExperimentConfig> {
+    let dims = base.resolved_dims();
+    (0..spread)
+        .map(|k| {
+            let mut c = base;
+            c.volume_dims = Some([dims[0], dims[1], dims[2] + k]);
+            c
+        })
+        .collect()
+}
+
+fn cmd_daemon(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let serve = serve_config_from_flags(&flags)?;
+    let daemon_cfg = DaemonConfig {
+        shards: flags.parse("--shards", 1usize)?,
+        max_conns: flags.parse("--max-conns", 64usize)?,
+        window: flags.parse("--window", 8usize)?,
+        serve,
+    };
+    if daemon_cfg.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let listen = flags.get("--listen").unwrap_or("127.0.0.1:7070");
+    let run_seconds: u64 = flags.parse("--run-seconds", 0u64)?;
+
+    let daemon = Daemon::start(listen, daemon_cfg).map_err(|e| format!("bind {listen}: {e}"))?;
     println!(
-        "service: {} distinct renders · peak queue {} · cache {}h/{}m/{}e",
-        stats.rendered_frames,
-        stats.peak_queue_depth,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.evictions,
+        "daemon listening on {} · {} shard(s) × {} worker(s) · window {} · max conns {}",
+        daemon.local_addr(),
+        daemon_cfg.shards,
+        daemon_cfg.serve.workers,
+        daemon_cfg.window,
+        daemon_cfg.max_conns,
     );
+    if run_seconds > 0 {
+        println!("serving for {run_seconds} s");
+        std::thread::sleep(Duration::from_secs(run_seconds));
+    } else {
+        println!("serving until stdin closes (press Ctrl-D to stop)");
+        let mut sink = String::new();
+        use std::io::Read as _;
+        let _ = std::io::stdin().read_to_string(&mut sink);
+    }
+
+    let stats = daemon.shutdown();
     println!(
-        "health: {} retries · {} panics caught · {} breaker sheds · {} datasets evicted{}",
-        stats.frame_retries,
-        stats.panics_caught,
-        stats.rejected_circuit,
-        stats.datasets_evicted,
-        if stats.completed_degraded > 0 {
-            format!(" · min degraded PSNR {:.1} dB", stats.min_degraded_psnr_db)
-        } else {
-            String::new()
-        },
+        "drained: {} submitted · {} answered · {} rendered · {} shutdown rejections",
+        stats.submitted,
+        stats.answered(),
+        stats.rendered_frames,
+        stats.rejected_shutdown,
     );
     Ok(())
 }
