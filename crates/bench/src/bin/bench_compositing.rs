@@ -32,7 +32,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use slsvr_core::Method;
-use vr_bench::json::{obj, parse, Json};
+use vr_bench::gate::{self, min_sample, BenchArgs};
+use vr_bench::json::{obj, Json};
 use vr_image::{Image, MaskRle, Pixel, Rect};
 use vr_system::{CompTiming, Experiment, ExperimentConfig, StreamExperiment};
 use vr_volume::{Dataset, DatasetKind, DepthOrder};
@@ -64,65 +65,13 @@ const FULL: Grid = Grid {
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-
-    let grid = if flag("--quick") { QUICK } else { FULL };
-    let reps = value("--reps")
-        .map(|s| s.parse().expect("--reps takes an integer"))
-        .unwrap_or(grid.reps);
+    let args = BenchArgs::from_env();
+    let grid = if args.flag("--quick") { QUICK } else { FULL };
+    let reps = args.num("--reps").unwrap_or(grid.reps);
 
     let entries = run_benches(&grid, reps);
     print_table(&entries);
-
-    let run = obj([
-        ("grid", Json::Str(grid.name.into())),
-        ("entries", Json::Arr(entries.clone())),
-    ]);
-
-    if let Some(path) = value("--out") {
-        let doc = obj([
-            ("schema", Json::Str(SCHEMA.into())),
-            ("grid", Json::Str(grid.name.into())),
-            ("entries", Json::Arr(entries.clone())),
-        ]);
-        std::fs::write(&path, doc.pretty()).expect("write --out file");
-        eprintln!("wrote {path}");
-    }
-
-    if let Some(path) = value("--merge") {
-        let label = value("--label").expect("--merge requires --label before|after");
-        assert!(
-            label == "before" || label == "after",
-            "--label must be 'before' or 'after'"
-        );
-        merge_run(&path, &label, grid.name, run);
-        eprintln!("merged run '{label}' ({}) into {path}", grid.name);
-    }
-
-    if let Some(path) = value("--check") {
-        match check_against(&path, grid.name, &entries) {
-            Ok(lines) => {
-                for l in lines {
-                    println!("PASS  {l}");
-                }
-                println!("bench check passed vs {path} (grid {})", grid.name);
-            }
-            Err(failures) => {
-                for f in failures {
-                    eprintln!("FAIL  {f}");
-                }
-                eprintln!("bench check FAILED vs {path} (grid {})", grid.name);
-                std::process::exit(1);
-            }
-        }
-    }
+    gate::persist_and_gate(SCHEMA, grid.name, &entries, &args, check_against);
 }
 
 const SCHEMA: &str = "slsvr-bench-compositing/v1";
@@ -150,14 +99,6 @@ fn subimages(p: usize, size: u16) -> Vec<Image> {
             })
         })
         .collect()
-}
-
-/// Noise-robust estimator for repeated time measurements: the minimum.
-/// Scheduling and cache pollution only ever push a sample *up* (the
-/// bench multiplexes every rank onto the host's cores), so the smallest
-/// rep is the closest observation of the true cost.
-fn min_sample(xs: Vec<f64>) -> f64 {
-    xs.into_iter().fold(f64::MAX, f64::min)
 }
 
 // ---------------------------------------------------------------------------
@@ -397,33 +338,6 @@ fn print_table(entries: &[Json]) {
 
 /// Inserts `run` into the trajectory file, replacing a prior run with the
 /// same `(label, grid)`.
-fn merge_run(path: &str, label: &str, grid: &str, run: Json) {
-    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
-        Ok(text) => parse(&text)
-            .expect("existing trajectory file must be valid JSON")
-            .get("runs")
-            .and_then(Json::as_arr)
-            .map(|r| r.to_vec())
-            .unwrap_or_default(),
-        Err(_) => Vec::new(),
-    };
-    runs.retain(|r| {
-        !(r.get("label").and_then(Json::as_str) == Some(label)
-            && r.get("grid").and_then(Json::as_str) == Some(grid))
-    });
-    let mut tagged = match run {
-        Json::Obj(m) => m,
-        _ => unreachable!(),
-    };
-    tagged.insert("label".into(), Json::Str(label.into()));
-    runs.push(Json::Obj(tagged));
-    let doc = obj([
-        ("schema", Json::Str(SCHEMA.into())),
-        ("runs", Json::Arr(runs)),
-    ]);
-    std::fs::write(path, doc.pretty()).expect("write trajectory file");
-}
-
 /// Key identifying one bench entry within a run.
 fn entry_key(e: &Json) -> (String, String, u64) {
     (
@@ -439,22 +353,7 @@ fn entry_key(e: &Json) -> (String, String, u64) {
 /// so a slower CI machine does not trip the gate; deterministic byte
 /// counters must not grow at all.
 fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<String>> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let doc = parse(&text).expect("baseline must be valid JSON");
-    let baseline = doc
-        .get("runs")
-        .and_then(Json::as_arr)
-        .and_then(|runs| {
-            runs.iter().find(|r| {
-                r.get("label").and_then(Json::as_str) == Some("after")
-                    && r.get("grid").and_then(Json::as_str) == Some(grid)
-            })
-        })
-        .and_then(|r| r.get("entries"))
-        .and_then(Json::as_arr)
-        .unwrap_or_else(|| panic!("baseline {path} has no 'after' run for grid {grid}"));
-
+    let baseline = gate::load_after_baseline(path, SCHEMA, grid);
     let base: BTreeMap<_, _> = baseline.iter().map(|e| (entry_key(e), e)).collect();
     let anchor = |entries: &[Json]| -> f64 {
         entries
@@ -466,7 +365,7 @@ fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>
     };
     // Machine-speed ratio: >1 means this machine is slower than the one
     // that recorded the baseline.
-    let calib = (anchor(current) / anchor(baseline)).max(0.25);
+    let calib = (anchor(current) / anchor(&baseline)).max(0.25);
 
     let mut passes = Vec::new();
     let mut failures = Vec::new();

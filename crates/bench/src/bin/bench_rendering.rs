@@ -46,7 +46,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use slsvr_core::Stopwatch;
-use vr_bench::json::{obj, parse, Json};
+use vr_bench::gate::{self, min_sample, BenchArgs};
+use vr_bench::json::{obj, Json};
 use vr_image::checksum::fnv1a;
 use vr_render::{
     render_block, render_block_accel, render_block_accel_pool, Camera, RenderAccel, RenderParams,
@@ -119,77 +120,17 @@ const DATASETS: [(DatasetKind, bool); 4] = [
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-
-    let grid = if flag("--quick") { QUICK } else { FULL };
-    let reps = value("--reps")
-        .map(|s| s.parse().expect("--reps takes an integer"))
-        .unwrap_or(grid.reps);
-    let cell = value("--cell")
-        .map(|s| s.parse().expect("--cell takes an integer"))
-        .unwrap_or(DEFAULT_CELL_SIZE);
-    let tile = value("--tile")
-        .map(|s| s.parse().expect("--tile takes an integer"))
-        .unwrap_or(vr_render::DEFAULT_TILE_SIZE);
-    let threads = value("--threads")
-        .map(|s| s.parse().expect("--threads takes an integer"))
-        .unwrap_or(4usize);
-    let lanes = value("--lanes")
-        .map(|s| s.parse().expect("--lanes takes an integer"))
-        .unwrap_or(4usize);
+    let args = BenchArgs::from_env();
+    let grid = if args.flag("--quick") { QUICK } else { FULL };
+    let reps = args.num("--reps").unwrap_or(grid.reps);
+    let cell = args.num("--cell").unwrap_or(DEFAULT_CELL_SIZE);
+    let tile = args.num("--tile").unwrap_or(vr_render::DEFAULT_TILE_SIZE);
+    let threads = args.num("--threads").unwrap_or(4);
+    let lanes = args.num("--lanes").unwrap_or(4);
 
     let entries = run_benches(&grid, reps, cell, tile, threads, lanes);
     print_table(&entries);
-
-    let run = obj([
-        ("grid", Json::Str(grid.name.into())),
-        ("entries", Json::Arr(entries.clone())),
-    ]);
-
-    if let Some(path) = value("--out") {
-        let doc = obj([
-            ("schema", Json::Str(SCHEMA.into())),
-            ("grid", Json::Str(grid.name.into())),
-            ("entries", Json::Arr(entries.clone())),
-        ]);
-        std::fs::write(&path, doc.pretty()).expect("write --out file");
-        eprintln!("wrote {path}");
-    }
-
-    if let Some(path) = value("--merge") {
-        let label = value("--label").expect("--merge requires --label before|after");
-        assert!(
-            label == "before" || label == "after",
-            "--label must be 'before' or 'after'"
-        );
-        merge_run(&path, &label, grid.name, run);
-        eprintln!("merged run '{label}' ({}) into {path}", grid.name);
-    }
-
-    if let Some(path) = value("--check") {
-        match check_against(&path, grid.name, &entries) {
-            Ok(lines) => {
-                for l in lines {
-                    println!("PASS  {l}");
-                }
-                println!("bench check passed vs {path} (grid {})", grid.name);
-            }
-            Err(failures) => {
-                for f in failures {
-                    eprintln!("FAIL  {f}");
-                }
-                eprintln!("bench check FAILED vs {path} (grid {})", grid.name);
-                std::process::exit(1);
-            }
-        }
-    }
+    gate::persist_and_gate(SCHEMA, grid.name, &entries, &args, check_against);
 }
 
 const SCHEMA: &str = "slsvr-bench-rendering/v1";
@@ -197,13 +138,6 @@ const SCHEMA: &str = "slsvr-bench-rendering/v1";
 // ---------------------------------------------------------------------------
 // Benches
 // ---------------------------------------------------------------------------
-
-/// Noise-robust estimator for repeated time measurements: the minimum.
-/// Scheduling and cache pollution only ever push a sample *up*, so the
-/// smallest rep is the closest observation of the true cost.
-fn min_sample(xs: Vec<f64>) -> f64 {
-    xs.into_iter().fold(f64::MAX, f64::min)
-}
 
 fn whole(dims: [usize; 3]) -> Subvolume {
     Subvolume {
@@ -544,35 +478,6 @@ fn print_table(entries: &[Json]) {
 // Persistence and the regression gate
 // ---------------------------------------------------------------------------
 
-/// Inserts `run` into the trajectory file, replacing a prior run with the
-/// same `(label, grid)`.
-fn merge_run(path: &str, label: &str, grid: &str, run: Json) {
-    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
-        Ok(text) => parse(&text)
-            .expect("existing trajectory file must be valid JSON")
-            .get("runs")
-            .and_then(Json::as_arr)
-            .map(|r| r.to_vec())
-            .unwrap_or_default(),
-        Err(_) => Vec::new(),
-    };
-    runs.retain(|r| {
-        !(r.get("label").and_then(Json::as_str) == Some(label)
-            && r.get("grid").and_then(Json::as_str) == Some(grid))
-    });
-    let mut tagged = match run {
-        Json::Obj(m) => m,
-        _ => unreachable!(),
-    };
-    tagged.insert("label".into(), Json::Str(label.into()));
-    runs.push(Json::Obj(tagged));
-    let doc = obj([
-        ("schema", Json::Str(SCHEMA.into())),
-        ("runs", Json::Arr(runs)),
-    ]);
-    std::fs::write(path, doc.pretty()).expect("write trajectory file");
-}
-
 /// Key identifying one bench entry within a run.
 fn entry_key(e: &Json) -> (String, String) {
     (
@@ -592,22 +497,7 @@ fn entry_key(e: &Json) -> (String, String) {
 /// are properties of the current run alone and are enforced
 /// unconditionally.
 fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<String>> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let doc = parse(&text).expect("baseline must be valid JSON");
-    let baseline = doc
-        .get("runs")
-        .and_then(Json::as_arr)
-        .and_then(|runs| {
-            runs.iter().find(|r| {
-                r.get("label").and_then(Json::as_str) == Some("after")
-                    && r.get("grid").and_then(Json::as_str) == Some(grid)
-            })
-        })
-        .and_then(|r| r.get("entries"))
-        .and_then(Json::as_arr)
-        .unwrap_or_else(|| panic!("baseline {path} has no 'after' run for grid {grid}"));
-
+    let baseline = gate::load_after_baseline(path, SCHEMA, grid);
     let base: BTreeMap<_, _> = baseline.iter().map(|e| (entry_key(e), e)).collect();
     let anchor = |entries: &[Json]| -> f64 {
         entries
@@ -622,7 +512,7 @@ fn check_against(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>
     // Floored at 1 — the anchor is a small render whose ns/px can read
     // fast while the big renders read slow (cache footprint, throttle
     // phase), so a quick anchor must never *shrink* the limits.
-    let calib = (anchor(current) / anchor(baseline)).max(1.0);
+    let calib = (anchor(current) / anchor(&baseline)).max(1.0);
 
     let mut passes = Vec::new();
     let mut failures = Vec::new();

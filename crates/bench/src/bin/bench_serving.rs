@@ -46,7 +46,8 @@
 
 use std::time::Duration;
 
-use vr_bench::json::{obj, parse, Json};
+use vr_bench::gate::{self, BenchArgs};
+use vr_bench::json::{obj, Json};
 use vr_comm::{FaultConfig, KillSpec, ReliabilityConfig};
 use vr_serve::{
     run_load, run_load_socket, shard_key, Daemon, DaemonConfig, DegradedFramePolicy, FrameService,
@@ -83,71 +84,15 @@ const FULL: Grid = Grid {
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let num = |name: &str| {
-        value(name).map(|s| {
-            s.parse::<usize>()
-                .unwrap_or_else(|_| panic!("{name} takes an integer"))
-        })
-    };
-
-    let grid = if flag("--quick") { QUICK } else { FULL };
-    let sessions = num("--sessions").unwrap_or(grid.sessions);
-    let requests = num("--requests").unwrap_or(grid.requests);
-    let poses = num("--poses").unwrap_or(3);
+    let args = BenchArgs::from_env();
+    let grid = if args.flag("--quick") { QUICK } else { FULL };
+    let sessions = args.num("--sessions").unwrap_or(grid.sessions);
+    let requests = args.num("--requests").unwrap_or(grid.requests);
+    let poses = args.num("--poses").unwrap_or(3);
 
     let entries = run_benches(sessions, requests, poses);
     print_table(&entries);
-
-    let run = obj([
-        ("grid", Json::Str(grid.name.into())),
-        ("entries", Json::Arr(entries.clone())),
-    ]);
-
-    if let Some(path) = value("--out") {
-        let doc = obj([
-            ("schema", Json::Str(SCHEMA.into())),
-            ("grid", Json::Str(grid.name.into())),
-            ("entries", Json::Arr(entries.clone())),
-        ]);
-        std::fs::write(&path, doc.pretty()).expect("write --out file");
-        eprintln!("wrote {path}");
-    }
-
-    if let Some(path) = value("--merge") {
-        let label = value("--label").expect("--merge requires --label before|after");
-        assert!(
-            label == "before" || label == "after",
-            "--label must be 'before' or 'after'"
-        );
-        merge_run(&path, &label, grid.name, run);
-        eprintln!("merged run '{label}' ({}) into {path}", grid.name);
-    }
-
-    if let Some(path) = value("--check") {
-        match check(&path, grid.name, &entries) {
-            Ok(lines) => {
-                for l in lines {
-                    println!("PASS  {l}");
-                }
-                println!("bench check passed vs {path} (grid {})", grid.name);
-            }
-            Err(failures) => {
-                for f in failures {
-                    eprintln!("FAIL  {f}");
-                }
-                eprintln!("bench check FAILED vs {path} (grid {})", grid.name);
-                std::process::exit(1);
-            }
-        }
-    }
+    gate::persist_and_gate(SCHEMA, grid.name, &entries, &args, check);
 }
 
 // ---------------------------------------------------------------------------
@@ -509,35 +454,6 @@ fn print_table(entries: &[Json]) {
 // Persistence and the structural gate
 // ---------------------------------------------------------------------------
 
-/// Inserts `run` into the trajectory file, replacing a prior run with the
-/// same `(label, grid)`.
-fn merge_run(path: &str, label: &str, grid: &str, run: Json) {
-    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
-        Ok(text) => parse(&text)
-            .expect("existing trajectory file must be valid JSON")
-            .get("runs")
-            .and_then(Json::as_arr)
-            .map(|r| r.to_vec())
-            .unwrap_or_default(),
-        Err(_) => Vec::new(),
-    };
-    runs.retain(|r| {
-        !(r.get("label").and_then(Json::as_str) == Some(label)
-            && r.get("grid").and_then(Json::as_str) == Some(grid))
-    });
-    let mut tagged = match run {
-        Json::Obj(m) => m,
-        _ => unreachable!(),
-    };
-    tagged.insert("label".into(), Json::Str(label.into()));
-    runs.push(Json::Obj(tagged));
-    let doc = obj([
-        ("schema", Json::Str(SCHEMA.into())),
-        ("runs", Json::Arr(runs)),
-    ]);
-    std::fs::write(path, doc.pretty()).expect("write trajectory file");
-}
-
 /// Gates the current run's structural invariants and confirms the
 /// checked-in trajectory file carries an `after` baseline for this grid
 /// with the same phase set.
@@ -549,26 +465,7 @@ fn merge_run(path: &str, label: &str, grid: &str, run: Json) {
 /// queue knob, the cache carrying a steady revisit load, overload
 /// answered explicitly, and stale work shed.
 fn check(path: &str, grid: &str, current: &[Json]) -> Result<Vec<String>, Vec<String>> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-    let doc = parse(&text).expect("baseline must be valid JSON");
-    assert_eq!(
-        doc.get("schema").and_then(Json::as_str),
-        Some(SCHEMA),
-        "baseline schema mismatch"
-    );
-    let baseline = doc
-        .get("runs")
-        .and_then(Json::as_arr)
-        .and_then(|runs| {
-            runs.iter().find(|r| {
-                r.get("label").and_then(Json::as_str) == Some("after")
-                    && r.get("grid").and_then(Json::as_str) == Some(grid)
-            })
-        })
-        .and_then(|r| r.get("entries"))
-        .and_then(Json::as_arr)
-        .unwrap_or_else(|| panic!("baseline {path} has no 'after' run for grid {grid}"));
+    let baseline = gate::load_after_baseline(path, SCHEMA, grid);
 
     let mut passes = Vec::new();
     let mut failures = Vec::new();

@@ -1,0 +1,226 @@
+//! Shared trajectory-file scaffolding for every persisted benchmark.
+//!
+//! All of the bench binaries (`bench_compositing`, `bench_rendering`,
+//! `bench_serving`) and the cost-model sweep persist the same shape —
+//! a `{schema, runs: [{label, grid, entries}]}` trajectory file with
+//! `before`/`after` runs per grid — and gate the current run against the
+//! checked-in `after` baseline with `--check`. This module is the one
+//! copy of that scaffolding: flag parsing, the min-over-reps noise
+//! estimator, the label+grid-keyed merge, baseline lookup, and the
+//! PASS/FAIL gate reporting (exit 1 on failure). Each binary keeps only
+//! its own benches and its own comparison policy (the closure handed to
+//! [`persist_and_gate`]).
+
+use vr_cost::json::{obj, parse, Json};
+
+/// Minimal `--flag [value]` argument access shared by the bench CLIs.
+pub struct BenchArgs {
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Captures the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        BenchArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// For tests: wraps an explicit argument list.
+    pub fn from_vec(args: Vec<String>) -> Self {
+        BenchArgs { args }
+    }
+
+    /// Is the bare flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value following `name`, if any.
+    pub fn value(&self, name: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .cloned()
+    }
+
+    /// An integer-valued option; panics with the flag name on junk.
+    pub fn num(&self, name: &str) -> Option<usize> {
+        self.value(name).map(|s| {
+            s.parse::<usize>()
+                .unwrap_or_else(|_| panic!("{name} takes an integer"))
+        })
+    }
+}
+
+/// Noise-robust estimator for repeated time measurements: the minimum.
+/// Scheduling and cache pollution only ever push a sample *up* (the
+/// bench multiplexes every rank onto the host's cores), so the smallest
+/// rep is the closest observation of the true cost.
+pub fn min_sample(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::MAX, f64::min)
+}
+
+/// Inserts `run` into the long-lived trajectory file at `path` under
+/// `label`, replacing any prior run with the same label + grid.
+pub fn merge_run(path: &str, schema: &str, label: &str, grid: &str, run: Json) {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text)
+            .expect("existing trajectory file must be valid JSON")
+            .get("runs")
+            .and_then(Json::as_arr)
+            .map(|r| r.to_vec())
+            .unwrap_or_default(),
+        Err(_) => Vec::new(),
+    };
+    runs.retain(|r| {
+        !(r.get("label").and_then(Json::as_str) == Some(label)
+            && r.get("grid").and_then(Json::as_str) == Some(grid))
+    });
+    let mut tagged = match run {
+        Json::Obj(m) => m,
+        _ => unreachable!("a run is always a JSON object"),
+    };
+    tagged.insert("label".into(), Json::Str(label.into()));
+    tagged.insert("grid".into(), Json::Str(grid.into()));
+    runs.push(Json::Obj(tagged));
+    let doc = obj([
+        ("schema", Json::Str(schema.into())),
+        ("runs", Json::Arr(runs)),
+    ]);
+    std::fs::write(path, doc.pretty()).expect("write trajectory file");
+}
+
+/// Loads the checked-in `after` baseline entries for `grid` from the
+/// trajectory file at `path`, verifying its `schema` tag. Panics with a
+/// pointed message when the file is unreadable or carries no such run —
+/// a missing baseline is a repo defect, not a soft failure.
+pub fn load_after_baseline(path: &str, schema: &str, grid: &str) -> Vec<Json> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = parse(&text).expect("baseline must be valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(schema),
+        "baseline {path} schema mismatch"
+    );
+    doc.get("runs")
+        .and_then(Json::as_arr)
+        .and_then(|runs| {
+            runs.iter().find(|r| {
+                r.get("label").and_then(Json::as_str) == Some("after")
+                    && r.get("grid").and_then(Json::as_str) == Some(grid)
+            })
+        })
+        .and_then(|r| r.get("entries"))
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline {path} has no 'after' run for grid {grid}"))
+        .to_vec()
+}
+
+/// The shared tail of every bench `main`: honor `--out FILE`,
+/// `--merge FILE --label before|after`, and `--check FILE` (whose
+/// comparison policy is the binary's own `check` closure). Prints the
+/// PASS/FAIL lines and exits 1 on a failed gate.
+pub fn persist_and_gate(
+    schema: &str,
+    grid: &str,
+    entries: &[Json],
+    args: &BenchArgs,
+    check: impl Fn(&str, &str, &[Json]) -> Result<Vec<String>, Vec<String>>,
+) {
+    if let Some(path) = args.value("--out") {
+        let doc = obj([
+            ("schema", Json::Str(schema.into())),
+            ("grid", Json::Str(grid.into())),
+            ("entries", Json::Arr(entries.to_vec())),
+        ]);
+        std::fs::write(&path, doc.pretty()).expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = args.value("--merge") {
+        let label = args
+            .value("--label")
+            .expect("--merge requires --label before|after");
+        assert!(
+            label == "before" || label == "after",
+            "--label must be 'before' or 'after'"
+        );
+        let run = obj([
+            ("grid", Json::Str(grid.into())),
+            ("entries", Json::Arr(entries.to_vec())),
+        ]);
+        merge_run(&path, schema, &label, grid, run);
+        eprintln!("merged run '{label}' ({grid}) into {path}");
+    }
+
+    if let Some(path) = args.value("--check") {
+        match check(&path, grid, entries) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("PASS  {l}");
+                }
+                println!("bench check passed vs {path} (grid {grid})");
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("FAIL  {f}");
+                }
+                eprintln!("bench check FAILED vs {path} (grid {grid})");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_values_and_nums() {
+        let a = BenchArgs::from_vec(
+            ["--quick", "--reps", "7", "--out", "x.json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert!(a.flag("--quick"));
+        assert!(!a.flag("--full"));
+        assert_eq!(a.num("--reps"), Some(7));
+        assert_eq!(a.value("--out").as_deref(), Some("x.json"));
+        assert_eq!(a.value("--missing"), None);
+    }
+
+    #[test]
+    fn min_sample_takes_the_minimum() {
+        assert_eq!(min_sample(vec![3.0, 1.5, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn merge_replaces_same_label_and_grid_only() {
+        let dir = std::env::temp_dir().join("slsvr-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traj.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        let run = |v: f64| obj([("entries", Json::Arr(vec![Json::Num(v)]))]);
+        merge_run(path, "test/v1", "before", "quick", run(1.0));
+        merge_run(path, "test/v1", "after", "quick", run(2.0));
+        merge_run(path, "test/v1", "after", "full", run(3.0));
+        // Replacing the quick 'after' run leaves the other two alone.
+        merge_run(path, "test/v1", "after", "quick", run(4.0));
+
+        let doc = parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 3);
+        let after_quick = load_after_baseline(path, "test/v1", "quick");
+        assert_eq!(after_quick, vec![Json::Num(4.0)]);
+        let after_full = load_after_baseline(path, "test/v1", "full");
+        assert_eq!(after_full, vec![Json::Num(3.0)]);
+        let _ = std::fs::remove_file(path);
+    }
+}

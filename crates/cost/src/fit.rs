@@ -1,0 +1,334 @@
+//! Ordinary least squares via normal equations — no external deps.
+//!
+//! Fits `predicted = c_0 + Σ c_i·param_i` to `(params, measured)`
+//! samples, following the `generate-cost-model` methodology: the design
+//! matrix gains an implicit intercept column, `(XᵀX)β = Xᵀy` is solved by
+//! Gaussian elimination with partial pivoting, and fit quality is
+//! reported as R² and adjusted R² (which penalizes parameters that buy no
+//! explanatory power). Degenerate sweeps — too few samples, collinear
+//! parameters, constant response — are refused with a typed error rather
+//! than returning a garbage fit.
+
+use std::fmt;
+
+/// Why a fit was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FitError {
+    /// Fewer samples than coefficients + 1: the residual degrees of
+    /// freedom would be zero and R² meaningless.
+    TooFewSamples {
+        /// Samples provided.
+        n: usize,
+        /// Minimum required for this parameter count.
+        needed: usize,
+    },
+    /// The normal equations are singular: some parameter is a linear
+    /// combination of the others (or constant), so the coefficients are
+    /// not identifiable.
+    Collinear,
+    /// Every measured value is identical — there is no variance to
+    /// explain, so R² is undefined.
+    ConstantResponse,
+    /// The fit converged but explains too little of the variance.
+    BelowQualityFloor {
+        /// Achieved coefficient of determination.
+        r2: f64,
+        /// The floor it failed to reach.
+        floor: f64,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples { n, needed } => {
+                write!(f, "too few samples: {n} < {needed}")
+            }
+            FitError::Collinear => write!(f, "collinear or constant parameters"),
+            FitError::ConstantResponse => write!(f, "constant response, R^2 undefined"),
+            FitError::BelowQualityFloor { r2, floor } => {
+                write!(f, "fit quality R^2 = {r2:.4} below floor {floor:.2}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted linear model `predicted = intercept + Σ coefficients[i]·xᵢ`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FitResult {
+    /// The constant term `c_0`.
+    pub intercept: f64,
+    /// One slope per swept parameter, in input order.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training samples.
+    pub r2: f64,
+    /// `1 − (1−R²)(n−1)/(n−k−1)`: R² discounted for model size.
+    pub adjusted_r2: f64,
+    /// Samples the fit was computed from.
+    pub n: usize,
+}
+
+impl FitResult {
+    /// Evaluates the fitted model at `params`.
+    pub fn predict(&self, params: &[f64]) -> f64 {
+        assert_eq!(params.len(), self.coefficients.len());
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(params)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+    }
+}
+
+/// Fits without a quality floor (any R² is accepted).
+pub fn fit_linear(samples: &[(Vec<f64>, f64)]) -> Result<FitResult, FitError> {
+    fit_linear_with_floor(samples, f64::NEG_INFINITY)
+}
+
+/// Fits `y = c_0 + Σ c_i·x_i` and refuses the result if R² < `floor`.
+pub fn fit_linear_with_floor(
+    samples: &[(Vec<f64>, f64)],
+    floor: f64,
+) -> Result<FitResult, FitError> {
+    let k = samples.first().map(|(x, _)| x.len()).unwrap_or(0);
+    let needed = k + 2;
+    if samples.len() < needed {
+        return Err(FitError::TooFewSamples {
+            n: samples.len(),
+            needed,
+        });
+    }
+    assert!(
+        samples.iter().all(|(x, _)| x.len() == k),
+        "ragged sample rows"
+    );
+    let n = samples.len();
+    let dim = k + 1;
+
+    // Normal equations: a = XᵀX (row-major), b = Xᵀy, with X carrying an
+    // implicit leading 1-column for the intercept.
+    let mut a = vec![0.0f64; dim * dim];
+    let mut b = vec![0.0f64; dim];
+    let mut row = vec![0.0f64; dim];
+    for (xs, y) in samples {
+        row[0] = 1.0;
+        row[1..].copy_from_slice(xs);
+        for i in 0..dim {
+            b[i] += row[i] * y;
+            for j in 0..dim {
+                a[i * dim + j] += row[i] * row[j];
+            }
+        }
+    }
+    let beta = solve(&mut a, &mut b, dim).ok_or(FitError::Collinear)?;
+
+    let mean_y = samples.iter().map(|(_, y)| y).sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (xs, y) in samples {
+        let pred = beta[0] + beta[1..].iter().zip(xs).map(|(c, x)| c * x).sum::<f64>();
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    if ss_tot <= 0.0 {
+        return Err(FitError::ConstantResponse);
+    }
+    let r2 = 1.0 - ss_res / ss_tot;
+    let adjusted_r2 = 1.0 - (1.0 - r2) * (n - 1) as f64 / (n - k - 1) as f64;
+    if r2 < floor {
+        return Err(FitError::BelowQualityFloor { r2, floor });
+    }
+    Ok(FitResult {
+        intercept: beta[0],
+        coefficients: beta[1..].to_vec(),
+        r2,
+        adjusted_r2,
+        n,
+    })
+}
+
+/// Solves the symmetric positive (semi-)definite system `a·x = b` in
+/// place by Gaussian elimination with partial pivoting. Returns `None`
+/// when a pivot collapses relative to the matrix scale — the collinear /
+/// rank-deficient case.
+fn solve(a: &mut [f64], b: &mut [f64], dim: usize) -> Option<Vec<f64>> {
+    let scale = a.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if scale == 0.0 {
+        return None;
+    }
+    let tol = scale * 1e-10 * dim as f64;
+    for col in 0..dim {
+        let (mut pivot_row, mut pivot_abs) = (col, a[col * dim + col].abs());
+        for r in col + 1..dim {
+            let v = a[r * dim + col].abs();
+            if v > pivot_abs {
+                pivot_row = r;
+                pivot_abs = v;
+            }
+        }
+        if pivot_abs <= tol {
+            return None;
+        }
+        if pivot_row != col {
+            for j in 0..dim {
+                a.swap(col * dim + j, pivot_row * dim + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        for r in col + 1..dim {
+            let factor = a[r * dim + col] / a[col * dim + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..dim {
+                a[r * dim + j] -= factor * a[col * dim + j];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; dim];
+    for col in (0..dim).rev() {
+        let mut v = b[col];
+        for j in col + 1..dim {
+            v -= a[col * dim + j] * x[j];
+        }
+        x[col] = v / a[col * dim + col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in `[-1, 1)` (xorshift-mixed index).
+    fn noise(i: u64) -> f64 {
+        let mut h = i.wrapping_mul(0x9E3779B97F4A7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+        h ^= h >> 32;
+        (h as f64 / u64::MAX as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn exact_recovery_on_noiseless_linear_data() {
+        // y = 3 + 2·x1 − 0.5·x2, no noise: coefficients recover exactly
+        // and R² = 1.
+        let mut samples = Vec::new();
+        for i in 0..10u64 {
+            let x1 = i as f64;
+            let x2 = (i * i % 7) as f64;
+            samples.push((vec![x1, x2], 3.0 + 2.0 * x1 - 0.5 * x2));
+        }
+        let fit = fit_linear(&samples).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-9, "{fit:?}");
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] + 0.5).abs() < 1e-9);
+        assert!(fit.r2 > 1.0 - 1e-12);
+        assert!((fit.predict(&[4.0, 2.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_recovery_survives_benchmark_scale_magnitudes() {
+        // Pixel counts span 1e4..1e6 and times are microseconds-per-unit:
+        // the normal equations must stay well-conditioned at bench scale.
+        let samples: Vec<_> = (1..=8u64)
+            .map(|i| {
+                let px = (i * 131_072) as f64;
+                (vec![px], 40e-6 + 1.8e-6 * px)
+            })
+            .collect();
+        let fit = fit_linear(&samples).unwrap();
+        assert!((fit.coefficients[0] - 1.8e-6).abs() < 1e-12);
+        assert!((fit.intercept - 40e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjusted_r2_penalizes_an_irrelevant_parameter() {
+        // y depends on x1 only. Each sample appears twice with x2
+        // mirrored (±v) and the same response, so by symmetry OLS gives
+        // x2 exactly zero weight: raw R² is bit-identical to the lean
+        // fit, and the only difference adjusted R² sees is the wasted
+        // degree of freedom — the penalty must therefore be strict.
+        let mut with_junk = Vec::new();
+        let mut without = Vec::new();
+        for i in 0..8u64 {
+            let x1 = i as f64;
+            let v = (i + 1) as f64;
+            let y = 1.0 + 0.7 * x1 + 0.3 * noise(i);
+            with_junk.push((vec![x1, v], y));
+            with_junk.push((vec![x1, -v], y));
+            without.push((vec![x1], y));
+            without.push((vec![x1], y));
+        }
+        let lean = fit_linear(&without).unwrap();
+        let junk = fit_linear(&with_junk).unwrap();
+        assert!(junk.coefficients[1].abs() < 1e-9, "junk weight is zero");
+        assert!((junk.r2 - lean.r2).abs() < 1e-9, "raw R² unchanged");
+        assert!(junk.adjusted_r2 < junk.r2);
+        assert!(
+            junk.adjusted_r2 < lean.adjusted_r2,
+            "irrelevant parameter must cost adjusted R²: {} vs {}",
+            junk.adjusted_r2,
+            lean.adjusted_r2
+        );
+    }
+
+    #[test]
+    fn collinear_parameters_are_refused() {
+        // x2 = 2·x1 exactly: rank-deficient design matrix.
+        let samples: Vec<_> = (0..8u64)
+            .map(|i| {
+                let x = i as f64 * 1e5;
+                (vec![x, 2.0 * x], 1.0 + x)
+            })
+            .collect();
+        assert_eq!(fit_linear(&samples), Err(FitError::Collinear));
+    }
+
+    #[test]
+    fn constant_parameter_is_refused() {
+        let samples: Vec<_> = (0..6u64).map(|i| (vec![5.0], i as f64)).collect();
+        assert_eq!(fit_linear(&samples), Err(FitError::Collinear));
+    }
+
+    #[test]
+    fn too_few_samples_are_refused() {
+        let samples = vec![(vec![1.0, 2.0], 3.0), (vec![2.0, 1.0], 4.0)];
+        assert_eq!(
+            fit_linear(&samples),
+            Err(FitError::TooFewSamples { n: 2, needed: 4 })
+        );
+        assert_eq!(
+            fit_linear(&[]),
+            Err(FitError::TooFewSamples { n: 0, needed: 2 })
+        );
+    }
+
+    #[test]
+    fn constant_response_is_refused() {
+        let samples: Vec<_> = (0..6u64).map(|i| (vec![i as f64], 7.0)).collect();
+        assert_eq!(fit_linear(&samples), Err(FitError::ConstantResponse));
+    }
+
+    #[test]
+    fn quality_floor_refuses_a_bad_fit_but_reports_r2() {
+        // Response is noise around a constant: R² near zero.
+        let samples: Vec<_> = (0..12u64)
+            .map(|i| (vec![i as f64], 5.0 + noise(i)))
+            .collect();
+        match fit_linear_with_floor(&samples, 0.9) {
+            Err(FitError::BelowQualityFloor { r2, floor }) => {
+                assert!(r2 < 0.9, "{r2}");
+                assert_eq!(floor, 0.9);
+            }
+            other => panic!("expected quality refusal, got {other:?}"),
+        }
+        // The same data fits fine with no floor.
+        assert!(fit_linear(&samples).is_ok());
+    }
+}

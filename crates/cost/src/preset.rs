@@ -1,0 +1,410 @@
+//! Serializable cost-model presets.
+//!
+//! A [`CostModelPreset`] bundles everything the predictive layer needs:
+//! the network constants ([`vr_comm::CostModel`]: `T_s`, `T_c`), the
+//! per-operation compute constants ([`slsvr_core::CompCost`]), and a
+//! per-ray-sample rendering cost — plus, for fitted presets, the
+//! per-operation fit-quality metadata so a checked-in model carries its
+//! own evidence. The paper-faithful `sp2` preset delegates to the
+//! *same* constructors the vclock scheduler and the conformance traffic
+//! oracle already use ([`CostModel::sp2`], [`CompCost::power2`]), which
+//! is what keeps the oracle and the simulator structurally unable to
+//! disagree: there is one source for the numbers, and this type is how
+//! it travels.
+
+use slsvr_core::CompCost;
+use vr_comm::CostModel;
+
+use crate::json::{obj, parse, Json};
+
+/// Schema tag for `COST_MODEL.json`.
+pub const MODEL_SCHEMA: &str = "slsvr-cost-model/v1";
+
+/// Default model-file path (repo root).
+pub const DEFAULT_MODEL_PATH: &str = "COST_MODEL.json";
+
+/// Fit-quality metadata for one modeled operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpFit {
+    /// Operation name (`over`, `pack`, `unpack`, `encode`, `scan`,
+    /// `message`, `render`).
+    pub op: String,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+    /// Adjusted R² (penalized for parameter count).
+    pub adjusted_r2: f64,
+    /// Number of sweep samples the fit used.
+    pub samples: usize,
+}
+
+/// A complete, serializable cost model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModelPreset {
+    /// Preset name (`sp2`, `modern`, `local`, …).
+    pub name: String,
+    /// Human-readable provenance line.
+    pub description: String,
+    /// Network half: `time(msg) = t_s + bytes·t_c`.
+    pub network: CostModel,
+    /// Compute half: per-op constants for Equations (1)/(3)/(5)/(7).
+    pub comp: CompCost,
+    /// Seconds per ray sample taken by the renderer (outside the
+    /// paper's compositing equations, but needed for end-to-end what-if
+    /// sweeps).
+    pub t_render_sample: f64,
+    /// Per-op fit quality; empty for hand-calibrated presets.
+    pub fits: Vec<OpFit>,
+    /// Cores of the host that fitted this preset (`None` for
+    /// hand-calibrated presets). The drift gate uses it to flag models
+    /// fitted on unusually narrow hosts.
+    pub host_cores: Option<u64>,
+    /// Sweep grid this preset was fitted from (`quick`/`full`, `None`
+    /// for hand-calibrated presets). Slopes shift systematically with
+    /// the grid (larger images leave cache), so a drift comparison is
+    /// only meaningful like-for-like.
+    pub sweep_grid: Option<String>,
+}
+
+impl CostModelPreset {
+    /// The paper-faithful preset: SP2 High Performance Switch network
+    /// constants and POWER2 per-op compute constants — byte-for-byte the
+    /// same values [`CostKind::Sp2`](slsvr_core::CostKind) and the
+    /// default [`ExperimentConfig`](vr_comm::CostModel) resolve to.
+    pub fn sp2() -> Self {
+        CostModelPreset {
+            name: "sp2".into(),
+            description: "IBM SP2: HPS network (Ts=40us, 35MB/s), 66.7MHz POWER2 per-op costs \
+                          calibrated to Table 1"
+                .into(),
+            network: CostModel::sp2(),
+            comp: CompCost::power2(),
+            // A trilinear fetch + classification + shading per sample is
+            // a small multiple of one `over`; ~5 us/sample reproduces
+            // the paper's seconds-per-frame rendering times at 384^2.
+            t_render_sample: 5.0e-6,
+            fits: Vec::new(),
+            host_cores: None,
+            sweep_grid: None,
+        }
+    }
+
+    /// A hand-sketched modern-interconnect preset for what-if sweeps
+    /// when no fitted `local` preset is available: [`CostModel::modern`]
+    /// plus POWER2 compute scaled by a nominal 250× single-core uplift.
+    pub fn modern() -> Self {
+        let p2 = CompCost::power2();
+        let scale = 1.0 / 250.0;
+        CostModelPreset {
+            name: "modern".into(),
+            description: "sketched modern host: 2us/10GB/s network, POWER2 compute / 250".into(),
+            network: CostModel::modern(),
+            comp: CompCost {
+                t_scan: p2.t_scan * scale,
+                t_pack: p2.t_pack * scale,
+                t_unpack: p2.t_unpack * scale,
+                t_over: p2.t_over * scale,
+                t_encode: p2.t_encode * scale,
+            },
+            t_render_sample: 5.0e-6 * scale,
+            fits: Vec::new(),
+            host_cores: None,
+            sweep_grid: None,
+        }
+    }
+
+    /// Built-in presets by name.
+    pub fn builtin(name: &str) -> Option<Self> {
+        match name {
+            "sp2" => Some(CostModelPreset::sp2()),
+            "modern" => Some(CostModelPreset::modern()),
+            _ => None,
+        }
+    }
+
+    /// The worst per-op R² recorded in this preset's fit metadata
+    /// (`None` when hand-calibrated).
+    pub fn min_r2(&self) -> Option<f64> {
+        self.fits.iter().map(|f| f.r2).min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Serializes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("description", Json::Str(self.description.clone())),
+            (
+                "network",
+                obj([
+                    ("t_s", Json::Num(self.network.t_s)),
+                    ("t_c", Json::Num(self.network.t_c)),
+                ]),
+            ),
+            (
+                "comp",
+                obj([
+                    ("t_scan", Json::Num(self.comp.t_scan)),
+                    ("t_pack", Json::Num(self.comp.t_pack)),
+                    ("t_unpack", Json::Num(self.comp.t_unpack)),
+                    ("t_over", Json::Num(self.comp.t_over)),
+                    ("t_encode", Json::Num(self.comp.t_encode)),
+                ]),
+            ),
+            ("t_render_sample", Json::Num(self.t_render_sample)),
+            (
+                "fits",
+                Json::Arr(
+                    self.fits
+                        .iter()
+                        .map(|f| {
+                            obj([
+                                ("op", Json::Str(f.op.clone())),
+                                ("r2", Json::Num(f.r2)),
+                                ("adjusted_r2", Json::Num(f.adjusted_r2)),
+                                ("samples", Json::Num(f.samples as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(cores) = self.host_cores {
+            fields.push(("host_cores", Json::Num(cores as f64)));
+        }
+        if let Some(grid) = &self.sweep_grid {
+            fields.push(("sweep_grid", Json::Str(grid.clone())));
+        }
+        obj(fields)
+    }
+
+    /// Deserializes from a JSON value, validating every field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("preset missing string field '{key}'"))
+        };
+        let num_in = |parent: &Json, key: &str| -> Result<f64, String> {
+            parent
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("preset missing numeric field '{key}'"))
+        };
+        let name = str_field("name")?;
+        let description = str_field("description")?;
+        let net = v.get("network").ok_or("preset missing 'network'")?;
+        let comp = v.get("comp").ok_or("preset missing 'comp'")?;
+        let mut fits = Vec::new();
+        for f in v
+            .get("fits")
+            .and_then(Json::as_arr)
+            .ok_or("preset missing 'fits' array")?
+        {
+            fits.push(OpFit {
+                op: f
+                    .get("op")
+                    .and_then(Json::as_str)
+                    .ok_or("fit entry missing 'op'")?
+                    .to_string(),
+                r2: num_in(f, "r2")?,
+                adjusted_r2: num_in(f, "adjusted_r2")?,
+                samples: num_in(f, "samples")? as usize,
+            });
+        }
+        let preset = CostModelPreset {
+            name,
+            description,
+            network: CostModel {
+                t_s: num_in(net, "t_s")?,
+                t_c: num_in(net, "t_c")?,
+            },
+            comp: CompCost {
+                t_scan: num_in(comp, "t_scan")?,
+                t_pack: num_in(comp, "t_pack")?,
+                t_unpack: num_in(comp, "t_unpack")?,
+                t_over: num_in(comp, "t_over")?,
+                t_encode: num_in(comp, "t_encode")?,
+            },
+            t_render_sample: num_in(v, "t_render_sample")?,
+            fits,
+            host_cores: v.get("host_cores").and_then(Json::as_u64),
+            sweep_grid: v
+                .get("sweep_grid")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        };
+        for (label, value) in [
+            ("t_s", preset.network.t_s),
+            ("t_c", preset.network.t_c),
+            ("t_scan", preset.comp.t_scan),
+            ("t_pack", preset.comp.t_pack),
+            ("t_unpack", preset.comp.t_unpack),
+            ("t_over", preset.comp.t_over),
+            ("t_encode", preset.comp.t_encode),
+            ("t_render_sample", preset.t_render_sample),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "preset '{}': non-physical constant {label} = {value}",
+                    preset.name
+                ));
+            }
+        }
+        Ok(preset)
+    }
+}
+
+/// Renders a full `COST_MODEL.json` document from a set of presets.
+pub fn render_model_file(presets: &[CostModelPreset]) -> String {
+    obj([
+        ("schema", Json::Str(MODEL_SCHEMA.into())),
+        (
+            "presets",
+            Json::Arr(presets.iter().map(CostModelPreset::to_json).collect()),
+        ),
+    ])
+    .pretty()
+}
+
+/// Parses a `COST_MODEL.json` document.
+pub fn parse_model_file(text: &str) -> Result<Vec<CostModelPreset>, String> {
+    let doc = parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(MODEL_SCHEMA) => {}
+        Some(other) => return Err(format!("unsupported model schema '{other}'")),
+        None => return Err("model file missing 'schema'".into()),
+    }
+    doc.get("presets")
+        .and_then(Json::as_arr)
+        .ok_or("model file missing 'presets' array")?
+        .iter()
+        .map(CostModelPreset::from_json)
+        .collect()
+}
+
+/// Resolves a `--preset` spec: a built-in name (`sp2`, `modern`), a
+/// preset name looked up in `model_path`, or a path to a model file
+/// (taking its sole preset, or `file.json#name` to pick one).
+pub fn resolve_preset(spec: &str, model_path: &str) -> Result<CostModelPreset, String> {
+    if let Some(p) = CostModelPreset::builtin(spec) {
+        return Ok(p);
+    }
+    if let Some((path, name)) = spec.split_once('#') {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read model file '{path}': {e}"))?;
+        let presets = parse_model_file(&text)?;
+        return presets
+            .into_iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| format!("no preset '{name}' in '{path}'"));
+    }
+    if spec.ends_with(".json") {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read model file '{spec}': {e}"))?;
+        let mut presets = parse_model_file(&text)?;
+        return match presets.len() {
+            0 => Err(format!("'{spec}' contains no presets")),
+            1 => Ok(presets.remove(0)),
+            n => Err(format!(
+                "'{spec}' contains {n} presets; pick one with '{spec}#NAME'"
+            )),
+        };
+    }
+    let text = std::fs::read_to_string(model_path).map_err(|e| {
+        format!(
+            "unknown preset '{spec}' (not built-in, and cannot read model file \
+             '{model_path}': {e})"
+        )
+    })?;
+    let presets = parse_model_file(&text)?;
+    let names: Vec<&str> = presets.iter().map(|p| p.name.as_str()).collect();
+    presets
+        .iter()
+        .find(|p| p.name == spec)
+        .cloned()
+        .ok_or_else(|| {
+            format!(
+                "no preset '{spec}' in '{model_path}' (available: {}, built-in: sp2, modern)",
+                names.join(", ")
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp2_preset_is_the_papers_constants() {
+        // The preset must resolve to the exact same numbers the vclock
+        // scheduler and the conformance oracle use — one source.
+        let p = CostModelPreset::sp2();
+        assert_eq!(p.network, CostModel::sp2());
+        assert_eq!(p.comp, CompCost::power2());
+        assert_eq!(p.network, slsvr_core::CostKind::Sp2.model());
+    }
+
+    #[test]
+    fn preset_round_trips_through_json() {
+        let p = CostModelPreset {
+            name: "local".into(),
+            description: "fitted on host X".into(),
+            network: CostModel {
+                t_s: 1.25e-6,
+                t_c: 3.0e-10,
+            },
+            comp: CompCost {
+                t_scan: 1e-9,
+                t_pack: 2e-9,
+                t_unpack: 3e-9,
+                t_over: 4e-9,
+                t_encode: 5e-9,
+            },
+            t_render_sample: 6e-9,
+            fits: vec![OpFit {
+                op: "over".into(),
+                r2: 0.999,
+                adjusted_r2: 0.998,
+                samples: 12,
+            }],
+            host_cores: Some(8),
+            sweep_grid: Some("full".into()),
+        };
+        let text = render_model_file(&[CostModelPreset::sp2(), p.clone()]);
+        let back = parse_model_file(&text).unwrap();
+        assert_eq!(back, vec![CostModelPreset::sp2(), p]);
+    }
+
+    #[test]
+    fn model_file_rejects_wrong_schema_and_bad_constants() {
+        assert!(parse_model_file("{\"schema\": \"nope\", \"presets\": []}").is_err());
+        let mut p = CostModelPreset::sp2();
+        p.comp.t_over = -1.0;
+        let text = render_model_file(&[p]);
+        let err = parse_model_file(&text).unwrap_err();
+        assert!(err.contains("non-physical"), "{err}");
+    }
+
+    #[test]
+    fn builtin_resolution_needs_no_model_file() {
+        let p = resolve_preset("sp2", "/nonexistent/COST_MODEL.json").unwrap();
+        assert_eq!(p.name, "sp2");
+        assert!(resolve_preset("modern", "/nonexistent").is_ok());
+        assert!(resolve_preset("nope", "/nonexistent").is_err());
+    }
+
+    #[test]
+    fn min_r2_reports_the_worst_fit() {
+        let mut p = CostModelPreset::sp2();
+        assert_eq!(p.min_r2(), None);
+        for (op, r2) in [("over", 0.99), ("pack", 0.93), ("scan", 0.97)] {
+            p.fits.push(OpFit {
+                op: op.into(),
+                r2,
+                adjusted_r2: r2,
+                samples: 10,
+            });
+        }
+        assert_eq!(p.min_r2(), Some(0.93));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: a `CostModelPreset` survives the JSON model
+//! file round trip bit-exactly, for arbitrary physical constants, fit
+//! metadata and provenance — the checked-in `COST_MODEL.json` must mean
+//! exactly what the fitter wrote.
+
+use proptest::prelude::*;
+use slsvr_core::CompCost;
+use vr_comm::CostModel;
+use vr_cost::{parse_model_file, render_model_file, CostModelPreset, OpFit};
+
+/// A physical (finite, non-negative) constant spanning the magnitudes a
+/// fit can produce: zero (below the measurement floor) up to whole
+/// seconds per unit.
+fn arb_constant() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        1 => Just(0.0),
+        8 => (-12i32..1, 1.0f64..10.0).prop_map(|(e, m)| m * 10f64.powi(e)),
+    ]
+}
+
+/// Names and descriptions, including characters the JSON writer must
+/// escape (quotes, backslashes, tabs, newlines).
+fn arb_text() -> impl Strategy<Value = String> {
+    (0usize..5, 0u32..1000).prop_map(|(i, n)| {
+        let base = [
+            "",
+            "local",
+            "fitted on an idle host",
+            "qu\"ote",
+            "back\\slash\tand\nbreak",
+        ][i];
+        format!("{base}{n}")
+    })
+}
+
+fn arb_fit() -> impl Strategy<Value = OpFit> {
+    (arb_text(), -1.0f64..=1.0, -1.0f64..=1.0, 0usize..10_000).prop_map(
+        |(op, r2, adjusted_r2, samples)| OpFit {
+            op,
+            r2,
+            adjusted_r2,
+            samples,
+        },
+    )
+}
+
+/// `Option<T>` via a weighted coin (the shim has no `option::of`).
+fn arb_host_cores() -> impl Strategy<Value = Option<u64>> {
+    (0u32..4, 1u64..1024).prop_map(|(coin, cores)| (coin > 0).then_some(cores))
+}
+
+fn arb_sweep_grid() -> impl Strategy<Value = Option<String>> {
+    (0usize..3).prop_map(|i| match i {
+        0 => None,
+        1 => Some("quick".to_string()),
+        _ => Some("full".to_string()),
+    })
+}
+
+fn arb_preset() -> impl Strategy<Value = CostModelPreset> {
+    (
+        (arb_text(), arb_text()),
+        (arb_constant(), arb_constant()),
+        (
+            arb_constant(),
+            arb_constant(),
+            arb_constant(),
+            arb_constant(),
+            arb_constant(),
+        ),
+        (arb_constant(), proptest::collection::vec(arb_fit(), 0..4)),
+        arb_host_cores(),
+        arb_sweep_grid(),
+    )
+        .prop_map(
+            |(
+                (name, description),
+                (t_s, t_c),
+                (t_scan, t_pack, t_unpack, t_over, t_encode),
+                (t_render_sample, fits),
+                host_cores,
+                sweep_grid,
+            )| CostModelPreset {
+                name,
+                description,
+                network: CostModel { t_s, t_c },
+                comp: CompCost {
+                    t_scan,
+                    t_pack,
+                    t_unpack,
+                    t_over,
+                    t_encode,
+                },
+                t_render_sample,
+                fits,
+                host_cores,
+                sweep_grid,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn model_file_round_trips_any_preset(presets in proptest::collection::vec(arb_preset(), 1..4)) {
+        let text = render_model_file(&presets);
+        let back = parse_model_file(&text).expect("rendered model file parses");
+        // Exact equality: the JSON writer prints f64 with round-trip
+        // precision, so no constant may move even one ULP.
+        prop_assert_eq!(back, presets);
+    }
+}

@@ -8,6 +8,8 @@
 //!               [--distributed] [--ghost N] [--out FILE.pgm]
 //! slsvr compare [--dataset NAME] [--size N] [--procs P] [--dims X,Y,Z]
 //! slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
+//!               [--preset NAME|FILE] [--max-procs P]
+//! slsvr cost-model sweep|fit|check [...]
 //! slsvr info
 //! ```
 
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "daemon" => cmd_daemon(rest),
         "sweep" => cmd_sweep(rest),
+        "cost-model" => cmd_cost_model(rest),
         "info" => {
             cmd_info();
             Ok(())
@@ -80,6 +83,12 @@ USAGE:
   slsvr daemon  [--listen ADDR] [--shards N] [--max-conns N] [--window N]
                 [--run-seconds S] [+ all serve service knobs]
   slsvr sweep   [--size N] [--dims X,Y,Z] [--out FILE.csv]
+                [--preset NAME|FILE] [--max-procs P] [--model FILE]
+  slsvr cost-model sweep [--full] [--reps N] [--out FILE]
+  slsvr cost-model fit   [--samples FILE | --full] [--reps N] [--name NAME]
+                         [--min-r2 X] [--out FILE]
+  slsvr cost-model check [--samples FILE | --full] [--reps N]
+                         [--baseline FILE] [--preset NAME] [--tolerance PCT]
   slsvr info
 
 DATASETS: engine_low | engine_high | head | cube
@@ -152,7 +161,27 @@ STREAM:   --stream fuses rendering and compositing with the tile-stream
 SCHEDULE: --schedule-seed S runs compositing under the deterministic
           virtual clock: timeouts and fault delays use simulated time and
           message-delivery order is a seeded permutation, so the run is
-          bit-reproducible (same seed => same image and byte counts)";
+          bit-reproducible (same seed => same image and byte counts)
+
+SWEEP:    without --preset, runs the measured simulator sweep and emits
+          CSV. With --preset NAME|FILE (sp2 | modern | a fitted name from
+          --model, default COST_MODEL.json | path.json[#name]) it instead
+          evaluates the paper's closed-form Equations (1)-(8) under that
+          preset over powers-of-two P up to --max-procs (default 512) —
+          no rank threads, so P=512 is as cheap as P=8. Under sp2 the
+          sparse cells double as a cross-check: the paper's ranking
+          (BSLC/BSBRC beat BS/BSBR) must hold or the sweep fails.
+
+COST:     `cost-model sweep` benchmarks every modeled operation (over,
+          pack, unpack, RLE encode, run scan, message framing, render
+          sample) across a parameter grid and records (params, seconds)
+          samples (--full widens the grid). `fit` learns per-op constants
+          by least squares from --samples (or a fresh sweep), refuses any
+          op whose R² falls below --min-r2, and emits a model file with
+          the paper's sp2 preset alongside the fitted one. `check` is the
+          CI drift gate: it re-fits and compares t_over-normalized ratios
+          against --baseline, failing when any ratio moved more than
+          --tolerance percent (narrow hosts record skipped-narrow-host)";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Flags<'a> {
@@ -747,6 +776,9 @@ fn cmd_daemon(args: &[String]) -> Result<(), String> {
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
+    if let Some(spec) = flags.get("--preset") {
+        return cmd_sweep_predict(&flags, spec);
+    }
     let config = config_from_flags(&flags)?;
     let sweep = SweepBuilder {
         base: config,
@@ -763,6 +795,227 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         None => print!("{csv}"),
     }
     Ok(())
+}
+
+/// `slsvr sweep --preset NAME|FILE`: the predictive what-if sweep.
+/// Closed-form Equations (1)-(8) under the resolved preset, so large P
+/// costs nothing to evaluate. Under the paper-faithful `sp2` preset the
+/// sparse cells are also a cross-check of the paper's method ranking.
+fn cmd_sweep_predict(flags: &Flags, spec: &str) -> Result<(), String> {
+    let model_path = flags
+        .get("--model")
+        .unwrap_or(slsvr::cost::DEFAULT_MODEL_PATH);
+    let preset = slsvr::cost::resolve_preset(spec, model_path)?;
+    let size: u16 = flags.parse("--size", 384u16)?;
+    let max_procs: usize = flags.parse("--max-procs", 512usize)?;
+    if !max_procs.is_power_of_two() || max_procs < 2 {
+        return Err(format!(
+            "--max-procs must be a power of two >= 2, got {max_procs}"
+        ));
+    }
+    let procs: Vec<usize> = (1..)
+        .map(|k| 1usize << k)
+        .take_while(|&p| p <= max_procs)
+        .collect();
+    let densities = [0.02, 0.05, 0.1, 0.2, 0.5];
+
+    let rows = slsvr::cost::predict_grid(&preset, &procs, &[size], &densities);
+    let mut csv =
+        String::from("preset,method,procs,size,density,render_ms,comp_ms,comm_ms,total_ms\n");
+    for r in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}\n",
+            preset.name,
+            r.method,
+            r.p,
+            r.size,
+            r.density,
+            r.render_seconds * 1e3,
+            r.comp_seconds * 1e3,
+            r.comm_seconds * 1e3,
+            r.total_seconds() * 1e3,
+        ));
+    }
+    match flags.get("--out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{csv}"),
+    }
+
+    // Ranking cross-check over every sparse cell (each cell is the four
+    // method rows of one (p, size, density) point).
+    let mut checked = 0usize;
+    let mut violated = Vec::new();
+    for chunk in rows.chunks(slsvr::cost::PAPER_METHODS.len()) {
+        match slsvr::cost::ranking_holds(chunk) {
+            Some(true) => checked += 1,
+            Some(false) => violated.push(format!(
+                "P={} size={} density={}",
+                chunk[0].p, chunk[0].size, chunk[0].density
+            )),
+            None => {}
+        }
+    }
+    if violated.is_empty() {
+        eprintln!(
+            "ranking check ({}): BSLC/BSBRC beat BS/BSBR on all {} sparse cells",
+            preset.name, checked
+        );
+    } else if preset.name == "sp2" {
+        return Err(format!(
+            "paper ranking violated under sp2 at: {}",
+            violated.join(", ")
+        ));
+    } else {
+        eprintln!(
+            "ranking note ({}): paper's sparse ordering does not hold at {} of {} sparse \
+             cells (expected off-SP2: cheap networks make BSLC compute-bound)",
+            preset.name,
+            violated.len(),
+            violated.len() + checked
+        );
+    }
+    Ok(())
+}
+
+/// `slsvr cost-model sweep|fit|check` — the learned cost-model surface.
+fn cmd_cost_model(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("cost-model needs a subcommand: sweep | fit | check".into());
+    };
+    let flags = Flags { args: rest };
+    match sub.as_str() {
+        "sweep" => cmd_cost_sweep(&flags),
+        "fit" => cmd_cost_fit(&flags),
+        "check" => cmd_cost_check(&flags),
+        other => Err(format!(
+            "unknown cost-model subcommand `{other}` (sweep | fit | check)"
+        )),
+    }
+}
+
+/// Measures a sweep: either a fresh run honoring `--full`/`--reps`, or,
+/// when `--samples FILE` is given, the persisted one in that file.
+fn sweep_from_flags(flags: &Flags) -> Result<slsvr::cost::SweepData, String> {
+    if let Some(path) = flags.get("--samples") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read samples file '{path}': {e}"))?;
+        return slsvr::cost::SweepData::parse(&text);
+    }
+    let full = flags.has("--full");
+    let reps: usize = flags.parse("--reps", 5usize)?;
+    eprintln!(
+        "measuring {} sweep ({} reps/sample; this renders and composites for real)...",
+        if full { "full" } else { "quick" },
+        reps
+    );
+    Ok(slsvr::cost::run_sweep(!full, reps))
+}
+
+fn cmd_cost_sweep(flags: &Flags) -> Result<(), String> {
+    let data = sweep_from_flags(flags)?;
+    for op in &data.ops {
+        eprintln!("  {:<8} {} samples", op.op, op.samples.len());
+    }
+    let doc = data.render();
+    match flags.get("--out") {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+    Ok(())
+}
+
+fn print_fit_table(preset: &slsvr::cost::CostModelPreset) {
+    println!(
+        "preset '{}' ({} core(s)):",
+        preset.name,
+        preset.host_cores.map_or("?".into(), |c| c.to_string())
+    );
+    for (label, value) in [
+        ("t_over", preset.comp.t_over),
+        ("t_pack", preset.comp.t_pack),
+        ("t_unpack", preset.comp.t_unpack),
+        ("t_encode", preset.comp.t_encode),
+        ("t_scan", preset.comp.t_scan),
+        ("t_s", preset.network.t_s),
+        ("t_c", preset.network.t_c),
+        ("t_render_sample", preset.t_render_sample),
+    ] {
+        println!("  {label:<16} {value:>12.5e} s/unit");
+    }
+    for f in &preset.fits {
+        println!(
+            "  fit {:<8} R² {:.5}  adj {:.5}  over {} samples",
+            f.op, f.r2, f.adjusted_r2, f.samples
+        );
+    }
+}
+
+fn cmd_cost_fit(flags: &Flags) -> Result<(), String> {
+    let data = sweep_from_flags(flags)?;
+    let name = flags.get("--name").unwrap_or("local");
+    let floor: f64 = flags.parse("--min-r2", slsvr::cost::QUALITY_FLOOR)?;
+    let preset = slsvr::cost::fit_preset(&data, name, floor)?;
+    print_fit_table(&preset);
+    let doc = slsvr::cost::render_model_file(&[slsvr::cost::CostModelPreset::sp2(), preset]);
+    match flags.get("--out") {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+    Ok(())
+}
+
+fn cmd_cost_check(flags: &Flags) -> Result<(), String> {
+    let baseline_path = flags
+        .get("--baseline")
+        .unwrap_or(slsvr::cost::DEFAULT_MODEL_PATH);
+    let want = flags.get("--preset").unwrap_or("local");
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline '{baseline_path}': {e}"))?;
+    let presets = slsvr::cost::parse_model_file(&text)?;
+    let baseline = presets
+        .iter()
+        .find(|p| p.name == want)
+        .ok_or_else(|| format!("no preset '{want}' in '{baseline_path}'"))?;
+
+    let data = sweep_from_flags(flags)?;
+    // No R² floor on the refit itself: a noisy-but-fittable refit should
+    // reach the ratio comparison, where noise shows up as drift.
+    let refit = slsvr::cost::fit_preset(&data, "refit", f64::NEG_INFINITY)?;
+    if baseline.sweep_grid.is_some() && baseline.sweep_grid != refit.sweep_grid {
+        eprintln!(
+            "warning: baseline was fitted from the {} grid but this refit used {} — \
+             slopes shift systematically with the grid (cache effects); pass {} for a \
+             like-for-like comparison",
+            baseline.sweep_grid.as_deref().unwrap_or("?"),
+            refit.sweep_grid.as_deref().unwrap_or("?"),
+            if baseline.sweep_grid.as_deref() == Some("full") {
+                "--full"
+            } else {
+                "no --full"
+            },
+        );
+    }
+    let tolerance: f64 = flags.parse("--tolerance", slsvr::cost::DEFAULT_TOLERANCE_PCT)?;
+    let report = slsvr::cost::drift_check(baseline, &refit, tolerance, data.host_cores);
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "cost model drifted beyond {tolerance}% of '{want}' in '{baseline_path}' \
+             (re-fit with `slsvr cost-model fit --out {baseline_path}` if the change \
+             is intentional)"
+        ))
+    }
 }
 
 fn cmd_info() {

@@ -19,6 +19,9 @@
 //! * [`system`] — the assembled pipeline and the experiment runner.
 //! * [`serve`] — the concurrent frame-serving layer: sessions, LRU
 //!   frame cache, request coalescing, and admission control.
+//! * [`cost`] — the learned cost-model subsystem: measurement sweeps,
+//!   a least-squares fitter, serializable presets (`sp2`, fitted
+//!   `local`), predictive what-if sweeps, and the CI drift gate.
 //!
 //! ## Example
 //!
@@ -46,6 +49,7 @@
 
 pub use slsvr_core as compositing;
 pub use vr_comm as comm;
+pub use vr_cost as cost;
 pub use vr_image as image;
 pub use vr_render as render;
 pub use vr_serve as serve;

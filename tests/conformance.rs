@@ -357,8 +357,27 @@ fn paper_byte_equations_hold_on_dense_and_sparse() {
 
 /// The modeled `T_comm` accumulated by the runtime equals the oracle's
 /// per-stage sum of `T_s + bytes · T_c` (Equation (1)'s message model).
+///
+/// The oracle's network constants are routed through the checked-in
+/// cost-model artifact (`COST_MODEL.json`'s `sp2` preset), not a
+/// hard-coded constructor: the vclock scheduler resolves its constants
+/// via [`CostKind::Sp2`], so this test is also the proof that the
+/// serialized preset and the scheduler can never disagree — if someone
+/// edits one side, the byte-exact comparison below breaks.
 #[test]
 fn modeled_comm_seconds_match_traffic_oracle() {
+    let text = std::fs::read_to_string("COST_MODEL.json")
+        .expect("checked-in COST_MODEL.json at the repo root");
+    let preset = slsvr::cost::parse_model_file(&text)
+        .expect("valid model file")
+        .into_iter()
+        .find(|p| p.name == "sp2")
+        .expect("COST_MODEL.json carries the paper-faithful sp2 preset");
+    assert_eq!(
+        preset.network,
+        CostKind::Sp2.model(),
+        "the serialized sp2 preset must equal the vclock scheduler's constants"
+    );
     for method in Method::paper_methods() {
         let case = ConformanceCase {
             cost: CostKind::Sp2,
@@ -366,7 +385,7 @@ fn modeled_comm_seconds_match_traffic_oracle() {
             ..ConformanceCase::new(method, 8, Workload::Sparse, 21)
         };
         let expect = expected_traffic(method, &case.images(), &case.depth).unwrap();
-        let modeled = expect.comm_seconds(CostKind::Sp2.model());
+        let modeled = expect.comm_seconds(preset.network);
         let out = run_case(&case);
         for (rank, stats) in out.per_rank.iter().enumerate() {
             let got = stats.as_ref().unwrap().comm_seconds;
